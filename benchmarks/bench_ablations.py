@@ -1,0 +1,84 @@
+"""Design ablations called out in DESIGN.md.
+
+* Cache sharding: how much of shared-nothing's win is sharding the
+  *traffic* vs. sharding the *state* (the §4 compound effect)?
+* NUMA placement: the §4 rule of thumb, quantified.
+* Balanced vs. unbalanced indirection tables under Zipf.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Strategy
+from repro.hw.cache import CacheHierarchy
+from repro.hw.cpu import profile_for
+from repro.hw.numa import NumaTopology
+from repro.nf.nfs import ALL_NFS
+from repro.sim.perf import PerformanceModel, Workload
+
+
+def test_ablation_state_sharding_cache_effect(benchmark):
+    """SN vs locks with identical coordination-free cost: the residual
+    gap at 16 cores is pure cache-locality from sharded working sets."""
+    model = PerformanceModel()
+    profile = profile_for(ALL_NFS["psd"]())
+    workload = Workload(pkt_size=64, n_flows=40_000)
+
+    def measure():
+        sharded = model.packet_cost(profile, Strategy.SHARED_NOTHING, 16, workload)[0]
+        shared = model.packet_cost(profile, Strategy.LOCKS, 16, workload)[0]
+        return sharded, shared
+
+    sharded, shared = benchmark.pedantic(measure, rounds=3, iterations=1)
+    benchmark.extra_info["sharded_cycles"] = round(sharded, 1)
+    benchmark.extra_info["shared_cycles"] = round(shared, 1)
+    # The sharded working set must be materially cheaper per packet.
+    assert sharded < shared
+
+
+def test_ablation_small_workload_nullifies_sharding(benchmark):
+    """§6.4: 'Running these experiments with a workload of only 256
+    flows — which fits entirely in L1 cache — nullifies this effect.'"""
+    model = PerformanceModel()
+    profile = profile_for(ALL_NFS["psd"]())
+    tiny = Workload(pkt_size=64, n_flows=256)
+
+    def measure():
+        sharded = model.packet_cost(profile, Strategy.SHARED_NOTHING, 16, tiny)[0]
+        shared = model.packet_cost(profile, Strategy.LOCKS, 16, tiny)[0]
+        return sharded, shared
+
+    sharded, shared = benchmark.pedantic(measure, rounds=3, iterations=1)
+    # Without a cache effect the gap shrinks to the lock overhead itself.
+    assert shared - sharded < 80
+
+
+@pytest.mark.parametrize(
+    "llc_mb,expect_single",
+    [(22, True), (1, False)],
+    ids=["large-llc-single-node", "small-llc-spread"],
+)
+def test_ablation_numa_rule_of_thumb(benchmark, llc_mb, expect_single):
+    topology = NumaTopology(llc_bytes=llc_mb * 1024 * 1024)
+    advice = benchmark.pedantic(
+        topology.advise, kwargs={"pkt_size": 64}, rounds=3, iterations=1
+    )
+    benchmark.extra_info["reason"] = advice.reason
+    assert advice.single_node is expect_single
+
+
+def test_ablation_remote_numa_memory_penalty(benchmark):
+    """Remote-node DRAM access costs a QPI hop (§4)."""
+    cache = CacheHierarchy()
+    working_set = 2**32  # DRAM-resident
+
+    def measure():
+        return (
+            cache.access_cycles(working_set),
+            cache.access_cycles(working_set, numa_remote=True),
+        )
+
+    local, remote = benchmark.pedantic(measure, rounds=3, iterations=1)
+    benchmark.extra_info["local_cycles"] = round(local, 1)
+    benchmark.extra_info["remote_cycles"] = round(remote, 1)
+    assert remote > local * 1.4

@@ -1,0 +1,24 @@
+"""Figure 5: shared-nothing FW under uniform vs Zipf, +/- balanced tables."""
+
+import pytest
+
+from repro.eval import fig05
+
+
+def test_fig5_skew_study(benchmark):
+    experiment = benchmark.pedantic(
+        fig05.run, kwargs={"fast": True}, rounds=1, iterations=1
+    )
+    by_label = {s.label: s for s in experiment.series}
+    uniform = by_label["uniform"]
+    unbalanced = by_label["zipf unbalanced"]
+    balanced = by_label["zipf balanced"]
+    benchmark.extra_info["uniform_16c_mpps"] = round(uniform.values[-1], 1)
+    benchmark.extra_info["zipf_unbalanced_16c_mpps"] = round(
+        unbalanced.values[-1], 1
+    )
+    benchmark.extra_info["zipf_balanced_16c_mpps"] = round(balanced.values[-1], 1)
+    # Paper shape: uniform >= balanced >= unbalanced at scale; single-core
+    # Zipf >= uniform (cache locality on the elephants).
+    assert uniform.values[-1] >= balanced.values[-1] >= unbalanced.values[-1]
+    assert balanced.values[0] >= uniform.values[0]

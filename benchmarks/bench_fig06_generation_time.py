@@ -1,0 +1,26 @@
+"""Figure 6: time for Maestro to parallelize each NF.
+
+This benchmark *is* the figure: the measured runtime of the pipeline per
+NF (ESE + Constraints Generator + RS3 + codegen), averaged over rounds by
+pytest-benchmark just as the paper averages over 10 runs.
+"""
+
+import pytest
+
+from repro.core import Maestro
+from repro.nf.nfs import ALL_NFS
+
+
+@pytest.mark.parametrize("name", list(ALL_NFS))
+def test_generation_time(benchmark, name):
+    def generate():
+        maestro = Maestro(seed=0)
+        nf = ALL_NFS[name]()
+        result = maestro.analyze(nf)
+        maestro.parallelize(nf, n_cores=16, result=result)
+        return result
+
+    result = benchmark.pedantic(generate, rounds=3, iterations=1)
+    benchmark.extra_info["verdict"] = result.solution.verdict.value
+    benchmark.extra_info["rs3_seconds"] = round(result.timings["rs3"], 3)
+    assert result.keys

@@ -1,0 +1,17 @@
+"""Figure 8: NOP throughput vs packet size (PCIe vs line-rate ceilings)."""
+
+import pytest
+
+from repro.eval import fig08
+
+
+def test_fig8_packet_size_sweep(benchmark):
+    experiment = benchmark.pedantic(fig08.run, rounds=1, iterations=1)
+    gbps = next(s for s in experiment.series if s.label == "Gbps")
+    mpps = next(s for s in experiment.series if s.label == "Mpps")
+    for label, value in zip(experiment.x_values, gbps.values):
+        benchmark.extra_info[f"gbps_{label}"] = round(value, 1)
+    # The paper's shape: ~45 Gbps at 64B (PCIe), line rate at 1500B.
+    assert 43 < gbps.values[0] < 49
+    assert mpps.values[0] > 85
+    assert gbps.values[experiment.x_values.index("1500")] > 93

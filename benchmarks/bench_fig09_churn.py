@@ -1,0 +1,23 @@
+"""Figure 9: the firewall churn study across the three strategies."""
+
+import pytest
+
+from repro.eval import fig09
+
+
+def test_fig9_churn_study(benchmark):
+    experiment = benchmark.pedantic(
+        fig09.run, kwargs={"fast": True}, rounds=1, iterations=1
+    )
+    sn = [s for s in experiment.series if s.label.startswith("shared-nothing")]
+    locks = [s for s in experiment.series if s.label.startswith("locks")]
+    tm = [s for s in experiment.series if s.label.startswith("tm")]
+    benchmark.extra_info["sn_heavy_churn_mpps"] = round(sn[-1].values[-1], 1)
+    benchmark.extra_info["locks_heavy_churn_mpps"] = round(
+        locks[-1].values[-1], 1
+    )
+    # Shared-nothing is churn-immune; locks and TM collapse under heavy
+    # churn; TM is never better than locks there.
+    assert sn[-1].values[-1] > 0.9 * sn[0].values[-1]
+    assert locks[-1].values[-1] < 0.2 * locks[0].values[-1]
+    assert tm[-1].values[-1] <= locks[-1].values[-1] + 1.0

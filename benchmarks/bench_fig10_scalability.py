@@ -1,0 +1,43 @@
+"""Figure 10: the full 8-NF x 3-strategy scalability matrix (uniform)."""
+
+import pytest
+
+from repro.core import Strategy, Verdict
+from repro.eval.runner import CORE_COUNTS
+from repro.hw.cpu import profile_for
+from repro.nf.nfs import ALL_NFS
+from repro.sim.perf import PerformanceModel, Workload
+
+WORKLOAD = Workload(pkt_size=64, n_flows=40_000)
+
+
+@pytest.mark.parametrize("name", list(ALL_NFS))
+def test_fig10_scalability(benchmark, analyses, name):
+    model = PerformanceModel()
+    profile = profile_for(ALL_NFS[name]())
+    verdict = analyses[name].solution.verdict
+    strategies = [Strategy.LOCKS, Strategy.TM]
+    if verdict is not Verdict.LOCKS:
+        strategies.insert(0, Strategy.SHARED_NOTHING)
+
+    def sweep():
+        return {
+            strategy.value: [
+                model.throughput(profile, strategy, cores, WORKLOAD).mpps
+                for cores in CORE_COUNTS
+            ]
+            for strategy in strategies
+        }
+
+    series = benchmark.pedantic(sweep, rounds=2, iterations=1)
+    for strategy, values in series.items():
+        benchmark.extra_info[f"{strategy}_16c_mpps"] = round(values[-1], 1)
+    # Shape assertions per the figure:
+    if "shared-nothing" in series:
+        sn = series["shared-nothing"]
+        assert all(a <= b + 1e-6 for a, b in zip(sn, sn[1:]))  # scales
+        assert sn[-1] >= series["locks"][-1]
+    if name == "policer":
+        assert series["shared-nothing"][-1] / series["locks"][-1] > 10
+    if name == "psd":
+        assert series["shared-nothing"][-1] / series["shared-nothing"][0] > 12

@@ -1,0 +1,27 @@
+"""Figure 14: the scalability matrix under Zipfian traffic."""
+
+import pytest
+
+from repro.eval import fig10, fig14
+
+
+def test_fig14_zipf_scalability(benchmark):
+    experiment = benchmark.pedantic(
+        fig14.run, kwargs={"fast": True}, rounds=1, iterations=1
+    )
+    by_label = {s.label: s for s in experiment.series}
+    fw_sn = by_label["fw/shared-nothing"]
+    fw_locks = by_label["fw/locks"]
+    benchmark.extra_info["fw_sn_16c_mpps"] = round(fw_sn.values[-1], 1)
+    # Same ordering as Figure 10 under skew...
+    assert fw_sn.values[-1] >= fw_locks.values[-1]
+    # ... but Zipf cannot beat uniform at scale (elephant-bound cores).
+    uniform = fig10.run(fast=True)
+    fw_uniform = next(
+        s for s in uniform.series if s.label == "fw/shared-nothing"
+    )
+    assert fw_sn.values[-1] <= fw_uniform.values[-1] + 1e-6
+    # TM remains the unreliable option for state-heavy NFs.
+    cl_tm = by_label["cl/tm"]
+    cl_locks = by_label["cl/locks"]
+    assert cl_tm.values[-1] <= cl_locks.values[-1] + 1e-6

@@ -1,0 +1,29 @@
+"""§6.4 latency probes: 11-12us, independent of the strategy."""
+
+import numpy as np
+import pytest
+
+from repro.core import Strategy
+from repro.hw.cpu import profile_for
+from repro.nf.nfs import ALL_NFS
+from repro.sim.latency import latency_probe
+
+
+@pytest.mark.parametrize("name", ["nop", "fw", "nat", "cl"])
+def test_latency_probe(benchmark, name):
+    profile = profile_for(ALL_NFS[name]())
+
+    def probe():
+        return latency_probe(
+            profile,
+            Strategy.SHARED_NOTHING,
+            16,
+            n_probes=1000,
+            rng=np.random.default_rng(0),
+        )
+
+    mean, std = benchmark.pedantic(probe, rounds=3, iterations=1)
+    benchmark.extra_info["mean_us"] = round(mean, 2)
+    benchmark.extra_info["std_us"] = round(std, 2)
+    assert 9.0 < mean < 14.0
+    assert std < 3.0

@@ -1,0 +1,27 @@
+"""Shared fixtures for the benchmark harness.
+
+Every figure of the paper has a ``bench_figNN_*.py`` here; running
+
+    pytest benchmarks/ --benchmark-only
+
+regenerates each figure's data (printed through the benchmark's
+``extra_info``) and records how long the regeneration takes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Maestro
+from repro.nf.nfs import ALL_NFS
+
+
+@pytest.fixture(scope="session")
+def maestro() -> Maestro:
+    return Maestro(seed=42)
+
+
+@pytest.fixture(scope="session")
+def analyses(maestro):
+    """Pre-analyzed corpus shared by the figure benchmarks."""
+    return {name: maestro.analyze(cls()) for name, cls in ALL_NFS.items()}

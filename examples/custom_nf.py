@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Bring your own NF: write it sequentially, let Maestro parallelize it.
+
+Implements a DNS-amplification guard from scratch against the library's NF
+API: it tracks, per client (destination IP of responses), how many DNS
+response bytes were delivered without a matching request, and drops the
+excess.  The example then shows the two developer experiences the paper
+describes (§3.4):
+
+* the guard as written shards cleanly (Maestro finds the fields);
+* adding a seemingly innocent *global* statistics counter destroys the
+  shared-nothing verdict — and Maestro's explanation pinpoints why, so the
+  developer can fix the design (per-flow stats) and get sharding back.
+
+    python examples/custom_nf.py
+"""
+
+from typing import Any
+
+from repro import Maestro, StateDecl, StateKind, Verdict
+from repro.nf.api import NF, NfContext
+
+LAN, WAN = 0, 1
+DNS_PORT = 53
+
+
+class DnsGuard(NF):
+    """Per-client cap on unsolicited DNS response traffic."""
+
+    name = "dns_guard"
+    ports = {"lan": LAN, "wan": WAN}
+    expiration_time = 30.0
+
+    def __init__(self, capacity: int = 65536, budget_bytes: int = 4096):
+        self.capacity = capacity
+        self.budget_bytes = budget_bytes
+
+    def state(self) -> list[StateDecl]:
+        return [
+            StateDecl("dns_clients", StateKind.MAP, self.capacity),
+            StateDecl("dns_chain", StateKind.DCHAIN, self.capacity),
+            StateDecl(
+                "dns_budgets",
+                StateKind.VECTOR,
+                self.capacity,
+                value_layout=(("spent", 32),),
+            ),
+        ]
+
+    def process(self, ctx: NfContext, port: int, pkt: Any) -> None:
+        if port == LAN:
+            ctx.forward(WAN)  # outbound queries are free
+        if ctx.cond(ctx.lnot(ctx.eq(pkt.src_port, ctx.const(DNS_PORT, 16)))):
+            ctx.forward(LAN)  # not a DNS response
+        ctx.expire_flows("dns_clients", "dns_chain")
+        key = (pkt.dst_ip,)  # the client being answered
+        found, index = ctx.map_get("dns_clients", key)
+        if ctx.cond(ctx.lnot(found)):
+            ok, index = ctx.dchain_allocate("dns_chain")
+            if ctx.cond(ctx.lnot(ok)):
+                ctx.forward(LAN)
+            ctx.map_put("dns_clients", key, index)
+            ctx.vector_put("dns_budgets", index, {"spent": 0})
+        else:
+            ctx.dchain_rejuvenate("dns_chain", index)
+        budget = ctx.vector_borrow("dns_budgets", index)
+        spent = ctx.add(budget["spent"], pkt.wire_size)
+        if ctx.cond(ctx.gt(spent, ctx.const(self.budget_bytes, 32))):
+            ctx.drop()  # amplification suspected
+        ctx.vector_put("dns_budgets", index, {"spent": spent})
+        ctx.forward(LAN)
+
+
+class DnsGuardWithGlobalStats(DnsGuard):
+    """The same guard, plus a single global drop counter — a classic
+    maintenance tweak that silently breaks shardability (rule R4)."""
+
+    name = "dns_guard_stats"
+
+    def state(self) -> list[StateDecl]:
+        return super().state() + [
+            StateDecl(
+                "dns_totals", StateKind.VECTOR, 1, value_layout=(("seen", 64),)
+            )
+        ]
+
+    def process(self, ctx: NfContext, port: int, pkt: Any) -> None:
+        if port == WAN:
+            totals = ctx.vector_borrow("dns_totals", ctx.const(0, 16))
+            ctx.vector_put(
+                "dns_totals",
+                ctx.const(0, 16),
+                {"seen": ctx.add(totals["seen"], ctx.const(1, 64))},
+            )
+        super().process(ctx, port, pkt)
+
+
+def main() -> None:
+    maestro = Maestro(seed=7)
+
+    print("=== The DNS guard as designed ===")
+    result = maestro.analyze(DnsGuard())
+    print(result.solution.describe())
+    assert result.solution.verdict is Verdict.SHARED_NOTHING
+    parallel = maestro.parallelize(DnsGuard(), n_cores=8, result=result)
+    print(f"-> generated a {parallel.strategy.value} implementation on "
+          f"{parallel.n_cores} cores")
+    print()
+
+    print("=== After adding a global statistics counter ===")
+    broken = maestro.analyze(DnsGuardWithGlobalStats())
+    print(broken.solution.describe())
+    assert broken.solution.verdict is Verdict.LOCKS
+    print("-> Maestro falls back to read/write locks and tells you why;")
+    print("   move the counter into per-client state to restore sharding.")
+
+
+if __name__ == "__main__":
+    main()

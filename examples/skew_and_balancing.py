@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Traffic skew and indirection-table balancing (miniature Figure 5).
+
+Generates the paper's Zipfian workload (1k flows, the top 48 carrying 80%
+of packets), pushes it through the *actual* generated RSS configuration of
+the shared-nothing firewall, and shows per-core load with and without the
+static RSS++ rebalancing of §4 — then what that means for throughput.
+
+    python examples/skew_and_balancing.py
+"""
+
+import numpy as np
+
+from repro import Maestro, PerformanceModel, Strategy, Workload
+from repro.hw.cpu import profile_for
+from repro.nf.nfs import Firewall
+from repro.sim.functional import run_functional
+from repro.traffic import TrafficGenerator, paper_zipf_weights
+
+N_CORES = 8
+
+
+def share_bar(shares: np.ndarray) -> str:
+    return " ".join(f"{s * 100:4.1f}%" for s in shares)
+
+
+def main() -> None:
+    maestro = Maestro(seed=5)
+    result = maestro.analyze(Firewall())
+    generator = TrafficGenerator(seed=55)
+    trace, _ = generator.zipf_trace(20_000, 1_000, in_port=0)
+
+    print(f"Zipfian workload: 20k packets, 1k flows, "
+          f"top-48 flows = {paper_zipf_weights(1000)[:48].sum() * 100:.0f}% "
+          "of traffic\n")
+
+    runs = {}
+    for balanced in (False, True):
+        parallel = maestro.parallelize(Firewall(), n_cores=N_CORES, result=result)
+        run = run_functional(
+            parallel, trace, balance_tables_with=trace if balanced else None
+        )
+        runs[balanced] = run
+        label = "balanced table  " if balanced else "unbalanced table"
+        print(f"{label}: per-core load  {share_bar(run.core_shares())}")
+        print(f"{' ' * 18}imbalance {run.imbalance():.2f}x fair share")
+
+    model = PerformanceModel()
+    profile = profile_for(Firewall())
+    print()
+    for balanced, run in runs.items():
+        workload = Workload(
+            pkt_size=64,
+            n_flows=1_000,
+            zipf_weights=paper_zipf_weights(1_000),
+            core_shares=run.core_shares(),
+        )
+        rate = model.throughput(profile, Strategy.SHARED_NOTHING, N_CORES, workload)
+        label = "balanced" if balanced else "unbalanced"
+        print(f"throughput with {label:>10} table: {rate.mpps:5.1f} Mpps "
+              f"({rate.bottleneck.value}-bound)")
+
+
+if __name__ == "__main__":
+    main()

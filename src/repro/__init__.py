@@ -1,0 +1,74 @@
+"""Maestro reproduction: automatic parallelization of software NFs.
+
+Python reproduction of *"Automatic Parallelization of Software Network
+Functions"* (NSDI 2024): write a sequential NF against the Vigor-style
+API, and :class:`repro.Maestro` analyzes it with exhaustive symbolic
+execution, finds a sharding solution (rules R1-R5), solves for RSS keys
+that realize it in the NIC, and generates a parallel implementation --
+shared-nothing when possible, optimized read/write locks otherwise.
+
+Quickstart::
+
+    from repro import Maestro
+    from repro.nf.nfs import Firewall
+
+    maestro = Maestro(seed=0)
+    result = maestro.analyze(Firewall())
+    print(result.solution.describe())        # verdict + sharding + keys
+    parallel = maestro.parallelize(Firewall(), n_cores=16, result=result)
+    core, outcome = parallel.process(port=0, pkt=some_packet)
+
+See ``examples/`` for runnable scenarios and ``python -m repro.eval all``
+for the paper's figures.
+"""
+
+from repro.core import (
+    Maestro,
+    MaestroResult,
+    ParallelNF,
+    ShardingSolution,
+    Strategy,
+    Verdict,
+    emit_c,
+)
+from repro.nf import (
+    NF,
+    ActionKind,
+    FiveTuple,
+    NfContext,
+    Packet,
+    SequentialRunner,
+    StateDecl,
+    StateKind,
+)
+from repro.sim import (
+    PerformanceModel,
+    Workload,
+    check_equivalence,
+    run_functional,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Maestro",
+    "MaestroResult",
+    "ParallelNF",
+    "ShardingSolution",
+    "Strategy",
+    "Verdict",
+    "emit_c",
+    "NF",
+    "ActionKind",
+    "FiveTuple",
+    "NfContext",
+    "Packet",
+    "SequentialRunner",
+    "StateDecl",
+    "StateKind",
+    "PerformanceModel",
+    "Workload",
+    "check_equivalence",
+    "run_functional",
+    "__version__",
+]

@@ -1,0 +1,35 @@
+"""Maestro's core pipeline: the paper's primary contribution.
+
+Stateful Report -> Constraints Generator (R1-R5) -> RSS compilation ->
+Code Generator, orchestrated by :class:`repro.core.pipeline.Maestro`.
+"""
+
+from repro.core.codegen import CoreInstance, ParallelNF, Strategy
+from repro.core.emit_c import emit_c
+from repro.core.pipeline import Maestro, MaestroResult
+from repro.core.report import SREntry, StatefulReport, build_report
+from repro.core.rss_compile import RssCompilation, compile_rss
+from repro.core.sharding import (
+    ConstraintsGenerator,
+    PairMap,
+    ShardingSolution,
+    Verdict,
+)
+
+__all__ = [
+    "CoreInstance",
+    "ParallelNF",
+    "Strategy",
+    "emit_c",
+    "Maestro",
+    "MaestroResult",
+    "SREntry",
+    "StatefulReport",
+    "build_report",
+    "RssCompilation",
+    "compile_rss",
+    "ConstraintsGenerator",
+    "PairMap",
+    "ShardingSolution",
+    "Verdict",
+]

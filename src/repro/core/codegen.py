@@ -1,0 +1,168 @@
+"""The Code Generator (§3.6): build runnable parallel NFs.
+
+The paper's code generator emits DPDK C; here it produces a
+:class:`ParallelNF` — per-core state instances (with capacities divided
+across cores, §4 *State sharding*), the RSS configuration installed on
+every port, and the coordination strategy:
+
+* ``SHARED_NOTHING`` — each core owns a full state shard; RSS guarantees
+  packets needing the same state reach the same core.
+* ``LOCKS`` — one shared state store guarded by the optimized per-core
+  read/write lock (§3.6); RSS gets a random key over all fields.
+* ``TM`` — one shared store accessed in hardware transactions (§6,
+  Intel RTM baseline).
+
+A C-like rendering of the generated program (mirroring Appendix A.1) is
+available through :mod:`repro.core.emit_c`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.core.sharding import ShardingSolution, Verdict
+from repro.nf.api import NF
+from repro.nf.packet import Packet
+from repro.nf.runtime import ConcreteContext, PacketResult, StateStore
+from repro.rs3.config import RssConfiguration
+
+__all__ = ["Strategy", "CoreInstance", "ParallelNF"]
+
+
+class Strategy(enum.Enum):
+    """How the generated implementation coordinates state."""
+
+    SHARED_NOTHING = "shared-nothing"
+    LOCKS = "locks"
+    TM = "tm"
+
+    @classmethod
+    def default_for(cls, verdict: Verdict) -> "Strategy":
+        if verdict is Verdict.LOCKS:
+            return cls.LOCKS
+        return cls.SHARED_NOTHING
+
+
+@dataclass
+class CoreInstance:
+    """One worker core: its context and counters."""
+
+    core_id: int
+    ctx: ConcreteContext
+    packets: int = 0
+    reads: int = 0
+    writes: int = 0
+    new_flows: int = 0
+
+    def run(self, port: int, pkt: Packet) -> PacketResult:
+        result = self.ctx.run(port, pkt)
+        self.packets += 1
+        self.reads += result.reads
+        self.writes += result.writes
+        self.new_flows += int(result.new_flow)
+        return result
+
+
+@dataclass
+class ParallelNF:
+    """A generated parallel implementation, runnable in the simulator."""
+
+    nf: NF
+    n_cores: int
+    strategy: Strategy
+    solution: ShardingSolution
+    rss: RssConfiguration
+    cores: list[CoreInstance] = field(default_factory=list)
+    shared_store: StateStore | None = None
+
+    @classmethod
+    def generate(
+        cls,
+        nf: NF,
+        solution: ShardingSolution,
+        rss: RssConfiguration,
+        n_cores: int,
+        strategy: Strategy | None = None,
+    ) -> "ParallelNF":
+        """Instantiate per-core (or shared) state and worker contexts."""
+        if n_cores <= 0:
+            raise SimulationError(f"n_cores must be positive: {n_cores}")
+        if strategy is None:
+            strategy = Strategy.default_for(solution.verdict)
+        if (
+            strategy is Strategy.SHARED_NOTHING
+            and solution.verdict is Verdict.LOCKS
+        ):
+            raise SimulationError(
+                f"{nf.name}: analysis ruled out shared-nothing "
+                f"({'; '.join(solution.explanation[:1])})"
+            )
+
+        decls = nf.state()
+        shared_store: StateStore | None = None
+        cores: list[CoreInstance] = []
+        if strategy is Strategy.SHARED_NOTHING:
+            for core_id in range(n_cores):
+                store = StateStore(decls, scale=n_cores)
+                ctx = ConcreteContext(nf, store)
+                nf.setup(ctx)
+                cores.append(CoreInstance(core_id=core_id, ctx=ctx))
+        else:
+            shared_store = StateStore(decls, scale=1)
+            for core_id in range(n_cores):
+                ctx = ConcreteContext(nf, shared_store)
+                if core_id == 0:
+                    nf.setup(ctx)
+                cores.append(CoreInstance(core_id=core_id, ctx=ctx))
+        return cls(
+            nf=nf,
+            n_cores=n_cores,
+            strategy=strategy,
+            solution=solution,
+            rss=rss,
+            cores=cores,
+            shared_store=shared_store,
+        )
+
+    # -------------------------------------------------------------- #
+    # Functional execution
+    # -------------------------------------------------------------- #
+    def core_for(self, port: int, pkt: Packet) -> int:
+        return self.rss.core_for(port, pkt)
+
+    def process(self, port: int, pkt: Packet) -> tuple[int, PacketResult]:
+        """Steer one packet through RSS and process it on its core."""
+        core_id = self.core_for(port, pkt)
+        return core_id, self.cores[core_id].run(port, pkt)
+
+    def process_trace(
+        self, trace: list[tuple[int, Packet]]
+    ) -> list[tuple[int, PacketResult]]:
+        return [self.process(port, pkt) for port, pkt in trace]
+
+    # -------------------------------------------------------------- #
+    # Introspection used by the performance model
+    # -------------------------------------------------------------- #
+    def core_shares(self, trace: list[tuple[int, Packet]]) -> np.ndarray:
+        """Fraction of ``trace`` RSS steers to each core (no processing)."""
+        counts = np.zeros(self.n_cores, dtype=np.float64)
+        for port, pkt in trace:
+            counts[self.core_for(port, pkt)] += 1.0
+        total = counts.sum()
+        return counts / total if total else counts
+
+    def write_fraction(self) -> float:
+        """Observed fraction of packets that performed a state write."""
+        packets = sum(core.packets for core in self.cores)
+        if not packets:
+            return 0.0
+        writers = sum(core.new_flows for core in self.cores)
+        return writers / packets
+
+    def reset_stats(self) -> None:
+        for core in self.cores:
+            core.packets = core.reads = core.writes = core.new_flows = 0

@@ -1,0 +1,123 @@
+"""The Stateful Report (SR) builder (§3.4).
+
+"The Constraints Generator starts by analyzing the NF's model and builds a
+stateful report (SR) of all the performed stateful operations.  Each SR
+entry specifies the operation's name, object instance, and other relevant
+arguments, and all the possible constraints on both the received packet
+and other stateful data when the operation was performed."
+
+This module also performs the *filtering* step: entries touching read-only
+objects (populated at setup and never written in ``process``) are removed;
+if nothing remains, the NF only needs RSS for load balancing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.nf.api import NF, StateDecl
+from repro.symbex import expr as E
+from repro.symbex.tree import ExecutionTree, Path, TraceEntry
+
+__all__ = ["SREntry", "StatefulReport", "build_report"]
+
+
+@dataclass(frozen=True)
+class SREntry:
+    """One stateful operation together with its execution context."""
+
+    port: int
+    path: Path
+    entry: TraceEntry
+
+    @property
+    def obj(self) -> str:
+        return self.entry.obj
+
+    @property
+    def op(self) -> str:
+        return self.entry.op
+
+    @property
+    def write(self) -> bool:
+        return self.entry.write
+
+    @property
+    def key(self) -> tuple[E.Expr, ...] | None:
+        return self.entry.key
+
+    def constraints(self) -> tuple[E.Expr, ...]:
+        """Path constraints active when the operation ran."""
+        return self.path.constraints_at(self.entry)
+
+    def describe(self) -> str:
+        key = "-" if self.key is None else ", ".join(map(repr, self.key))
+        rw = "W" if self.write else "R"
+        return f"[port {self.port}][{rw}] {self.op}({self.obj}; key=({key}))"
+
+
+@dataclass
+class StatefulReport:
+    """The filtered SR: the input to the sharding rules R1-R5."""
+
+    nf_name: str
+    decls: dict[str, StateDecl]
+    entries: list[SREntry]
+    read_only_objects: frozenset[str]
+    tree: ExecutionTree
+
+    def objects(self) -> set[str]:
+        return {entry.obj for entry in self.entries}
+
+    def by_object(self) -> dict[str, list[SREntry]]:
+        grouped: dict[str, list[SREntry]] = {}
+        for entry in self.entries:
+            grouped.setdefault(entry.obj, []).append(entry)
+        return grouped
+
+    @property
+    def stateless(self) -> bool:
+        """True when nothing is left after filtering (§3.4): RSS becomes a
+        pure load balancer."""
+        return not self.entries
+
+    def describe(self) -> str:
+        lines = [f"stateful report for {self.nf_name}:"]
+        if self.read_only_objects:
+            lines.append(
+                "  filtered read-only objects: "
+                + ", ".join(sorted(self.read_only_objects))
+            )
+        for entry in self.entries:
+            lines.append("  " + entry.describe())
+        return "\n".join(lines)
+
+
+def build_report(nf: NF, tree: ExecutionTree) -> StatefulReport:
+    """Build and filter the stateful report from an execution tree."""
+    decls = {decl.name: decl for decl in nf.state()}
+
+    written: set[str] = set()
+    for _, entry in tree.entries():
+        if entry.write:
+            written.add(entry.obj)
+
+    read_only = {
+        name
+        for name, decl in decls.items()
+        if decl.read_only or (name in tree.objects() and name not in written)
+    }
+
+    entries = [
+        SREntry(port=path.port, path=path, entry=entry)
+        for path, entry in tree.entries()
+        if entry.obj not in read_only
+    ]
+    return StatefulReport(
+        nf_name=nf.name,
+        decls=decls,
+        entries=entries,
+        read_only_objects=frozenset(read_only),
+        tree=tree,
+    )

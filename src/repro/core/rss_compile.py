@@ -1,0 +1,103 @@
+"""Compile a sharding solution into RS3 key requirements (§3.5).
+
+Bridges the Constraints Generator and RS3: picks a NIC-supported field-set
+option per port (§5 *RSS limitations* — the option may include fields the
+sharding must ignore, which become cancellations), and turns every pair
+map into bit-level field mappings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import NicCapabilityError, RssUnsatisfiableError
+from repro.core.sharding import ShardingSolution, Verdict
+from repro.nf.api import NF
+from repro.rs3.fields import FieldSetOption, IPV4_TCP, NicModel, RssField
+from repro.rs3.solver import CancelBits, CancelField, MapFields
+
+__all__ = ["RssCompilation", "compile_rss"]
+
+_FIELD_BY_NAME = {f.value: f for f in RssField}
+
+
+@dataclass
+class RssCompilation:
+    """Everything RS3 needs to search for keys."""
+
+    port_options: dict[int, FieldSetOption]
+    requirements: list["CancelField | CancelBits | MapFields"] = field(default_factory=list)
+    #: ports whose key is entirely unconstrained (pure load balancing)
+    free_ports: list[int] = field(default_factory=list)
+
+
+def compile_rss(
+    nf: NF, solution: ShardingSolution, nic: NicModel
+) -> RssCompilation:
+    """Translate a sharding solution into RS3 requirements.
+
+    For :data:`Verdict.LOCKS` and :data:`Verdict.LOAD_BALANCE` there are no
+    requirements: every port gets a random key over all available fields
+    (§3.6, lock-based generation).
+    """
+    ports = nf.port_ids()
+    if solution.verdict is not Verdict.SHARED_NOTHING or not solution.per_port:
+        return RssCompilation(
+            port_options={port: IPV4_TCP for port in ports},
+            requirements=[],
+            free_ports=list(ports),
+        )
+
+    port_options: dict[int, FieldSetOption] = {}
+    requirements: list["CancelField | CancelBits | MapFields"] = []
+    free_ports: list[int] = []
+
+    for port in ports:
+        active_names = solution.per_port.get(port)
+        if not active_names:
+            port_options[port] = IPV4_TCP
+            free_ports.append(port)
+            continue
+        try:
+            active = frozenset(_FIELD_BY_NAME[name] for name in active_names)
+        except KeyError as exc:
+            raise RssUnsatisfiableError(
+                f"{nf.name}: field {exc} is not RSS-hashable"
+            ) from exc
+        try:
+            option = nic.best_option_for(active)
+        except NicCapabilityError as exc:
+            raise RssUnsatisfiableError(str(exc)) from exc
+        port_options[port] = option
+        port_bits = solution.per_port_bits.get(port, {})
+        for fld in option.fields:
+            if fld not in active:
+                requirements.append(CancelField(port, fld))
+                continue
+            # Partial bit sets (prefix/subnet sharding): cancel the bits
+            # the sharding must not depend on.
+            wanted = port_bits.get(fld.packet_field)
+            full = frozenset(range(fld.width))
+            if wanted is not None and wanted != full:
+                requirements.append(CancelBits(port, fld, full - wanted))
+
+    for pair in solution.pairs:
+        for name_a, name_b in pair.field_map:
+            field_a = _FIELD_BY_NAME.get(name_a)
+            field_b = _FIELD_BY_NAME.get(name_b)
+            if field_a is None or field_b is None:
+                raise RssUnsatisfiableError(
+                    f"{nf.name}: pair map uses non-RSS fields "
+                    f"{name_a}->{name_b}"
+                )
+            if pair.port_a == pair.port_b and field_a == field_b:
+                continue  # identity: trivially satisfied
+            requirements.append(
+                MapFields(pair.port_a, field_a, pair.port_b, field_b)
+            )
+
+    return RssCompilation(
+        port_options=port_options,
+        requirements=requirements,
+        free_ports=free_ports,
+    )

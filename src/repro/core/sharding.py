@@ -1,0 +1,945 @@
+"""The Constraints Generator: finding the sharding solution (§3.4).
+
+Implements the paper's rule set over the Stateful Report:
+
+* **R1 — key equality**: packets whose keys to the same object are equal
+  must land on the same core; positional unification of key expressions
+  yields per-port footprints and cross-port field maps (Figure 3).
+* **R2 — subsumption**: a coarser footprint wins; generalized here to the
+  intersection of footprints per port (any non-empty subset of every
+  object's key fields is a valid sharding).
+* **R3 — disjoint dependencies**: an empty intersection means no RSS
+  configuration can satisfy both objects; fall back to locks with an
+  explanation naming the culprits.
+* **R4 — incompatible dependencies**: constant keys, allocator-assigned
+  keys with no keyed owner, data-dependent keys, or non-RSS-hashable
+  fields (MAC addresses) block shared-nothing — unless R5 applies.
+* **R5 — interchangeable constraints**: when a mismatch on a guarded read
+  provably triggers the same behaviour as a lookup miss, the sharding key
+  can be replaced by the packet fields in the guard (the NAT/bridge
+  pattern of Figure 2, example 5).
+
+The *derived-key propagation* used by the map+dchain+vector idiom (a
+vector indexed by an allocator index owned by a keyed map inherits that
+map's footprint) is how the paper's per-data-structure reasoning composes;
+it is sound because allocator indices are unique per map key.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.errors import ShardingError
+from repro.nf.packet import PACKET_FIELDS
+from repro.symbex import expr as E
+from repro.symbex.tree import ActionKind, Path, TraceEntry
+from repro.core.report import SREntry, StatefulReport
+
+__all__ = [
+    "Verdict",
+    "PairMap",
+    "ShardingSolution",
+    "ConstraintsGenerator",
+]
+
+#: Packet fields RSS can hash (rule R4's compatibility check).
+RSS_HASHABLE = frozenset({"src_ip", "dst_ip", "src_port", "dst_port"})
+
+#: Canonical ordering used when presenting field sets.
+_FIELD_ORDER = {name: i for i, name in enumerate(PACKET_FIELDS)}
+
+
+class Verdict(enum.Enum):
+    """Outcome of the analysis (§3.4 / §3.6)."""
+
+    SHARED_NOTHING = "shared-nothing"
+    LOAD_BALANCE = "load-balance"  # stateless / read-only: RSS spreads load
+    LOCKS = "locks"  # fall back to read/write locks
+
+
+# ------------------------------------------------------------------ #
+# Key atoms
+# ------------------------------------------------------------------ #
+@dataclass(frozen=True)
+class _FieldAtom:
+    """A packet field, possibly a bit slice of it (subnet prefixes)."""
+
+    field: str
+    hi: int = -1  # -1 = full width
+    lo: int = 0
+
+    def bits(self) -> frozenset[int]:
+        width = PACKET_FIELDS[self.field]
+        hi = width - 1 if self.hi < 0 else self.hi
+        return frozenset(range(self.lo, hi + 1))
+
+    @property
+    def full(self) -> bool:
+        width = PACKET_FIELDS[self.field]
+        return self.lo == 0 and self.hi in (-1, width - 1)
+
+
+@dataclass(frozen=True)
+class _ConstAtom:
+    value: int
+
+
+@dataclass(frozen=True)
+class _HashAtom:
+    fn: str
+    fields: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class _DerivedAtom:
+    origin_index: int
+    origin_obj: str
+    origin_op: str
+    origin_field: str
+
+
+@dataclass(frozen=True)
+class _OpaqueAtom:
+    reason: str
+
+
+_Atom = _FieldAtom | _ConstAtom | _HashAtom | _DerivedAtom | _OpaqueAtom
+
+
+def _pkt_fields_of(expr: E.Expr) -> set[str] | None:
+    """Packet fields in ``expr``; None if any non-packet symbol occurs."""
+    fields: set[str] = set()
+    for sym in E.free_symbols(expr):
+        if sym.name.startswith("pkt."):
+            fields.add(sym.name[len("pkt.") :])
+        else:
+            return None
+    return fields
+
+
+def _classify(expr: E.Expr, path: Path) -> _Atom:
+    """Classify one key component into an atom."""
+    if isinstance(expr, E.Const):
+        return _ConstAtom(expr.value)
+    if isinstance(expr, E.Sym):
+        if expr.name.startswith("pkt."):
+            return _FieldAtom(expr.name[len("pkt.") :])
+        origin = path.origins.get(expr.name)
+        if origin is not None:
+            index, result_field = origin
+            entry = path.trace[index]
+            return _DerivedAtom(index, entry.obj, entry.op, result_field)
+        return _OpaqueAtom(f"free symbol {expr.name}")
+    if isinstance(expr, E.Extract) and isinstance(expr.expr, E.Sym):
+        inner = expr.expr
+        if inner.name.startswith("pkt."):
+            # A subnet/prefix key (§3.5's Hierarchical Heavy Hitter case):
+            # only the extracted bits may shard traffic — hashing the full
+            # field would split the prefix's packets across cores.
+            return _FieldAtom(inner.name[len("pkt.") :], expr.hi, expr.lo)
+    if isinstance(expr, E.Uninterp):
+        arg_fields: list[str] = []
+        for arg in expr.args:
+            fields = _pkt_fields_of(arg)
+            if fields is None:
+                return _OpaqueAtom(f"hash over non-packet data: {expr!r}")
+            arg_fields.extend(sorted(fields, key=_FIELD_ORDER.get))
+        return _HashAtom(expr.fn, tuple(dict.fromkeys(arg_fields)))
+    fields = _pkt_fields_of(expr)
+    if fields is not None and len(fields) == 1:
+        # An invertible-enough transform of a single field (e.g. the NAT's
+        # dst_port - base): footprint is the field itself.
+        return _FieldAtom(next(iter(fields)))
+    if fields is not None and not fields:
+        return _ConstAtom(0)
+    return _OpaqueAtom(f"complex key expression: {expr!r}")
+
+
+# ------------------------------------------------------------------ #
+# Access resolution (derived-key propagation)
+# ------------------------------------------------------------------ #
+@dataclass
+class _Access:
+    """One SR entry, with its key resolved into atoms."""
+
+    sr: SREntry
+    atoms: tuple[_Atom, ...] | None = None
+    inherited_from: str | None = None
+    problem: str | None = None
+
+    @property
+    def port(self) -> int:
+        return self.sr.port
+
+
+def _index_valued_map(report: StatefulReport, map_name: str) -> bool:
+    """True when every ``map_put`` on ``map_name`` stores an allocator
+    index — the precondition for derived-key propagation to be sound."""
+    for entry in report.entries:
+        if entry.obj != map_name or entry.op != "map_put":
+            continue
+        stored = dict(entry.entry.stored)
+        value = stored.get("value")
+        if value is None:
+            return False
+        if not isinstance(value, E.Sym):
+            return False
+        origin = entry.path.origins.get(value.name)
+        if origin is None:
+            return False
+        if entry.path.trace[origin[0]].op != "dchain_allocate":
+            return False
+    return True
+
+
+def _owning_map_for_allocation(
+    sr: SREntry, alloc_entry: TraceEntry
+) -> str | None:
+    """The map that a same-path ``map_put`` pairs with this allocation."""
+    index_syms = {sym.name for _, sym in alloc_entry.results}
+    for other in sr.path.trace:
+        if other.op != "map_put":
+            continue
+        stored = dict(other.stored)
+        value = stored.get("value")
+        if isinstance(value, E.Sym) and value.name in index_syms:
+            return other.obj
+    return None
+
+
+def _normalize_literal(literal: E.Expr) -> tuple[E.Expr, bool]:
+    """Strip (possibly nested) negations; returns ``(atom, polarity)``."""
+    polarity = True
+    while isinstance(literal, E.Not):
+        literal = literal.expr
+        polarity = not polarity
+    return literal, polarity
+
+
+def _allocation_failed(sr: SREntry, alloc_entry: TraceEntry) -> bool:
+    """True when this path's constraints assert the allocation failed.
+
+    A failed ``dchain_allocate`` hands out no index and stores nothing, so
+    it imposes no sharding constraint.
+    """
+    ok_syms = {
+        sym.name for field_name, sym in alloc_entry.results if field_name == "ok"
+    }
+    for literal in sr.path.constraints:
+        atom, polarity = _normalize_literal(literal)
+        if not polarity and isinstance(atom, E.Sym) and atom.name in ok_syms:
+            return True
+    return False
+
+
+def _resolve_access(report: StatefulReport, sr: SREntry) -> _Access:
+    """Resolve one SR entry's key into atoms / inheritance / problem."""
+    access = _Access(sr=sr)
+    entry = sr.entry
+
+    if entry.key is None:
+        if entry.op == "dchain_allocate":
+            owner = _owning_map_for_allocation(sr, entry)
+            if owner is not None and _index_valued_map(report, owner):
+                access.inherited_from = owner
+            elif _allocation_failed(sr, entry):
+                # A failed allocation stores nothing: no constraint.
+                access.inherited_from = "(allocation failed)"
+            else:
+                access.problem = (
+                    f"{entry.obj}: allocator-assigned state with no keyed "
+                    "owner (R4)"
+                )
+        else:
+            access.problem = (
+                f"{entry.obj}: {entry.op} writes state without a "
+                "packet-derived key (R4)"
+            )
+        return access
+
+    atoms = tuple(_classify(part, sr.path) for part in entry.key)
+    inherited: set[str] = set()
+    keyed = False
+    for atom in atoms:
+        if isinstance(atom, _OpaqueAtom):
+            access.problem = f"{entry.obj}: {atom.reason} (R4)"
+            return access
+        if isinstance(atom, (_FieldAtom, _HashAtom)):
+            keyed = True
+        elif isinstance(atom, _DerivedAtom):
+            if atom.origin_op == "map_get" and atom.origin_field == "value":
+                if _index_valued_map(report, atom.origin_obj):
+                    inherited.add(atom.origin_obj)
+                else:
+                    access.problem = (
+                        f"{entry.obj}: keyed by a data value read from "
+                        f"{atom.origin_obj} (R4)"
+                    )
+                    return access
+            elif atom.origin_op == "dchain_allocate":
+                origin_entry = sr.path.trace[atom.origin_index]
+                owner = _owning_map_for_allocation(sr, origin_entry)
+                if owner is not None and _index_valued_map(report, owner):
+                    inherited.add(owner)
+                else:
+                    access.problem = (
+                        f"{entry.obj}: keyed by an allocator index with no "
+                        "keyed owner (R4)"
+                    )
+                    return access
+            else:
+                access.problem = (
+                    f"{entry.obj}: data-dependent key via "
+                    f"{atom.origin_op}({atom.origin_obj}) (R4)"
+                )
+                return access
+
+    if keyed and inherited:
+        access.problem = (
+            f"{entry.obj}: mixes packet-derived and state-derived key parts"
+        )
+        return access
+    if inherited:
+        if len(inherited) > 1:
+            access.problem = (
+                f"{entry.obj}: key derived from multiple owners "
+                f"{sorted(inherited)}"
+            )
+            return access
+        access.inherited_from = next(iter(inherited))
+        return access
+    if all(isinstance(a, _ConstAtom) for a in atoms):
+        access.problem = (
+            f"{entry.obj}: constant key — every packet shares this entry (R4)"
+        )
+        return access
+    access.atoms = atoms
+    return access
+
+
+# ------------------------------------------------------------------ #
+# Per-object requirements
+# ------------------------------------------------------------------ #
+@dataclass(frozen=True)
+class PairMap:
+    """Cross- (or same-) port colocation: packets on ``port_a`` and
+    ``port_b`` whose mapped fields agree must reach the same core."""
+
+    port_a: int
+    port_b: int
+    field_map: tuple[tuple[str, str], ...]
+
+    def mapping(self) -> dict[str, str]:
+        return dict(self.field_map)
+
+
+#: A footprint: for each packet field, the bits the key depends on.
+_Footprint = dict[str, frozenset[int]]
+
+
+@dataclass
+class _Requirement:
+    """What one object demands of the sharding solution."""
+
+    obj: str
+    footprints: dict[int, list[_Footprint]] = field(default_factory=dict)
+    pair_maps: list[PairMap] = field(default_factory=list)
+
+
+@dataclass
+class _Conflict:
+    obj: str
+    reasons: list[str]
+
+
+def _full_bits(field_name: str) -> frozenset[int]:
+    return frozenset(range(PACKET_FIELDS[field_name]))
+
+
+def _atoms_footprint(atoms: Sequence[_Atom]) -> _Footprint:
+    """The bits of each packet field one key shape depends on."""
+    out: dict[str, frozenset[int]] = {}
+    for atom in atoms:
+        if isinstance(atom, _FieldAtom):
+            out[atom.field] = out.get(atom.field, frozenset()) | atom.bits()
+        elif isinstance(atom, _HashAtom):
+            for name in atom.fields:
+                out[name] = _full_bits(name)
+    return out
+
+
+def _unify_object(
+    obj: str, accesses: list[_Access]
+) -> _Requirement | _Conflict | None:
+    """Positional unification of all keyed accesses of one object (R1)."""
+    problems = [a.problem for a in accesses if a.problem]
+    keyed = [a for a in accesses if a.atoms is not None]
+    inherited = [a for a in accesses if a.inherited_from]
+    if problems:
+        return _Conflict(obj, sorted(set(problems)))
+    if keyed and inherited:
+        return _Conflict(
+            obj,
+            [
+                f"{obj}: some accesses are keyed by packet fields while "
+                "others are reached through an allocator (R4)"
+            ],
+        )
+    if not keyed:
+        return None  # fully inherited: covered by the owning map
+
+    # Distinct key shapes, per port.
+    shapes: dict[int, list[tuple[_Atom, ...]]] = {}
+    for access in keyed:
+        per_port = shapes.setdefault(access.port, [])
+        if access.atoms not in per_port:
+            per_port.append(access.atoms)
+
+    requirement = _Requirement(obj=obj)
+    all_shapes = [(port, atoms) for port, lst in shapes.items() for atoms in lst]
+    arities = {len(atoms) for _, atoms in all_shapes}
+    if len(arities) != 1:
+        return _Conflict(
+            obj, [f"{obj}: accesses use keys of different arity (R4)"]
+        )
+
+    for port, atoms in all_shapes:
+        requirement.footprints.setdefault(port, []).append(
+            _atoms_footprint(atoms)
+        )
+
+    # Pairwise positional maps between distinct shapes (R1 across shapes).
+    for i, (port_a, atoms_a) in enumerate(all_shapes):
+        for port_b, atoms_b in all_shapes[i + 1 :]:
+            mapping: list[tuple[str, str]] = []
+            collides = True
+            for atom_a, atom_b in zip(atoms_a, atoms_b):
+                if isinstance(atom_a, _ConstAtom) and isinstance(
+                    atom_b, _ConstAtom
+                ):
+                    if atom_a.value != atom_b.value:
+                        collides = False  # disjoint key spaces: no constraint
+                        break
+                    continue
+                if isinstance(atom_a, _FieldAtom) and isinstance(
+                    atom_b, _FieldAtom
+                ):
+                    if not (atom_a.full and atom_b.full):
+                        if port_a == port_b and atom_a == atom_b:
+                            continue  # identical slices: trivially colocated
+                        return _Conflict(
+                            obj,
+                            [
+                                f"{obj}: sliced fields cannot be matched "
+                                "across different keys (R4)"
+                            ],
+                        )
+                    if PACKET_FIELDS[atom_a.field] != PACKET_FIELDS[atom_b.field]:
+                        return _Conflict(
+                            obj,
+                            [
+                                f"{obj}: cannot match {atom_a.field} against "
+                                f"{atom_b.field} (different widths)"
+                            ],
+                        )
+                    mapping.append((atom_a.field, atom_b.field))
+                    continue
+                if isinstance(atom_a, _HashAtom) and isinstance(
+                    atom_b, _HashAtom
+                ):
+                    if atom_a.fn != atom_b.fn or len(atom_a.fields) != len(
+                        atom_b.fields
+                    ):
+                        return _Conflict(
+                            obj,
+                            [
+                                f"{obj}: accessed through unrelated hash "
+                                f"functions {atom_a.fn} vs {atom_b.fn} (R4)"
+                            ],
+                        )
+                    mapping.extend(zip(atom_a.fields, atom_b.fields))
+                    continue
+                return _Conflict(
+                    obj,
+                    [
+                        f"{obj}: key shapes mix constants and packet fields "
+                        "at the same position (R4)"
+                    ],
+                )
+            if not collides:
+                continue
+            mapping = [m for m in mapping if True]
+            nontrivial = [m for m in mapping if m[0] != m[1] or port_a != port_b]
+            if nontrivial:
+                requirement.pair_maps.append(
+                    PairMap(port_a, port_b, tuple(dict.fromkeys(mapping)))
+                )
+    return requirement
+
+
+# ------------------------------------------------------------------ #
+# R5: interchangeable constraints
+# ------------------------------------------------------------------ #
+def _flatten_positive(literal: E.Expr) -> list[E.Expr]:
+    """Decompose a positive literal's conjunction into atoms."""
+    if isinstance(literal, E.And):
+        return _flatten_positive(literal.lhs) + _flatten_positive(literal.rhs)
+    return [literal]
+
+
+def _guard_of(atom: E.Expr, result_syms: dict[str, tuple[str, str]]):
+    """If ``atom`` is Eq(cluster-read result, packet field), return
+    ``(obj, result_field, packet_field)``."""
+    if not isinstance(atom, E.Eq):
+        return None
+    for lhs, rhs in ((atom.lhs, atom.rhs), (atom.rhs, atom.lhs)):
+        if isinstance(lhs, E.Sym) and lhs.name in result_syms:
+            fields = _pkt_fields_of(rhs)
+            if fields is not None and len(fields) == 1:
+                obj, result_field = result_syms[lhs.name]
+                return obj, result_field, next(iter(fields))
+    return None
+
+
+def _action_signature(path: Path):
+    action = path.action
+    port = action.port if isinstance(action.port, int) else repr(action.port)
+    return (action.kind, port)
+
+
+def _try_r5(
+    report: StatefulReport,
+    conflicts: list[_Conflict],
+    inherits: dict[str, set[str]],
+) -> tuple[_Requirement | None, list[str]]:
+    """Attempt rule R5 over the cluster of conflicted objects.
+
+    The cluster also pulls in objects *owned by* a conflicted object
+    (``inherits`` maps object -> owners): in the Figure 2 bridge example
+    the guarded IP value lives in a vector owned by the MAC-keyed map.
+    Paths that *write* cluster state (learning/registration paths) are
+    writers, not guarded readers, and are excluded from the
+    miss-vs-mismatch behaviour comparison.
+
+    Returns ``(requirement, notes)``; requirement is None when the
+    constraints are not interchangeable.
+    """
+    cluster = {c.obj for c in conflicts}
+    for obj, owners in inherits.items():
+        if owners & cluster:
+            cluster.add(obj)
+    notes: list[str] = []
+
+    # 1. Collect guards per port and the fail/mismatch/success partition.
+    guards_by_port: dict[int, dict[tuple[str, str], str]] = {}
+    fail_actions: set = set()
+    mismatch_actions: set = set()
+    success_paths: list[tuple[Path, set[tuple[str, str, str]]]] = []
+
+    for path in report.tree.paths():
+        result_syms: dict[str, tuple[str, str]] = {}
+        existence_syms: set[str] = set()
+        has_cluster_write = False
+        for entry in path.stateful_entries():
+            if entry.obj not in cluster:
+                continue
+            if entry.write:
+                has_cluster_write = True
+                continue
+            for result_field, sym in entry.results:
+                result_syms[sym.name] = (entry.obj, result_field)
+                if result_field in ("found", "allocated"):
+                    existence_syms.add(sym.name)
+        if not result_syms or has_cluster_write:
+            # Writer paths (learning/registration) are colocated by the
+            # writer-side sharding fields, not by guards.
+            continue
+
+        path_guards: set[tuple[str, str, str]] = set()
+        is_fail = False
+        is_mismatch = False
+        for literal in path.constraints:
+            inner, polarity = _normalize_literal(literal)
+            if not polarity:
+                if isinstance(inner, E.Sym) and inner.name in existence_syms:
+                    is_fail = True
+                    continue
+                inner_atoms = _flatten_positive(inner)
+                if any(
+                    _guard_of(a, result_syms) is not None for a in inner_atoms
+                ):
+                    is_mismatch = True
+                continue
+            for atom in _flatten_positive(inner):
+                guard = _guard_of(atom, result_syms)
+                if guard is not None:
+                    path_guards.add(guard)
+
+        if is_fail:
+            fail_actions.add(_action_signature(path))
+        elif is_mismatch:
+            mismatch_actions.add(_action_signature(path))
+        else:
+            success_paths.append((path, path_guards))
+            for obj, result_field, pkt_field in path_guards:
+                guards_by_port.setdefault(path.port, {})[
+                    (obj, result_field)
+                ] = pkt_field
+
+    if not guards_by_port:
+        return None, ["R5: no guard equalities against packet fields found"]
+
+    # 2. Interchangeability: a guard mismatch must behave exactly like a
+    # lookup miss (§3.4, R5).
+    if not mismatch_actions:
+        return None, ["R5: guarded reads have no mismatch path"]
+    if fail_actions and mismatch_actions != fail_actions:
+        return None, [
+            "R5: mismatch behaviour differs from lookup-miss behaviour "
+            f"({mismatch_actions} vs {fail_actions})"
+        ]
+
+    # 3. Every successful path must check every guard of its port.
+    for path, path_guards in success_paths:
+        expected = {
+            (obj, rf, pf)
+            for (obj, rf), pf in guards_by_port.get(path.port, {}).items()
+        }
+        if expected and not expected <= path_guards:
+            return None, [
+                "R5: a successful path skips some guard equalities"
+            ]
+
+    # 4. Reader-side footprints and writer-side provenance mapping.
+    requirement = _Requirement(obj="+".join(sorted(cluster)))
+    for reader_port, guards in guards_by_port.items():
+        reader_fields: list[str] = []
+        writer_port: int | None = None
+        writer_fields: list[str] = []
+        for (obj, result_field), pkt_field in sorted(
+            guards.items(), key=lambda kv: _FIELD_ORDER.get(kv[1], 99)
+        ):
+            reader_fields.append(pkt_field)
+            # Find the write that stored this compared slot.
+            provenance: tuple[int, str] | None = None
+            for entry in report.entries:
+                if entry.obj != obj or not entry.write:
+                    continue
+                stored = dict(entry.entry.stored)
+                expr = stored.get(result_field)
+                if expr is None:
+                    continue
+                fields = _pkt_fields_of(expr)
+                if fields is None or len(fields) != 1:
+                    return None, [
+                        f"R5: stored slot {obj}.{result_field} is not a "
+                        "single packet field"
+                    ]
+                src_field = next(iter(fields))
+                if provenance is None:
+                    provenance = (entry.port, src_field)
+                elif provenance != (entry.port, src_field):
+                    return None, [
+                        f"R5: writers disagree on {obj}.{result_field}"
+                    ]
+            if provenance is None:
+                return None, [
+                    f"R5: no writer found for guarded slot {obj}.{result_field}"
+                ]
+            if writer_port is None:
+                writer_port = provenance[0]
+            elif writer_port != provenance[0]:
+                return None, ["R5: guarded slots written from different ports"]
+            writer_fields.append(provenance[1])
+
+        requirement.footprints.setdefault(reader_port, []).append(
+            {name: _full_bits(name) for name in reader_fields}
+        )
+        assert writer_port is not None
+        requirement.footprints.setdefault(writer_port, []).append(
+            {name: _full_bits(name) for name in writer_fields}
+        )
+        if writer_port != reader_port or writer_fields != reader_fields:
+            requirement.pair_maps.append(
+                PairMap(
+                    writer_port,
+                    reader_port,
+                    tuple(zip(writer_fields, reader_fields)),
+                )
+            )
+        notes.append(
+            f"R5: {'+'.join(sorted(cluster))} guarded by "
+            f"{list(zip(writer_fields, reader_fields))}; mismatch behaves "
+            "like a miss, so sharding on the guard fields is equivalent"
+        )
+    return requirement, notes
+
+
+# ------------------------------------------------------------------ #
+# Solution assembly (R2/R3 + cross-port consistency)
+# ------------------------------------------------------------------ #
+@dataclass
+class ShardingSolution:
+    """The Constraints Generator's output.
+
+    For :data:`Verdict.SHARED_NOTHING`, ``per_port`` gives the fields each
+    port's RSS hash must shard on (ports absent from the dict are
+    unconstrained and get a random key over all fields), and ``pairs``
+    lists the field bijections RS3 must honor across/within ports.
+    """
+
+    nf_name: str
+    verdict: Verdict
+    per_port: dict[int, tuple[str, ...]] = field(default_factory=dict)
+    #: exact bits to shard on per port/field (LSB indices); fields absent
+    #: from a port's dict are not hashed at all.  Partial bit sets arise
+    #: from prefix/subnet keys (the §3.5 HHH case).
+    per_port_bits: dict[int, dict[str, frozenset[int]]] = field(
+        default_factory=dict
+    )
+    pairs: list[PairMap] = field(default_factory=list)
+    explanation: list[str] = field(default_factory=list)
+    rules_applied: list[str] = field(default_factory=list)
+
+    def _render_field(self, port: int, name: str) -> str:
+        bits = self.per_port_bits.get(port, {}).get(name)
+        if bits is None or bits == frozenset(range(PACKET_FIELDS[name])):
+            return name
+        return f"{name}[{max(bits)}:{min(bits)}]"
+
+    def describe(self) -> str:
+        lines = [f"{self.nf_name}: {self.verdict.value}"]
+        for port in sorted(self.per_port):
+            rendered = [
+                self._render_field(port, name) for name in self.per_port[port]
+            ]
+            lines.append(f"  port {port}: shard on {rendered}")
+        for pm in self.pairs:
+            lines.append(
+                f"  map port {pm.port_a} -> port {pm.port_b}: "
+                f"{list(pm.field_map)}"
+            )
+        for note in self.explanation:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+
+class ConstraintsGenerator:
+    """Drives R1-R5 over a stateful report to a sharding verdict."""
+
+    def __init__(self, report: StatefulReport):
+        self.report = report
+
+    def solve(self) -> ShardingSolution:
+        report = self.report
+        if report.stateless:
+            reason = (
+                "all state is read-only"
+                if report.read_only_objects
+                else "the NF keeps no state"
+            )
+            return ShardingSolution(
+                nf_name=report.nf_name,
+                verdict=Verdict.LOAD_BALANCE,
+                explanation=[f"{reason}; RSS used purely for load balancing"],
+                rules_applied=["filter-read-only"],
+            )
+
+        rules: list[str] = []
+        notes: list[str] = []
+        requirements: list[_Requirement] = []
+        conflicts: list[_Conflict] = []
+        inherits: dict[str, set[str]] = {}
+
+        for obj, entries in sorted(report.by_object().items()):
+            accesses = [_resolve_access(report, sr) for sr in entries]
+            for access in accesses:
+                owner = access.inherited_from
+                if owner and not owner.startswith("("):
+                    inherits.setdefault(obj, set()).add(owner)
+            outcome = _unify_object(obj, accesses)
+            if outcome is None:
+                notes.append(
+                    f"{obj}: reached only through an owning map "
+                    "(derived-key propagation)"
+                )
+                continue
+            if isinstance(outcome, _Conflict):
+                conflicts.append(outcome)
+                continue
+            rules.append("R1")
+            # R4 compatibility: every footprint field must be hashable.
+            bad_fields = {
+                f
+                for shapes in outcome.footprints.values()
+                for shape in shapes
+                for f in shape
+                if f not in RSS_HASHABLE
+            }
+            if bad_fields:
+                conflicts.append(
+                    _Conflict(
+                        obj,
+                        [
+                            f"{obj}: keyed by non-RSS-hashable fields "
+                            f"{sorted(bad_fields)} (R4)"
+                        ],
+                    )
+                )
+                continue
+            requirements.append(outcome)
+
+        if conflicts:
+            rules.append("R4")
+            r5_requirement, r5_notes = _try_r5(report, conflicts, inherits)
+            notes.extend(r5_notes)
+            if r5_requirement is None:
+                return ShardingSolution(
+                    nf_name=report.nf_name,
+                    verdict=Verdict.LOCKS,
+                    explanation=[r for c in conflicts for r in c.reasons]
+                    + notes,
+                    rules_applied=rules,
+                )
+            rules.append("R5")
+            requirements.append(r5_requirement)
+
+        return self._reduce(requirements, rules, notes)
+
+    # -------------------------------------------------------------- #
+    def _reduce(
+        self,
+        requirements: list[_Requirement],
+        rules: list[str],
+        notes: list[str],
+    ) -> ShardingSolution:
+        """Apply R2/R3 and cross-port consistency to assemble the verdict."""
+        report = self.report
+
+        # Per-port candidate = intersection of all footprints' allowed
+        # (field, bit) sets (generalized R2: any subset of every key's
+        # bits is valid sharding — including subnet prefixes).
+        active: dict[int, set[tuple[str, int]]] = {}
+        owners: dict[int, list[str]] = {}
+        for requirement in requirements:
+            for port, shapes in requirement.footprints.items():
+                for shape in shapes:
+                    allowed = {
+                        (name, bit)
+                        for name, bits in shape.items()
+                        for bit in bits
+                    }
+                    if port in active:
+                        if active[port] != allowed:
+                            rules.append("R2")
+                        active[port] &= allowed
+                    else:
+                        active[port] = set(allowed)
+                    owners.setdefault(port, []).append(requirement.obj)
+
+        for port, fields in active.items():
+            if not fields:
+                rules.append("R3")
+                return ShardingSolution(
+                    nf_name=report.nf_name,
+                    verdict=Verdict.LOCKS,
+                    explanation=[
+                        f"port {port}: objects "
+                        f"{sorted(set(owners.get(port, [])))} shard on "
+                        "disjoint packet fields — no RSS configuration can "
+                        "satisfy both (R3)"
+                    ]
+                    + notes,
+                    rules_applied=rules,
+                )
+
+        # Cross-port fixpoint: active sets must be images of each other
+        # under every pair map.
+        pair_maps = [pm for req in requirements for pm in req.pair_maps]
+        for _ in range(8):
+            changed = False
+            for pm in pair_maps:
+                forward = pm.mapping()
+                backward = {b: a for a, b in pm.field_map}
+                side_a = active.get(pm.port_a)
+                side_b = active.get(pm.port_b)
+                if side_a is None or side_b is None:
+                    continue
+                if not {name for name, _ in side_a} <= set(forward):
+                    return self._locks_for_pair(pm, rules, notes)
+                if not {name for name, _ in side_b} <= set(backward):
+                    return self._locks_for_pair(pm, rules, notes)
+                image = {(forward[name], bit) for name, bit in side_a}
+                if image != side_b:
+                    narrowed = side_b & image
+                    if not narrowed:
+                        return self._locks_for_pair(pm, rules, notes)
+                    active[pm.port_b] = narrowed
+                    active[pm.port_a] = {
+                        (backward[name], bit) for name, bit in narrowed
+                    }
+                    changed = True
+            if not changed:
+                break
+
+        # Restrict pair maps to active fields and drop duplicates.
+        final_pairs: list[PairMap] = []
+        seen: set[tuple] = set()
+        for pm in pair_maps:
+            active_names_a = {name for name, _ in active.get(pm.port_a, set())}
+            restricted = tuple(
+                (a, b) for a, b in pm.field_map if a in active_names_a
+            )
+            if not restricted:
+                continue
+            signature = (pm.port_a, pm.port_b, restricted)
+            if signature in seen:
+                continue
+            # Consistency between objects (incompatible maps -> locks).
+            for other in final_pairs:
+                if (other.port_a, other.port_b) == (pm.port_a, pm.port_b):
+                    merged = dict(other.field_map)
+                    for a, b in restricted:
+                        if merged.get(a, b) != b:
+                            return self._locks_for_pair(pm, rules, notes)
+            seen.add(signature)
+            final_pairs.append(PairMap(pm.port_a, pm.port_b, restricted))
+
+        per_port: dict[int, tuple[str, ...]] = {}
+        per_port_bits: dict[int, dict[str, frozenset[int]]] = {}
+        for port, pairs in active.items():
+            bits_by_field: dict[str, set[int]] = {}
+            for name, bit in pairs:
+                bits_by_field.setdefault(name, set()).add(bit)
+            per_port[port] = tuple(
+                sorted(bits_by_field, key=_FIELD_ORDER.get)
+            )
+            per_port_bits[port] = {
+                name: frozenset(bits) for name, bits in bits_by_field.items()
+            }
+        return ShardingSolution(
+            nf_name=report.nf_name,
+            verdict=Verdict.SHARED_NOTHING,
+            per_port=per_port,
+            per_port_bits=per_port_bits,
+            pairs=final_pairs,
+            explanation=notes,
+            rules_applied=sorted(set(rules)),
+        )
+
+    def _locks_for_pair(
+        self, pm: PairMap, rules: list[str], notes: list[str]
+    ) -> ShardingSolution:
+        rules.append("R3")
+        return ShardingSolution(
+            nf_name=self.report.nf_name,
+            verdict=Verdict.LOCKS,
+            explanation=[
+                f"incompatible cross-interface requirements between ports "
+                f"{pm.port_a} and {pm.port_b} (R3)"
+            ]
+            + notes,
+            rules_applied=rules,
+        )

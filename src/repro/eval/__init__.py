@@ -1,0 +1,38 @@
+"""Experiment harness: one module per paper figure/table.
+
+Run individual figures with ``python -m repro.eval fig10`` or everything
+with ``python -m repro.eval all`` (add ``--fast`` for a quick pass).
+"""
+
+from repro.eval import (
+    fig05,
+    fig06,
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    fig14,
+    latency,
+    verdicts,
+)
+from repro.eval.runner import CORE_COUNTS, Experiment, Series, format_table
+
+EXPERIMENTS = {
+    "fig5": fig05.run,
+    "fig6": fig06.run,
+    "fig8": fig08.run,
+    "fig9": fig09.run,
+    "fig10": fig10.run,
+    "fig11": fig11.run,
+    "fig14": fig14.run,
+    "latency": latency.run,
+    "verdicts": verdicts.run,
+}
+
+__all__ = [
+    "EXPERIMENTS",
+    "CORE_COUNTS",
+    "Experiment",
+    "Series",
+    "format_table",
+]

@@ -1,0 +1,35 @@
+"""CLI: ``python -m repro.eval <experiment> [--fast]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.eval import EXPERIMENTS
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval",
+        description="Reproduce the Maestro paper's figures and tables.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which figure/table to reproduce",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="smaller sweeps for a quick pass",
+    )
+    args = parser.parse_args(argv)
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        print(EXPERIMENTS[name](fast=args.fast).render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,73 @@
+"""Figure 10: scalability of all 8 NFs under the three parallelization
+approaches, with uniformly distributed, read-heavy, small packets.
+
+Expected shape: shared-nothing (where feasible — not for DBridge/LB)
+scales linearly to the PCIe bottleneck and plateaus; locks scale well but
+slower, not always reaching PCIe by 16 cores; the Policer's locks collapse
+(every packet writes); TM works for simple NFs but collapses on complex
+ones; PSD gains ~19x at 16 cores from the compound cache effect.
+"""
+
+from __future__ import annotations
+
+from repro.core import Maestro, Strategy, Verdict
+from repro.eval.runner import CORE_COUNTS, FAST_CORE_COUNTS, Experiment, Series
+from repro.hw.cpu import profile_for
+from repro.nf.nfs import ALL_NFS
+from repro.sim.perf import PerformanceModel, Workload
+
+__all__ = ["run", "scalability_series"]
+
+N_FLOWS = 40_000
+
+
+def scalability_series(
+    nf_name: str,
+    cores: list[int],
+    workload: Workload,
+    *,
+    model: PerformanceModel | None = None,
+) -> list[Series]:
+    """Throughput vs cores for every applicable strategy of one NF."""
+    model = model or PerformanceModel()
+    nf = ALL_NFS[nf_name]()
+    profile = profile_for(nf)
+    maestro = Maestro(seed=7)
+    verdict = maestro.analyze(nf).solution.verdict
+    strategies = [Strategy.LOCKS, Strategy.TM]
+    if verdict is not Verdict.LOCKS:
+        strategies.insert(0, Strategy.SHARED_NOTHING)
+    series = []
+    for strategy in strategies:
+        values = [
+            model.throughput(profile, strategy, n, workload).mpps
+            for n in cores
+        ]
+        series.append(Series(label=f"{nf_name}/{strategy.value}", values=values))
+    return series
+
+
+def run(fast: bool = False) -> Experiment:
+    cores = list(FAST_CORE_COUNTS if fast else CORE_COUNTS)
+    experiment = Experiment(
+        name="fig10",
+        title="Parallel NF scalability, uniform read-heavy 64B packets",
+        x_label="cores",
+        x_values=cores,
+        y_label="throughput [Mpps]",
+    )
+    workload = Workload(pkt_size=64, n_flows=N_FLOWS)
+    model = PerformanceModel()
+    names = [n for n in ALL_NFS if n != "sbridge"] if fast else list(ALL_NFS)
+    for name in names:
+        for series in scalability_series(name, cores, workload, model=model):
+            experiment.add(series)
+    experiment.notes.append(
+        "no shared-nothing series for dbridge/lb: Maestro's analysis "
+        "rules it out (MAC-keyed state / global backend view)"
+    )
+    return experiment
+
+
+if __name__ == "__main__":
+    print(run().render())

@@ -1,0 +1,80 @@
+"""Figure 14: Figure 10 repeated with Zipfian traffic and balanced tables.
+
+Expected: the same relative ordering as Figure 10 — shared-nothing best,
+locks second, TM unreliable — but shared-nothing scaling is no longer
+always monotonic: under Zipf a single elephant flow can bottleneck one
+core.  State-intensive NFs (notably the CL) suffer the most relative to
+their uniform-traffic results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import Maestro, Strategy, Verdict
+from repro.eval.runner import CORE_COUNTS, FAST_CORE_COUNTS, Experiment, Series
+from repro.eval.skew import flow_core_shares
+from repro.hw.cpu import profile_for
+from repro.nf.nfs import ALL_NFS
+from repro.sim.perf import PerformanceModel, Workload
+from repro.traffic import TrafficGenerator, paper_zipf_weights
+
+__all__ = ["run"]
+
+N_FLOWS = 1000
+
+
+def run(fast: bool = False) -> Experiment:
+    cores = list(FAST_CORE_COUNTS if fast else CORE_COUNTS)
+    experiment = Experiment(
+        name="fig14",
+        title="Parallel NF scalability, Zipfian read-heavy 64B packets "
+        "(balanced tables)",
+        x_label="cores",
+        x_values=cores,
+        y_label="throughput [Mpps]",
+    )
+    model = PerformanceModel()
+    generator = TrafficGenerator(seed=14)
+    flows = generator.make_flows(N_FLOWS)
+    zipf = paper_zipf_weights(N_FLOWS)
+    names = ["fw", "nat", "cl", "lb"] if fast else list(ALL_NFS)
+
+    for name in names:
+        nf = ALL_NFS[name]()
+        profile = profile_for(nf)
+        maestro = Maestro(seed=14)
+        result = maestro.analyze(nf)
+        strategies = [Strategy.LOCKS, Strategy.TM]
+        if result.solution.verdict is not Verdict.LOCKS:
+            strategies.insert(0, Strategy.SHARED_NOTHING)
+        # Measure skewed per-core shares through the actual generated key
+        # on the NF's benchmark ingress port, with a balanced table (§4).
+        port = nf.benchmark_traffic.get("forward_port", 0)
+        key = result.keys[port]
+        option = result.compilation.port_options[port]
+        for strategy in strategies:
+            values = []
+            for n_cores in cores:
+                shares = flow_core_shares(
+                    key, option, flows, zipf, n_cores, balanced=True
+                )
+                workload = Workload(
+                    pkt_size=64,
+                    n_flows=N_FLOWS,
+                    zipf_weights=zipf,
+                    core_shares=shares,
+                )
+                values.append(
+                    model.throughput(profile, strategy, n_cores, workload).mpps
+                )
+            experiment.add(Series(label=f"{name}/{strategy.value}", values=values))
+    experiment.notes.append(
+        "Zipf (top-48 flows = 80% of packets); indirection tables "
+        "statically balanced; elephant flows bound the max per-core share"
+    )
+    return experiment
+
+
+if __name__ == "__main__":
+    print(run().render())

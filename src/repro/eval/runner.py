@@ -1,0 +1,75 @@
+"""Common plumbing for the experiment harness.
+
+Every figure module exposes ``run(fast=False) -> Experiment``; the CLI
+(`python -m repro.eval <figure>`) prints the resulting tables, which hold
+exactly the rows/series the corresponding paper figure plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["Series", "Experiment", "CORE_COUNTS", "format_table"]
+
+#: Core counts swept in the scalability studies (§6.2: 1..16 cores).
+CORE_COUNTS: tuple[int, ...] = (1, 2, 4, 8, 12, 16)
+FAST_CORE_COUNTS: tuple[int, ...] = (1, 4, 16)
+
+
+@dataclass
+class Series:
+    """One plotted line: a label and y-values over the x-axis."""
+
+    label: str
+    values: list[float]
+    low: list[float] | None = None  # error-bar minima
+    high: list[float] | None = None  # error-bar maxima
+
+
+@dataclass
+class Experiment:
+    """One reproduced figure/table."""
+
+    name: str
+    title: str
+    x_label: str
+    x_values: list
+    y_label: str
+    series: list[Series] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, series: Series) -> None:
+        self.series.append(series)
+
+    def render(self) -> str:
+        lines = [f"== {self.name}: {self.title} ==", f"y: {self.y_label}"]
+        header = [self.x_label] + [str(x) for x in self.x_values]
+        rows = []
+        for s in self.series:
+            def fmt(i: int) -> str:
+                value = f"{s.values[i]:.2f}"
+                if s.low is not None and s.high is not None:
+                    value += f" [{s.low[i]:.2f},{s.high[i]:.2f}]"
+                return value
+
+            rows.append([s.label] + [fmt(i) for i in range(len(s.values))])
+        lines.append(format_table(header, rows))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def format_table(header: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Plain-text aligned table."""
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(str(c).rjust(widths[i]) for i, c in enumerate(cells))
+
+    out = [line(header), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in rows)
+    return "\n".join(out)

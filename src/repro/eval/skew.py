@@ -1,0 +1,47 @@
+"""Per-core load measurement under traffic skew (Figures 5 and 14).
+
+Computes where the *actual* generated RSS keys and indirection tables send
+each flow: per-flow Toeplitz hashes map flow popularity onto indirection-
+table entries, whose per-queue aggregation gives the core shares the
+throughput model consumes.  Balancing applies the static RSS++ rebalancer
+(§4) to those measured entry loads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nf.flow import FiveTuple
+from repro.rs3.fields import FieldSetOption
+from repro.rs3.indirection import IndirectionTable
+from repro.rs3.toeplitz import hash_packet
+
+__all__ = ["flow_core_shares"]
+
+
+def flow_core_shares(
+    key: bytes,
+    option: FieldSetOption,
+    flows: list[FiveTuple],
+    weights: np.ndarray | None,
+    n_cores: int,
+    *,
+    reta_size: int = 512,
+    balanced: bool = False,
+) -> np.ndarray:
+    """Fraction of traffic each core receives for this key/table.
+
+    ``weights`` is the per-flow packet popularity (None = uniform).
+    """
+    if weights is None:
+        weights = np.full(len(flows), 1.0 / len(flows))
+    entry_loads = np.zeros(reta_size, dtype=np.float64)
+    for flow, weight in zip(flows, weights):
+        hashed = hash_packet(key, flow.packet(), option)
+        entry_loads[hashed & (reta_size - 1)] += float(weight)
+    table = IndirectionTable(n_cores, size=reta_size)
+    if balanced:
+        table.balance(entry_loads)
+    shares = table.queue_loads(entry_loads)
+    total = shares.sum()
+    return shares / total if total else shares

@@ -1,0 +1,56 @@
+"""§6.1 analysis outcomes: how Maestro parallelizes each NF.
+
+Not a numbered figure, but the evaluation's qualitative backbone: the
+verdict, sharding fields, and rules applied for every NF in the corpus.
+"""
+
+from __future__ import annotations
+
+from repro.core import Maestro
+from repro.eval.runner import Experiment, format_table
+from repro.nf.nfs import ALL_NFS
+
+__all__ = ["run", "verdict_rows"]
+
+
+def verdict_rows() -> list[list[str]]:
+    rows = []
+    maestro = Maestro(seed=0)
+    for name, cls in ALL_NFS.items():
+        result = maestro.analyze(cls())
+        solution = result.solution
+        sharding = "; ".join(
+            f"port{port}:{','.join(fields)}"
+            for port, fields in sorted(solution.per_port.items())
+        )
+        rows.append(
+            [
+                name,
+                solution.verdict.value,
+                sharding or "-",
+                ",".join(solution.rules_applied) or "-",
+                f"{result.total_time:.2f}s",
+            ]
+        )
+    return rows
+
+
+def run(fast: bool = False) -> Experiment:
+    experiment = Experiment(
+        name="verdicts",
+        title="Per-NF parallelization verdicts (§6.1)",
+        x_label="nf",
+        x_values=[],
+        y_label="",
+    )
+    experiment.notes.append(
+        "\n"
+        + format_table(
+            ["nf", "verdict", "sharding", "rules", "gen time"], verdict_rows()
+        )
+    )
+    return experiment
+
+
+if __name__ == "__main__":
+    print(run().render())

@@ -1,0 +1,30 @@
+"""Simulated testbed hardware: CPU, caches, PCIe, locks, TM, NUMA, VPP."""
+
+from repro.hw import params
+from repro.hw.cache import DEFAULT_HIERARCHY, CacheHierarchy
+from repro.hw.cpu import BASE_PROFILES, NfCostProfile, measure_profile, profile_for
+from repro.hw.locks import RwLockModel
+from repro.hw.numa import DEFAULT_TOPOLOGY, NumaTopology, PinningAdvice
+from repro.hw.pcie import Bottleneck, bottleneck_for, io_ceiling_pps
+from repro.hw.tm import TmModel
+from repro.hw.vpp import VPP_NAT44_EI, VppModel
+
+__all__ = [
+    "params",
+    "CacheHierarchy",
+    "DEFAULT_HIERARCHY",
+    "NfCostProfile",
+    "BASE_PROFILES",
+    "measure_profile",
+    "profile_for",
+    "RwLockModel",
+    "NumaTopology",
+    "PinningAdvice",
+    "DEFAULT_TOPOLOGY",
+    "Bottleneck",
+    "bottleneck_for",
+    "io_ceiling_pps",
+    "TmModel",
+    "VPP_NAT44_EI",
+    "VppModel",
+]

@@ -1,0 +1,97 @@
+"""Cache-hierarchy model: working sets, hit fractions, access costs.
+
+The paper's state-sharding discussion (§4) hinges on this effect: "If each
+core has a smaller working-set, more of it will fit in the local L1+L2
+data caches", producing the compound speed-up shared-nothing enjoys on
+state-intensive NFs (PSD's 19x with 16 cores, §6.4).
+
+The model is deliberately first-order: for a working set of ``W`` bytes
+accessed uniformly, the fraction resident in a cache of ``C`` bytes is
+``min(1, C/W)`` (ideal LRU steady state); for Zipfian access the resident
+fraction is the cumulative popularity of the flows whose state fits —
+which is also why a *single* core runs faster under Zipfian traffic than
+uniform (Figure 5's 1-core points).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hw import params
+
+__all__ = ["CacheHierarchy", "DEFAULT_HIERARCHY"]
+
+
+class CacheHierarchy:
+    """L1 / L2 / LLC-slice model with per-level access costs."""
+
+    def __init__(
+        self,
+        l1_bytes: int = params.L1D_BYTES,
+        l2_bytes: int = params.L2_BYTES,
+        llc_bytes: int = params.LLC_BYTES,
+        ddio_fraction: float = params.DDIO_LLC_FRACTION,
+        llc_sharers: int = 1,
+    ):
+        self.l1_bytes = l1_bytes
+        self.l2_bytes = l2_bytes
+        # DDIO reserves a slice of the LLC for in-flight packet buffers
+        # (§4); the rest is shared between the active cores.
+        usable_llc = llc_bytes * (1.0 - ddio_fraction)
+        self.llc_bytes = usable_llc / max(1, llc_sharers)
+
+    # -------------------------------------------------------------- #
+    def _resident_fraction(
+        self, cache_bytes: float, working_set: float, weights: np.ndarray | None
+    ) -> float:
+        """Fraction of accesses served at or below a cache of this size."""
+        if working_set <= 0:
+            return 1.0
+        if weights is None:
+            return min(1.0, cache_bytes / working_set)
+        # Zipf: hottest entries stay resident; hit fraction is their
+        # cumulative popularity.  `weights` are sorted descending and sum
+        # to 1; each entry occupies working_set / len(weights) bytes.
+        per_entry = working_set / len(weights)
+        resident_entries = int(cache_bytes / per_entry)
+        if resident_entries >= len(weights):
+            return 1.0
+        return float(np.cumsum(weights)[resident_entries - 1]) if resident_entries else 0.0
+
+    def hit_fractions(
+        self, working_set: float, weights: np.ndarray | None = None
+    ) -> dict[str, float]:
+        """Probability an access is served by each level."""
+        at_l1 = self._resident_fraction(self.l1_bytes, working_set, weights)
+        at_l2 = self._resident_fraction(self.l2_bytes, working_set, weights)
+        at_llc = self._resident_fraction(self.llc_bytes, working_set, weights)
+        at_l2 = max(at_l2, at_l1)
+        at_llc = max(at_llc, at_l2)
+        return {
+            "l1": at_l1,
+            "l2": at_l2 - at_l1,
+            "llc": at_llc - at_l2,
+            "dram": 1.0 - at_llc,
+        }
+
+    def access_cycles(
+        self,
+        working_set: float,
+        weights: np.ndarray | None = None,
+        *,
+        numa_remote: bool = False,
+    ) -> float:
+        """Expected cycles per stateful access for this working set."""
+        f = self.hit_fractions(working_set, weights)
+        dram = params.DRAM_CYCLES + (
+            params.NUMA_REMOTE_EXTRA_CYCLES if numa_remote else 0.0
+        )
+        return (
+            f["l1"] * params.L1_CYCLES
+            + f["l2"] * params.L2_CYCLES
+            + f["llc"] * params.LLC_CYCLES
+            + f["dram"] * dram
+        )
+
+
+DEFAULT_HIERARCHY = CacheHierarchy()

@@ -1,0 +1,188 @@
+"""Per-NF CPU cost profiles.
+
+A packet's service time is ``base_cycles`` (parsing, branching, header
+rewrites, TX) plus one memory-hierarchy access per stateful operation —
+the operation counts are *measured* by running the real sequential NF on a
+sample trace (:func:`measure_profile`), so the cost model stays tied to
+the actual implementations rather than hand-waved per-NF constants.
+
+``state_bytes_per_flow`` (hash-bucket + vector entry + allocator entry,
+cache-line padded) and ``base_cycles`` come from the table below, sized
+after the Vigor data structures the paper's NFs use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.nf.api import NF
+from repro.nf.packet import Packet
+from repro.nf.runtime import SequentialRunner
+
+__all__ = [
+    "NfCostProfile",
+    "BASE_PROFILES",
+    "benchmark_trace",
+    "measure_profile",
+    "profile_for",
+]
+
+
+@dataclass(frozen=True)
+class NfCostProfile:
+    """Everything the performance model needs to price one packet."""
+
+    name: str
+    #: stateless per-packet work: parse, branch, rewrite, enqueue for TX
+    base_cycles: float
+    #: cache-line-padded state footprint per tracked flow (bytes)
+    state_bytes_per_flow: float
+    #: entries the NF effectively tracks per 5-tuple flow (PSD tracks one
+    #: per (src, dst_port) pair, inflating its footprint)
+    entries_per_flow: float = 1.0
+    #: measured stateful operations per packet
+    mem_ops_per_packet: float = 2.0
+    #: measured fraction of packets doing a non-rejuvenation write when
+    #: there is no churn (the Policer's token bucket makes this 1.0)
+    intrinsic_write_fraction: float = 0.0
+    #: cycles spent inside an exclusive critical section per write packet
+    write_critical_cycles: float = 120.0
+    #: relative conflict weight of one transaction (drives TM aborts)
+    tm_conflict_weight: float = 1.0
+
+
+#: Static per-NF constants (cycles calibrated to the §6.4 single-core
+#: rates; footprints from the Vigor structure layouts).
+BASE_PROFILES: dict[str, NfCostProfile] = {
+    profile.name: profile
+    for profile in [
+        NfCostProfile("nop", base_cycles=110.0, state_bytes_per_flow=0.0,
+                      tm_conflict_weight=0.0),
+        NfCostProfile("sbridge", base_cycles=150.0, state_bytes_per_flow=64.0,
+                      tm_conflict_weight=0.1),
+        NfCostProfile("dbridge", base_cycles=240.0, state_bytes_per_flow=128.0,
+                      write_critical_cycles=140.0, tm_conflict_weight=1.2),
+        NfCostProfile("policer", base_cycles=200.0, state_bytes_per_flow=128.0,
+                      write_critical_cycles=150.0, tm_conflict_weight=1.5),
+        NfCostProfile("fw", base_cycles=260.0, state_bytes_per_flow=192.0,
+                      write_critical_cycles=160.0, tm_conflict_weight=1.6),
+        NfCostProfile("psd", base_cycles=380.0, state_bytes_per_flow=192.0,
+                      entries_per_flow=6.0, write_critical_cycles=200.0,
+                      tm_conflict_weight=2.4),
+        NfCostProfile("nat", base_cycles=300.0, state_bytes_per_flow=256.0,
+                      write_critical_cycles=180.0, tm_conflict_weight=1.8),
+        NfCostProfile("lb", base_cycles=320.0, state_bytes_per_flow=256.0,
+                      write_critical_cycles=190.0, tm_conflict_weight=2.0),
+        NfCostProfile("cl", base_cycles=420.0, state_bytes_per_flow=256.0,
+                      entries_per_flow=1.5, write_critical_cycles=220.0,
+                      tm_conflict_weight=2.6),
+    ]
+}
+
+
+def benchmark_trace(
+    nf: NF,
+    n_flows: int = 256,
+    packets: int = 1024,
+    *,
+    seed: int = 12345,
+    pkt_size: int = 64,
+) -> list[tuple[int, Packet]]:
+    """A uniform trace matching the NF's ``benchmark_traffic`` spec.
+
+    Used both for profiling and by the figure harnesses: the stateful
+    direction (and optional symmetric replies / registration heartbeats)
+    follow each NF's declared benchmark workload.
+    """
+    rng = np.random.default_rng(seed)
+    spec = nf.benchmark_traffic
+    forward_port = spec.get("forward_port", 0)
+    reply_port = spec.get("reply_port")
+    reply_fraction = spec.get("reply_fraction", 0.0)
+    heartbeats = spec.get("warmup_heartbeats", 0)
+    other = [p for p in nf.port_ids() if p != forward_port]
+    trace: list[tuple[int, Packet]] = []
+
+    for beat in range(heartbeats):
+        # Registration traffic (LB backends) from stable addresses.
+        trace.append(
+            (
+                other[0] if other else forward_port,
+                Packet(
+                    src_ip=0x0A000001 + beat,
+                    dst_ip=0x0A00FFFE,
+                    src_port=5000,
+                    dst_port=5000,
+                    wire_size=pkt_size,
+                ),
+            )
+        )
+
+    flows = [
+        Packet(
+            src_ip=int(rng.integers(1, 2**32)),
+            dst_ip=int(rng.integers(1, 2**32)),
+            src_port=int(rng.integers(1, 2**16)),
+            dst_port=int(rng.integers(1, 2**16)),
+            wire_size=pkt_size,
+        )
+        for _ in range(n_flows)
+    ]
+    seen: set[int] = set()
+    for i in range(packets):
+        pick = int(rng.integers(0, n_flows))
+        pkt = flows[pick]
+        is_reply = (
+            reply_port is not None
+            and rng.random() < reply_fraction
+            and pick in seen
+        )
+        if is_reply:
+            trace.append((reply_port, pkt.inverted()))
+        else:
+            seen.add(pick)
+            trace.append((forward_port, pkt))
+    return trace
+
+
+def measure_profile(nf: NF, base: NfCostProfile | None = None) -> NfCostProfile:
+    """Measure per-packet operation counts by running the sequential NF."""
+    base = base or BASE_PROFILES.get(
+        nf.name, NfCostProfile(nf.name, base_cycles=250.0, state_bytes_per_flow=128.0)
+    )
+    runner = SequentialRunner(nf)
+    trace = benchmark_trace(nf)
+    # Warm-up pass: flow tables fill, so the measured pass reflects the
+    # steady state (the paper's no-churn, read-heavy workload of §6.4).
+    for i, (port, pkt) in enumerate(trace):
+        runner.process(port, pkt, now=i * 1e-6)
+    mem_ops = 0
+    writers = 0
+    total = 0
+    for port, pkt in trace:
+        result = runner.process(port, pkt, now=1.0 + total * 1e-6)
+        total += 1
+        mem_ops += len(result.ops)
+        hard_writes = [
+            op
+            for op in result.ops
+            if op.write and op.op not in ("dchain_rejuvenate", "expire")
+        ]
+        writers += bool(hard_writes)
+    return replace(
+        base,
+        mem_ops_per_packet=mem_ops / max(1, total),
+        intrinsic_write_fraction=writers / max(1, total),
+    )
+
+
+_PROFILE_CACHE: dict[str, NfCostProfile] = {}
+
+
+def profile_for(nf: NF) -> NfCostProfile:
+    """Measured profile for ``nf`` (cached per NF name)."""
+    if nf.name not in _PROFILE_CACHE:
+        _PROFILE_CACHE[nf.name] = measure_profile(nf)
+    return _PROFILE_CACHE[nf.name]

@@ -1,0 +1,62 @@
+"""Model of Maestro's optimized per-core read/write lock (§3.6, §4).
+
+The generated lock-based NFs use "a series of per-core, cache-aligned,
+atomic spin-locks": a read needs only the local core's lock (no shared
+cache line touched), while a write must take *all* core locks in order —
+and, because packets are processed speculatively as readers, a write
+packet restarts processing from the beginning after upgrading.
+
+The model exposes the two quantities the throughput calculation needs:
+the extra per-packet cycles on the executing core, and the duration of the
+globally exclusive critical section (during which every other core's
+readers stall).
+
+It also accounts for the §4 *lock-based rejuvenation* optimization:
+per-core copies of entry aging data mean flow rejuvenation needs **no**
+write lock in steady state, so only genuine state mutations (new flows,
+token-bucket updates) count as writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw import params
+from repro.hw.cpu import NfCostProfile
+
+__all__ = ["RwLockModel"]
+
+
+@dataclass(frozen=True)
+class RwLockModel:
+    """Cost model for the custom read/write lock."""
+
+    read_cycles: float = params.RWLOCK_READ_CYCLES
+    write_base_cycles: float = params.RWLOCK_WRITE_BASE_CYCLES
+    write_per_core_cycles: float = params.RWLOCK_WRITE_PER_CORE_CYCLES
+
+    def read_overhead(self) -> float:
+        """Per-packet cycles added on the fast (read-only) path."""
+        return self.read_cycles
+
+    def write_overhead(self, n_cores: int, profile: NfCostProfile) -> float:
+        """Extra cycles a write packet spends on its own core.
+
+        Includes the speculative-read restart (§3.6: "we stop processing,
+        release the local lock, acquire all core-specific locks, and
+        restart processing the packet from the beginning").
+        """
+        acquire_all = self.write_base_cycles + self.write_per_core_cycles * n_cores
+        restart = profile.base_cycles  # the discarded speculative pass
+        return acquire_all + restart
+
+    def exclusive_section(self, n_cores: int, profile: NfCostProfile) -> float:
+        """Cycles during which all other cores are blocked per write.
+
+        The lock is held while the packet's stateful body re-executes
+        (`write_critical_cycles`) plus the staggered acquisition itself.
+        """
+        return (
+            profile.write_critical_cycles
+            + self.write_per_core_cycles * n_cores
+        )

@@ -1,0 +1,41 @@
+"""PCIe and line-rate bottleneck models (Figure 8).
+
+"Prior work has pointed out that this bottleneck comes from PCIe 3.0 x16
+and cannot be overcome without improved hardware" — small packets pay a
+fixed per-packet PCIe cost (descriptors, doorbells, TLP framing) that caps
+throughput near ~91 Mpps regardless of how many cores are available, while
+large packets reach the 100 Gbps line rate.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.hw import params
+
+__all__ = ["Bottleneck", "io_ceiling_pps", "bottleneck_for"]
+
+
+class Bottleneck(enum.Enum):
+    """What limited an experiment's throughput."""
+
+    CPU = "cpu"
+    PCIE = "pcie"
+    LINE_RATE = "line-rate"
+
+
+def io_ceiling_pps(pkt_size: int) -> float:
+    """The I/O throughput ceiling: min(PCIe, line rate) in packets/s."""
+    return min(params.pcie_pps(pkt_size), params.line_rate_pps(pkt_size))
+
+
+def bottleneck_for(achieved_pps: float, cpu_pps: float, pkt_size: int) -> Bottleneck:
+    """Classify which ceiling bound an achieved rate."""
+    pcie = params.pcie_pps(pkt_size)
+    line = params.line_rate_pps(pkt_size)
+    ceilings = {
+        Bottleneck.CPU: cpu_pps,
+        Bottleneck.PCIE: pcie,
+        Bottleneck.LINE_RATE: line,
+    }
+    return min(ceilings, key=lambda k: ceilings[k])

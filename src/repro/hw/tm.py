@@ -1,0 +1,87 @@
+"""Hardware transactional memory model (Intel RTM baseline, §6).
+
+Each packet runs inside a transaction; a transaction aborts when another
+core concurrently touches an overlapping cache line.  The per-attempt
+conflict probability grows with (a) the transaction's footprint — complex
+NFs touch more state per packet — (b) the number of concurrent cores, and
+(c) the fraction of packets that *write* (new flows under churn, plus the
+NF's intrinsic writes; unlike the read/write-lock design, TM cannot avoid
+transactional aging updates, which is part of why the paper finds it
+"performs abysmally" on complex NFs even without churn).
+
+Aborted transactions retry up to ``TM_MAX_RETRIES`` times, then fall back
+to a global lock — matching the standard RTM usage pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw import params
+from repro.hw.cpu import NfCostProfile
+
+__all__ = ["TmModel"]
+
+
+@dataclass(frozen=True)
+class TmModel:
+    """Abort-probability + retry cost model for RTM."""
+
+    begin_commit_cycles: float = params.TM_BEGIN_COMMIT_CYCLES
+    abort_penalty_cycles: float = params.TM_ABORT_PENALTY_CYCLES
+    max_retries: int = params.TM_MAX_RETRIES
+    conflict_scale: float = params.TM_CONFLICT_SCALE
+
+    def abort_probability(
+        self, n_cores: int, profile: NfCostProfile, write_fraction: float
+    ) -> float:
+        """Per-attempt abort probability with ``n_cores`` concurrent."""
+        if n_cores <= 1:
+            return 0.0
+        # Unlike the rwlock design (whose §4 rejuvenation optimization
+        # keeps aging updates core-local), TM cannot avoid transactional
+        # aging writes, hash-bucket sharing, or capacity aborts; the
+        # conflict weight summarizes the transaction's footprint.
+        per_pair = (
+            0.02
+            * self.conflict_scale
+            * profile.tm_conflict_weight
+            * (0.5 + 2.0 * write_fraction)
+        )
+        per_pair = min(0.6, per_pair)
+        return min(0.97, 1.0 - (1.0 - per_pair) ** (n_cores - 1))
+
+    def expected_attempts(self, abort_probability: float) -> float:
+        """Mean attempts per packet, capped by the lock fallback."""
+        if abort_probability <= 0.0:
+            return 1.0
+        # Truncated geometric: retries stop at max_retries (then the
+        # fallback path runs once under a global lock).
+        p = abort_probability
+        attempts = (1.0 - p**self.max_retries) / (1.0 - p)
+        return attempts + p**self.max_retries  # fallback execution
+
+    def packet_overhead(
+        self,
+        n_cores: int,
+        profile: NfCostProfile,
+        write_fraction: float,
+        body_cycles: float,
+    ) -> tuple[float, float]:
+        """(extra cycles per packet, serialized fallback cycles per packet).
+
+        ``body_cycles`` is the transactional body (base + memory work);
+        wasted attempts re-execute it.
+        """
+        p_abort = self.abort_probability(n_cores, profile, write_fraction)
+        attempts = self.expected_attempts(p_abort)
+        wasted = attempts - 1.0
+        extra = (
+            self.begin_commit_cycles * attempts
+            + wasted * (body_cycles + self.abort_penalty_cycles)
+        )
+        fallback_fraction = p_abort**self.max_retries
+        serialized = fallback_fraction * (
+            body_cycles + profile.write_critical_cycles
+        )
+        return extra, serialized

@@ -1,0 +1,298 @@
+"""The NF programming API (the sequential surface Maestro analyzes).
+
+NFs are written once, sequentially, against :class:`NfContext` — the
+Python analogue of the Vigor API the paper requires (§5).  The same NF
+code runs under:
+
+* the **concrete runtime** (:mod:`repro.nf.runtime`) for functional
+  simulation, and
+* the **symbolic engine** (:mod:`repro.symbex.engine`) for ESE.
+
+To make that possible, NF code treats all values as opaque handles and
+combines them only through context operations (``ctx.eq``, ``ctx.add``,
+...), and branches only through ``ctx.cond(...)`` — the hook the ESE
+engine uses to fork execution.  Packet processing ends by calling one of
+the packet operations (``forward``/``drop``/``flood``), which raise
+:class:`PacketDone` to terminate the path.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.errors import StateModelError
+
+__all__ = [
+    "StateKind",
+    "StateDecl",
+    "ActionKind",
+    "PacketDone",
+    "NfContext",
+    "NF",
+]
+
+
+class StateKind(enum.Enum):
+    """The four stateful constructors of Table 1."""
+
+    MAP = "map"
+    VECTOR = "vector"
+    DCHAIN = "dchain"
+    SKETCH = "sketch"
+
+
+@dataclass(frozen=True)
+class StateDecl:
+    """Declaration of one stateful object.
+
+    ``value_layout`` names the record fields stored in a vector (or the
+    meaning of a map's integer value); the R5 analysis uses it to track
+    which packet fields were *written into* a record, so reads elsewhere
+    can be matched back to the writer (§3.4, interchangeable constraints).
+
+    ``read_only`` marks tables populated at setup time and never written by
+    ``process`` (e.g. the static bridge); the Constraints Generator filters
+    those out (§3.4, *Filtering entries*).
+    """
+
+    name: str
+    kind: StateKind
+    capacity: int
+    value_layout: tuple[tuple[str, int], ...] = ()
+    read_only: bool = False
+    sketch_depth: int = 5
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise StateModelError(f"{self.name}: capacity must be positive")
+
+
+class ActionKind(enum.Enum):
+    """Terminal packet operations (§3.3: 'packet operation' nodes)."""
+
+    FORWARD = "forward"
+    DROP = "drop"
+    FLOOD = "flood"
+
+
+class PacketDone(Exception):
+    """Raised by packet operations to terminate processing of a packet."""
+
+    def __init__(self, kind: ActionKind, port: Any = None):
+        super().__init__(kind.value)
+        self.kind = kind
+        self.port = port
+
+
+class NfContext(abc.ABC):
+    """Abstract execution context shared by the concrete and symbolic runs.
+
+    Stateful operations mirror Table 1.  ``key`` arguments are tuples of
+    opaque values (packet fields, constants created with :meth:`const`, or
+    values previously read from state).
+    """
+
+    # ------------------------------------------------------------------ #
+    # Control flow
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def cond(self, value: Any) -> bool:
+        """Branch on an opaque boolean; the ESE engine forks here."""
+
+    # ------------------------------------------------------------------ #
+    # Value algebra (mode-agnostic arithmetic/comparison)
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def const(self, value: int, width: int) -> Any:
+        """A literal bit-vector value."""
+
+    @abc.abstractmethod
+    def eq(self, lhs: Any, rhs: Any) -> Any:
+        """Equality test between two opaque values."""
+
+    @abc.abstractmethod
+    def lt(self, lhs: Any, rhs: Any) -> Any:
+        """Unsigned less-than."""
+
+    @abc.abstractmethod
+    def add(self, lhs: Any, rhs: Any) -> Any:
+        """Modular addition."""
+
+    @abc.abstractmethod
+    def sub(self, lhs: Any, rhs: Any) -> Any:
+        """Modular subtraction."""
+
+    @abc.abstractmethod
+    def mul(self, lhs: Any, rhs: Any) -> Any:
+        """Modular multiplication (token-bucket refill arithmetic)."""
+
+    @abc.abstractmethod
+    def extract(self, value: Any, hi: int, lo: int) -> Any:
+        """Bit slice ``value[hi:lo]`` (LSB-numbered, inclusive).
+
+        Used for prefix/subnet keys (e.g. ``ctx.extract(pkt.src_ip, 31, 8)``
+        is the /24 of the source address)."""
+
+    @abc.abstractmethod
+    def hash_value(self, fn: str, values: Sequence[Any], width: int) -> Any:
+        """An uninterpreted hash of ``values`` producing ``width`` bits.
+
+        The sharding analysis only needs the *dependency set* of the
+        result, which is exactly what an uninterpreted function conveys.
+        """
+
+    def ne(self, lhs: Any, rhs: Any) -> Any:
+        return self.lnot(self.eq(lhs, rhs))
+
+    def gt(self, lhs: Any, rhs: Any) -> Any:
+        return self.lt(rhs, lhs)
+
+    @abc.abstractmethod
+    def lnot(self, value: Any) -> Any:
+        """Boolean negation."""
+
+    @abc.abstractmethod
+    def land(self, lhs: Any, rhs: Any) -> Any:
+        """Boolean conjunction."""
+
+    @abc.abstractmethod
+    def lor(self, lhs: Any, rhs: Any) -> Any:
+        """Boolean disjunction."""
+
+    # ------------------------------------------------------------------ #
+    # Time
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def now(self) -> Any:
+        """Current time (seconds; opaque under symbolic execution)."""
+
+    # ------------------------------------------------------------------ #
+    # Stateful operations (Table 1)
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def map_get(self, name: str, key: Sequence[Any]) -> tuple[Any, Any]:
+        """Lookup; returns ``(found, value)``."""
+
+    @abc.abstractmethod
+    def map_put(self, name: str, key: Sequence[Any], value: Any) -> Any:
+        """Insert/update; returns success (fails when the map is full)."""
+
+    @abc.abstractmethod
+    def map_erase(self, name: str, key: Sequence[Any]) -> None:
+        """Remove an entry."""
+
+    @abc.abstractmethod
+    def vector_borrow(self, name: str, index: Any) -> Mapping[str, Any]:
+        """Read the record at ``index`` (fields per the declared layout)."""
+
+    @abc.abstractmethod
+    def vector_put(self, name: str, index: Any, record: Mapping[str, Any]) -> None:
+        """Write the record at ``index``."""
+
+    @abc.abstractmethod
+    def vector_fill(self, name: str, records: Sequence[Mapping[str, Any]]) -> None:
+        """Bulk-rewrite a vector (e.g. a Maglev table rebuild).
+
+        Traced as a write with no packet-derived key, which is what makes
+        such NFs shared-nothing-infeasible (rule R4).
+        """
+
+    @abc.abstractmethod
+    def dchain_allocate(self, name: str) -> tuple[Any, Any]:
+        """Allocate a fresh index; returns ``(ok, index)``."""
+
+    @abc.abstractmethod
+    def dchain_is_allocated(self, name: str, index: Any) -> Any:
+        """Whether ``index`` is currently allocated."""
+
+    @abc.abstractmethod
+    def dchain_rejuvenate(self, name: str, index: Any) -> None:
+        """Refresh the aging timestamp of ``index``."""
+
+    @abc.abstractmethod
+    def sketch_fetch(self, name: str, key: Sequence[Any]) -> Any:
+        """Count-min estimate for ``key``."""
+
+    @abc.abstractmethod
+    def sketch_touch(self, name: str, key: Sequence[Any]) -> None:
+        """Increment the count-min counters for ``key``."""
+
+    @abc.abstractmethod
+    def expire_flows(self, map_name: str, chain_name: str) -> None:
+        """Run the periodic map+dchain expiry sweep (Vigor idiom).
+
+        Maintenance only: touches exclusively entries owned by the local
+        shard under shared-nothing execution, so the Constraints Generator
+        excludes it from key analysis while the cost models still count it
+        as state writes.
+        """
+
+    # ------------------------------------------------------------------ #
+    # Packet operations
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def set_field(self, name: str, value: Any) -> None:
+        """Rewrite a packet header field before forwarding (NAT, LB)."""
+
+    def forward(self, port: Any) -> None:
+        raise PacketDone(ActionKind.FORWARD, port)
+
+    def drop(self) -> None:
+        raise PacketDone(ActionKind.DROP)
+
+    def flood(self) -> None:
+        raise PacketDone(ActionKind.FLOOD)
+
+
+class NF(abc.ABC):
+    """Base class for sequential network functions.
+
+    Subclasses define:
+
+    * ``name`` — short identifier used in reports and generated code;
+    * ``ports`` — mapping of role to interface id (e.g. LAN/WAN);
+    * :meth:`state` — the stateful objects the NF owns;
+    * :meth:`setup` — optional population of read-only state;
+    * :meth:`process` — per-packet logic (must end in a packet op).
+    """
+
+    name: str = "nf"
+    #: role -> interface id
+    ports: dict[str, int] = {"port0": 0, "port1": 1}
+    #: flow expiration horizon in seconds (None = no expiry)
+    expiration_time: float | None = None
+    #: How benchmarks exercise this NF: which port carries the stateful
+    #: ("forward") direction, which port receives symmetric replies (None
+    #: for one-directional NFs), what fraction of packets are replies, and
+    #: how many warm-up heartbeats to send on the non-forward port first
+    #: (the LB's backend registration).
+    benchmark_traffic: dict = {
+        "forward_port": 0,
+        "reply_port": 1,
+        "reply_fraction": 0.33,
+        "warmup_heartbeats": 0,
+    }
+
+    @abc.abstractmethod
+    def state(self) -> list[StateDecl]:
+        """Declarations of every stateful object."""
+
+    def setup(self, ctx: NfContext) -> None:
+        """Populate read-only state; runs once before any packet."""
+
+    @abc.abstractmethod
+    def process(self, ctx: NfContext, port: int, pkt: Any) -> None:
+        """Process one packet arriving on interface ``port``."""
+
+    def port_ids(self) -> list[int]:
+        return sorted(set(self.ports.values()))
+
+    def other_port(self, port: int) -> int:
+        """The opposite interface for simple two-port NFs."""
+        ids = self.port_ids()
+        if len(ids) != 2:
+            raise StateModelError(f"{self.name}: other_port needs exactly 2 ports")
+        return ids[1] if port == ids[0] else ids[0]

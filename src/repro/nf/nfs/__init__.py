@@ -1,0 +1,50 @@
+"""The paper's corpus of 8 NFs (§6.1), plus the Figure 2 micro-examples.
+
+========= ============================================== =================
+NF        Description                                     Expected verdict
+========= ============================================== =================
+NOP       stateless forwarder                             RSS load-balance
+Policer   per-destination-IP rate limiter                 shared-nothing
+SBridge   static MAC bridge (read-only table)             RSS load-balance
+DBridge   learning MAC bridge                             read/write locks
+FW        flow-tracking firewall (the running example)    shared-nothing
+PSD       port-scan detector                              shared-nothing
+NAT       address translator (R4 + R5 story)              shared-nothing
+LB        Maglev-like load balancer                       read/write locks
+CL        connection limiter (count-min sketch)           shared-nothing
+========= ============================================== =================
+"""
+
+from repro.nf.nfs.bridge import DynamicBridge, StaticBridge
+from repro.nf.nfs.cl import ConnectionLimiter
+from repro.nf.nfs.firewall import Firewall
+from repro.nf.nfs.lb import LoadBalancer
+from repro.nf.nfs.nat import Nat
+from repro.nf.nfs.nop import Nop
+from repro.nf.nfs.policer import Policer
+from repro.nf.nfs.psd import PortScanDetector
+
+ALL_NFS = {
+    "nop": Nop,
+    "policer": Policer,
+    "sbridge": StaticBridge,
+    "dbridge": DynamicBridge,
+    "fw": Firewall,
+    "psd": PortScanDetector,
+    "nat": Nat,
+    "lb": LoadBalancer,
+    "cl": ConnectionLimiter,
+}
+
+__all__ = [
+    "Nop",
+    "Policer",
+    "StaticBridge",
+    "DynamicBridge",
+    "Firewall",
+    "PortScanDetector",
+    "Nat",
+    "LoadBalancer",
+    "ConnectionLimiter",
+    "ALL_NFS",
+]

@@ -1,0 +1,96 @@
+"""Bridges: the dynamic (learning) and static variants (§6.1).
+
+The dynamic bridge indexes state by MAC addresses, which the modelled NIC
+cannot hash with RSS — Maestro warns the user and falls back to read/write
+locks.  Disabling dynamic learning (the static bridge) leaves only
+read-only state, which needs no coordination: RSS becomes a pure load
+balancer.  The paper uses this pair to illustrate how Maestro's feedback
+guides developers through functionality/performance trade-offs.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.nf.api import NF, NfContext, StateDecl, StateKind
+
+__all__ = ["DynamicBridge", "StaticBridge"]
+
+LAN, WAN = 0, 1
+
+
+class DynamicBridge(NF):
+    """MAC-learning bridge: learns src MAC -> port, forwards by dst MAC."""
+
+    name = "dbridge"
+    ports = {"lan": LAN, "wan": WAN}
+
+    def __init__(self, capacity: int = 65536, expiration_time: float = 300.0):
+        self.capacity = capacity
+        self.expiration_time = expiration_time
+
+    def state(self) -> list[StateDecl]:
+        return [
+            StateDecl("dbr_macs", StateKind.MAP, self.capacity),
+            StateDecl("dbr_chain", StateKind.DCHAIN, self.capacity),
+            StateDecl(
+                "dbr_ports",
+                StateKind.VECTOR,
+                self.capacity,
+                value_layout=(("out_port", 16),),
+            ),
+        ]
+
+    def process(self, ctx: NfContext, port: int, pkt: Any) -> None:
+        ctx.expire_flows("dbr_macs", "dbr_chain")
+        # Learn the source MAC.
+        src_key = (pkt.src_mac,)
+        found, index = ctx.map_get("dbr_macs", src_key)
+        if ctx.cond(found):
+            ctx.dchain_rejuvenate("dbr_chain", index)
+        else:
+            ok, index = ctx.dchain_allocate("dbr_chain")
+            if ctx.cond(ok):
+                ctx.map_put("dbr_macs", src_key, index)
+                ctx.vector_put("dbr_ports", index, {"out_port": port})
+        # Forward by destination MAC.
+        dst_found, dst_index = ctx.map_get("dbr_macs", (pkt.dst_mac,))
+        if ctx.cond(dst_found):
+            entry = ctx.vector_borrow("dbr_ports", dst_index)
+            out_port = entry["out_port"]
+            if ctx.cond(ctx.eq(out_port, ctx.const(port, 16))):
+                # Destination is on the ingress segment: nothing to do.
+                ctx.drop()
+            ctx.forward(out_port)
+        else:
+            ctx.flood()
+
+
+class StaticBridge(NF):
+    """Bridge with fixed MAC-port bindings (read-only state)."""
+
+    name = "sbridge"
+    ports = {"lan": LAN, "wan": WAN}
+
+    def __init__(self, bindings: dict[int, int] | None = None):
+        #: static MAC -> port table installed at setup time
+        self.bindings = dict(bindings or {})
+
+    def state(self) -> list[StateDecl]:
+        capacity = max(16, 2 * len(self.bindings) or 16)
+        return [
+            StateDecl("sbr_macs", StateKind.MAP, capacity, read_only=True),
+        ]
+
+    def setup(self, ctx: NfContext) -> None:
+        for mac, port in self.bindings.items():
+            ctx.map_put("sbr_macs", (mac,), port)
+
+    def process(self, ctx: NfContext, port: int, pkt: Any) -> None:
+        found, out_port = ctx.map_get("sbr_macs", (pkt.dst_mac,))
+        if ctx.cond(found):
+            if ctx.cond(ctx.eq(out_port, ctx.const(port, 16))):
+                ctx.drop()
+            ctx.forward(out_port)
+        else:
+            ctx.flood()

@@ -1,0 +1,72 @@
+"""CL: connection limiter (§6.1).
+
+Limits how many connections any client (source IP) may open to any server
+(destination IP) over a wide time frame, using a count-min sketch (5
+hashes by default) for memory efficiency.  Maestro sees two access
+patterns — the 5-tuple flow map and the (src_ip, dst_ip) sketch — and by
+rule R2 shards on the coarser (src_ip, dst_ip) pair.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.nf.api import NF, NfContext, StateDecl, StateKind
+
+__all__ = ["ConnectionLimiter"]
+
+LAN, WAN = 0, 1
+
+
+class ConnectionLimiter(NF):
+    """Cap client->server connection counts with a count-min sketch."""
+
+    name = "cl"
+    ports = {"lan": LAN, "wan": WAN}
+
+    def __init__(
+        self,
+        capacity: int = 65536,
+        sketch_capacity: int = 2**16,
+        limit: int = 100,
+        expiration_time: float = 600.0,
+    ):
+        self.capacity = capacity
+        self.sketch_capacity = sketch_capacity
+        self.limit = limit
+        self.expiration_time = expiration_time
+
+    def state(self) -> list[StateDecl]:
+        return [
+            StateDecl("cl_flows", StateKind.MAP, self.capacity),
+            StateDecl("cl_chain", StateKind.DCHAIN, self.capacity),
+            StateDecl("cl_sketch", StateKind.SKETCH, self.sketch_capacity),
+        ]
+
+    def process(self, ctx: NfContext, port: int, pkt: Any) -> None:
+        ctx.expire_flows("cl_flows", "cl_chain")
+        if port == LAN:
+            flow = (pkt.src_ip, pkt.src_port, pkt.dst_ip, pkt.dst_port)
+            found, index = ctx.map_get("cl_flows", flow)
+            if ctx.cond(found):
+                ctx.dchain_rejuvenate("cl_chain", index)
+                ctx.forward(WAN)
+            # New connection: estimate this client's count to this server.
+            pair = (pkt.src_ip, pkt.dst_ip)
+            count = ctx.sketch_fetch("cl_sketch", pair)
+            if ctx.cond(ctx.gt(count, ctx.const(self.limit, 32))):
+                ctx.drop()  # connection budget exhausted
+            ok, index = ctx.dchain_allocate("cl_chain")
+            if ctx.cond(ctx.lnot(ok)):
+                ctx.drop()
+            ctx.map_put("cl_flows", flow, index)
+            ctx.sketch_touch("cl_sketch", pair)
+            ctx.forward(WAN)
+        else:
+            inverse = (pkt.dst_ip, pkt.dst_port, pkt.src_ip, pkt.src_port)
+            found, index = ctx.map_get("cl_flows", inverse)
+            if ctx.cond(found):
+                ctx.dchain_rejuvenate("cl_chain", index)
+                ctx.forward(LAN)
+            else:
+                ctx.drop()

@@ -1,0 +1,62 @@
+"""FW: the flow-tracking firewall — the paper's running example (§3.1).
+
+Forwards LAN-to-WAN traffic unconditionally while recording the flow; WAN
+packets are only admitted when they match (symmetrically) a flow started
+from the LAN.  Maestro shards it by flow, with cross-port symmetric RSS
+keys (Figure 3).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.nf.api import NF, NfContext, StateDecl, StateKind
+
+__all__ = ["Firewall", "LAN", "WAN"]
+
+LAN, WAN = 0, 1
+
+
+class Firewall(NF):
+    """Stateful firewall keyed on (src_ip, src_port, dst_ip, dst_port)."""
+
+    name = "fw"
+    ports = {"lan": LAN, "wan": WAN}
+
+    def __init__(self, capacity: int = 65536, expiration_time: float = 60.0):
+        self.capacity = capacity
+        self.expiration_time = expiration_time
+
+    def state(self) -> list[StateDecl]:
+        return [
+            StateDecl("fw_flows", StateKind.MAP, self.capacity),
+            StateDecl("fw_chain", StateKind.DCHAIN, self.capacity),
+            StateDecl(
+                "fw_ports",
+                StateKind.VECTOR,
+                self.capacity,
+                value_layout=(("in_port", 16),),
+            ),
+        ]
+
+    def process(self, ctx: NfContext, port: int, pkt: Any) -> None:
+        ctx.expire_flows("fw_flows", "fw_chain")
+        if port != WAN:
+            flow = (pkt.src_ip, pkt.src_port, pkt.dst_ip, pkt.dst_port)
+            found, index = ctx.map_get("fw_flows", flow)
+            if ctx.cond(found):
+                ctx.dchain_rejuvenate("fw_chain", index)
+            else:
+                ok, index = ctx.dchain_allocate("fw_chain")
+                if ctx.cond(ok):
+                    ctx.map_put("fw_flows", flow, index)
+                    ctx.vector_put("fw_ports", index, {"in_port": port})
+            ctx.forward(WAN)
+        else:
+            inverse_flow = (pkt.dst_ip, pkt.dst_port, pkt.src_ip, pkt.src_port)
+            found, index = ctx.map_get("fw_flows", inverse_flow)
+            if ctx.cond(found):
+                ctx.dchain_rejuvenate("fw_chain", index)
+                ctx.forward(LAN)
+            else:
+                ctx.drop()

@@ -1,0 +1,133 @@
+"""LB: Maglev-like load balancer (§6.1).
+
+Registers backend servers from their LAN-side packets, spreads WAN flows
+over the registered backends through a consistent-hash table, and pins
+established flows to their backend.  Semantic equivalence with a
+sequential run requires every core to observe the same backend set, which
+shared-nothing cores cannot do without coordination — Maestro detects this
+and falls back to read/write locks, exactly as the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.nf.api import NF, NfContext, StateDecl, StateKind
+
+__all__ = ["LoadBalancer"]
+
+LAN, WAN = 0, 1
+
+#: log2 of the consistent-hash table size.
+_CHT_BITS = 8
+_CHT_SIZE = 1 << _CHT_BITS
+#: Slots each backend claims when it registers (bounded Maglev permutation).
+_CLAIMS_PER_BACKEND = 16
+
+
+class LoadBalancer(NF):
+    """Maglev-style L4 load balancer with flow stickiness."""
+
+    name = "lb"
+    ports = {"lan": LAN, "wan": WAN}
+    #: WAN traffic is balanced; a few LAN heartbeats register backends.
+    benchmark_traffic = {
+        "forward_port": WAN,
+        "reply_port": None,
+        "reply_fraction": 0.0,
+        "warmup_heartbeats": 8,
+    }
+
+    def __init__(
+        self,
+        backend_capacity: int = 64,
+        flow_capacity: int = 65536,
+        expiration_time: float = 60.0,
+    ):
+        self.backend_capacity = backend_capacity
+        self.flow_capacity = flow_capacity
+        self.expiration_time = expiration_time
+
+    def state(self) -> list[StateDecl]:
+        return [
+            StateDecl("lb_backends", StateKind.MAP, self.backend_capacity),
+            StateDecl("lb_backend_chain", StateKind.DCHAIN, self.backend_capacity),
+            StateDecl(
+                "lb_backend_ips",
+                StateKind.VECTOR,
+                self.backend_capacity,
+                value_layout=(("ip", 32),),
+            ),
+            StateDecl(
+                "lb_cht",
+                StateKind.VECTOR,
+                _CHT_SIZE,
+                value_layout=(("backend", 16),),
+            ),
+            StateDecl("lb_flows", StateKind.MAP, self.flow_capacity),
+            StateDecl("lb_flow_chain", StateKind.DCHAIN, self.flow_capacity),
+            StateDecl(
+                "lb_flow_backends",
+                StateKind.VECTOR,
+                self.flow_capacity,
+                value_layout=(("backend", 16),),
+            ),
+        ]
+
+    def process(self, ctx: NfContext, port: int, pkt: Any) -> None:
+        if port == LAN:
+            self._register_backend(ctx, pkt)
+        else:
+            self._balance(ctx, pkt)
+
+    def _register_backend(self, ctx: NfContext, pkt: Any) -> None:
+        """Learn a backend from its heartbeat and claim CHT slots."""
+        key = (pkt.src_ip,)
+        found, index = ctx.map_get("lb_backends", key)
+        if ctx.cond(ctx.lnot(found)):
+            ok, index = ctx.dchain_allocate("lb_backend_chain")
+            if ctx.cond(ctx.lnot(ok)):
+                ctx.forward(WAN)  # backend table full; pass traffic through
+            ctx.map_put("lb_backends", key, index)
+            ctx.vector_put("lb_backend_ips", index, {"ip": pkt.src_ip})
+            # Bounded Maglev permutation: claim a fixed number of slots.
+            for claim in range(_CLAIMS_PER_BACKEND):
+                slot = ctx.hash_value(
+                    "maglev_perm",
+                    [pkt.src_ip, ctx.const(claim, 16)],
+                    _CHT_BITS,
+                )
+                ctx.vector_put("lb_cht", slot, {"backend": index})
+        else:
+            ctx.dchain_rejuvenate("lb_backend_chain", index)
+        ctx.forward(WAN)
+
+    def _balance(self, ctx: NfContext, pkt: Any) -> None:
+        """Steer a WAN packet to its backend, sticky per flow."""
+        ctx.expire_flows("lb_flows", "lb_flow_chain")
+        flow = (pkt.src_ip, pkt.src_port, pkt.dst_ip, pkt.dst_port)
+        found, flow_index = ctx.map_get("lb_flows", flow)
+        if ctx.cond(found):
+            ctx.dchain_rejuvenate("lb_flow_chain", flow_index)
+            choice = ctx.vector_borrow("lb_flow_backends", flow_index)
+            backend = choice["backend"]
+        else:
+            slot = ctx.hash_value(
+                "maglev_flow",
+                [pkt.src_ip, pkt.src_port, pkt.dst_ip, pkt.dst_port],
+                _CHT_BITS,
+            )
+            entry = ctx.vector_borrow("lb_cht", slot)
+            backend = entry["backend"]
+            alive = ctx.dchain_is_allocated("lb_backend_chain", backend)
+            if ctx.cond(ctx.lnot(alive)):
+                ctx.drop()  # no registered backend serves this slot
+            ok, flow_index = ctx.dchain_allocate("lb_flow_chain")
+            if ctx.cond(ok):
+                ctx.map_put("lb_flows", flow, flow_index)
+                ctx.vector_put(
+                    "lb_flow_backends", flow_index, {"backend": backend}
+                )
+        target = ctx.vector_borrow("lb_backend_ips", backend)
+        ctx.set_field("dst_ip", target["ip"])
+        ctx.forward(LAN)

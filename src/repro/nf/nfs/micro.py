@@ -1,0 +1,229 @@
+"""Micro-NFs mirroring the Figure 2 rule examples.
+
+One minimal NF per Constraints Generator rule, used by the test suite and
+the documentation to demonstrate each analysis outcome in isolation:
+
+====================== ===== ========================================
+NF                     Rule  Expected verdict
+====================== ===== ========================================
+:class:`FlowCounter`   R1    shared-nothing on the 4-tuple
+:class:`SrcStats`      R2    shared-nothing on ``src_ip`` (subsumption)
+:class:`DualCounter`   R3    locks (disjoint dependencies)
+:class:`GlobalCounter` R4    locks (constant key)
+:class:`DhcpGuard`     R5    shared-nothing on ``src_ip`` despite a
+                             MAC-keyed table (interchangeable constraints)
+====================== ===== ========================================
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.nf.api import NF, NfContext, StateDecl, StateKind
+
+__all__ = [
+    "FlowCounter",
+    "SrcStats",
+    "DualCounter",
+    "GlobalCounter",
+    "DhcpGuard",
+]
+
+LAN, WAN = 0, 1
+_DHCP_PORT = 67
+
+
+class FlowCounter(NF):
+    """R1: per-flow packet counter keyed by the 4-tuple."""
+
+    name = "flow_counter"
+    ports = {"lan": LAN, "wan": WAN}
+
+    def __init__(self, capacity: int = 4096):
+        self.capacity = capacity
+
+    def state(self) -> list[StateDecl]:
+        return [
+            StateDecl("fc_counts", StateKind.MAP, self.capacity),
+            StateDecl("fc_chain", StateKind.DCHAIN, self.capacity),
+            StateDecl(
+                "fc_values",
+                StateKind.VECTOR,
+                self.capacity,
+                value_layout=(("count", 32),),
+            ),
+        ]
+
+    def process(self, ctx: NfContext, port: int, pkt: Any) -> None:
+        key = (pkt.src_ip, pkt.src_port, pkt.dst_ip, pkt.dst_port)
+        found, index = ctx.map_get("fc_counts", key)
+        if ctx.cond(found):
+            record = ctx.vector_borrow("fc_values", index)
+            ctx.vector_put(
+                "fc_values",
+                index,
+                {"count": ctx.add(record["count"], ctx.const(1, 32))},
+            )
+        else:
+            ok, index = ctx.dchain_allocate("fc_chain")
+            if ctx.cond(ok):
+                ctx.map_put("fc_counts", key, index)
+                ctx.vector_put("fc_values", index, {"count": 1})
+        ctx.forward(self.other_port(port))
+
+
+class SrcStats(NF):
+    """R2: a fine map on the 5-tuple subsumed by a coarse per-source map."""
+
+    name = "src_stats"
+    ports = {"lan": LAN, "wan": WAN}
+
+    def __init__(self, capacity: int = 4096):
+        self.capacity = capacity
+
+    def state(self) -> list[StateDecl]:
+        return [
+            StateDecl("ss_flows", StateKind.MAP, self.capacity),
+            StateDecl("ss_flow_chain", StateKind.DCHAIN, self.capacity),
+            StateDecl("ss_srcs", StateKind.MAP, self.capacity),
+            StateDecl("ss_src_chain", StateKind.DCHAIN, self.capacity),
+        ]
+
+    def process(self, ctx: NfContext, port: int, pkt: Any) -> None:
+        if port != LAN:
+            ctx.forward(LAN)
+        flow_key = (pkt.src_ip, pkt.src_port, pkt.dst_ip, pkt.dst_port)
+        found, _ = ctx.map_get("ss_flows", flow_key)
+        if ctx.cond(ctx.lnot(found)):
+            ok, index = ctx.dchain_allocate("ss_flow_chain")
+            if ctx.cond(ok):
+                ctx.map_put("ss_flows", flow_key, index)
+        src_found, _ = ctx.map_get("ss_srcs", (pkt.src_ip,))
+        if ctx.cond(ctx.lnot(src_found)):
+            ok, index = ctx.dchain_allocate("ss_src_chain")
+            if ctx.cond(ok):
+                ctx.map_put("ss_srcs", (pkt.src_ip,), index)
+        ctx.forward(WAN)
+
+
+class DualCounter(NF):
+    """R3: independent per-source and per-destination counters.
+
+    "An NF that keeps a pair of independent counters, one for source
+    addresses and another for destination addresses, requires packets with
+    the same source address OR the same destination address to be sent to
+    the same core.  Due to limitations in the RSS mechanism, this is not
+    possible." (Figure 2, example 3.)
+    """
+
+    name = "dual_counter"
+    ports = {"lan": LAN, "wan": WAN}
+
+    def __init__(self, capacity: int = 4096):
+        self.capacity = capacity
+
+    def state(self) -> list[StateDecl]:
+        return [
+            StateDecl("dc_srcs", StateKind.MAP, self.capacity),
+            StateDecl("dc_src_chain", StateKind.DCHAIN, self.capacity),
+            StateDecl("dc_dsts", StateKind.MAP, self.capacity),
+            StateDecl("dc_dst_chain", StateKind.DCHAIN, self.capacity),
+        ]
+
+    def process(self, ctx: NfContext, port: int, pkt: Any) -> None:
+        for map_name, chain, key in (
+            ("dc_srcs", "dc_src_chain", (pkt.src_ip,)),
+            ("dc_dsts", "dc_dst_chain", (pkt.dst_ip,)),
+        ):
+            found, _ = ctx.map_get(map_name, key)
+            if ctx.cond(ctx.lnot(found)):
+                ok, index = ctx.dchain_allocate(chain)
+                if ctx.cond(ok):
+                    ctx.map_put(map_name, key, index)
+        ctx.forward(self.other_port(port))
+
+
+class GlobalCounter(NF):
+    """R4: a single global counter every packet updates.
+
+    "Maestro behaves in a similar manner when finding global counters
+    updated by every packet, as it bars it from implementing a
+    shared-nothing parallel solution." (Footnote 2.)
+    """
+
+    name = "global_counter"
+    ports = {"lan": LAN, "wan": WAN}
+
+    def state(self) -> list[StateDecl]:
+        return [
+            StateDecl(
+                "gc_total",
+                StateKind.VECTOR,
+                1,
+                value_layout=(("count", 64),),
+            ),
+        ]
+
+    def process(self, ctx: NfContext, port: int, pkt: Any) -> None:
+        record = ctx.vector_borrow("gc_total", ctx.const(0, 16))
+        ctx.vector_put(
+            "gc_total",
+            ctx.const(0, 16),
+            {"count": ctx.add(record["count"], ctx.const(1, 64))},
+        )
+        ctx.forward(self.other_port(port))
+
+
+class DhcpGuard(NF):
+    """R5: IP-source-guard style binding check (Figure 2, example 5).
+
+    DHCP-ish packets (dst port 67) record a (MAC -> IP) binding; all other
+    packets are dropped unless their source IP matches the binding stored
+    for their source MAC.  The MAC key is not RSS-hashable, but a binding
+    mismatch behaves exactly like a missing binding (drop), so sharding on
+    ``src_ip`` is behaviour-preserving — rule R5.
+    """
+
+    name = "dhcp_guard"
+    ports = {"lan": LAN, "wan": WAN}
+    expiration_time = 300.0
+
+    def __init__(self, capacity: int = 4096):
+        self.capacity = capacity
+
+    def state(self) -> list[StateDecl]:
+        return [
+            StateDecl("dg_bindings", StateKind.MAP, self.capacity),
+            StateDecl("dg_chain", StateKind.DCHAIN, self.capacity),
+            StateDecl(
+                "dg_ips",
+                StateKind.VECTOR,
+                self.capacity,
+                value_layout=(("ip", 32),),
+            ),
+        ]
+
+    def process(self, ctx: NfContext, port: int, pkt: Any) -> None:
+        if port != LAN:
+            ctx.forward(LAN)
+        is_dhcp = ctx.eq(pkt.dst_port, ctx.const(_DHCP_PORT, 16))
+        if ctx.cond(is_dhcp):
+            found, index = ctx.map_get("dg_bindings", (pkt.src_mac,))
+            if ctx.cond(ctx.lnot(found)):
+                ok, index = ctx.dchain_allocate("dg_chain")
+                if ctx.cond(ctx.lnot(ok)):
+                    ctx.drop()
+                ctx.map_put("dg_bindings", (pkt.src_mac,), index)
+            else:
+                ctx.dchain_rejuvenate("dg_chain", index)
+            ctx.vector_put("dg_ips", index, {"ip": pkt.src_ip})
+            ctx.forward(WAN)
+        else:
+            found, index = ctx.map_get("dg_bindings", (pkt.src_mac,))
+            if ctx.cond(ctx.lnot(found)):
+                ctx.drop()
+            binding = ctx.vector_borrow("dg_ips", index)
+            if ctx.cond(ctx.lnot(ctx.eq(binding["ip"], pkt.src_ip))):
+                ctx.drop()
+            ctx.dchain_rejuvenate("dg_chain", index)
+            ctx.forward(WAN)

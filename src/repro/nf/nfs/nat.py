@@ -1,0 +1,101 @@
+"""NAT: network address translator (§6.1, RFC 3022 style).
+
+Tracks LAN-initiated flows and allocates each a unique external port.
+Maestro first hits rule R4 — external ports come from an allocator, not
+from packet fields — but rule R5 (interchangeable constraints) saves the
+day: WAN packets are only translated when they target the host that
+started the session, so sharding on the external *server's* address and
+port preserves behaviour exactly.  The generated parallel NAT enforces
+port uniqueness per core rather than globally, which the paper argues does
+not break semantic equivalence.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.nf.api import NF, NfContext, StateDecl, StateKind
+
+__all__ = ["Nat"]
+
+LAN, WAN = 0, 1
+
+
+class Nat(NF):
+    """Source NAT with per-flow external-port allocation."""
+
+    name = "nat"
+    ports = {"lan": LAN, "wan": WAN}
+
+    def __init__(
+        self,
+        external_ip: int = 0xC0A80101,  # 192.168.1.1
+        port_base: int = 1024,
+        capacity: int = 60000,
+        expiration_time: float = 60.0,
+    ):
+        self.external_ip = external_ip
+        self.port_base = port_base
+        self.capacity = capacity
+        self.expiration_time = expiration_time
+
+    def state(self) -> list[StateDecl]:
+        return [
+            StateDecl("nat_flows", StateKind.MAP, self.capacity),
+            StateDecl("nat_chain", StateKind.DCHAIN, self.capacity),
+            StateDecl(
+                "nat_entries",
+                StateKind.VECTOR,
+                self.capacity,
+                value_layout=(
+                    ("src_ip", 32),
+                    ("src_port", 16),
+                    ("dst_ip", 32),
+                    ("dst_port", 16),
+                ),
+            ),
+        ]
+
+    def process(self, ctx: NfContext, port: int, pkt: Any) -> None:
+        ctx.expire_flows("nat_flows", "nat_chain")
+        if port == LAN:
+            flow = (pkt.src_ip, pkt.src_port, pkt.dst_ip, pkt.dst_port)
+            found, index = ctx.map_get("nat_flows", flow)
+            if ctx.cond(found):
+                ctx.dchain_rejuvenate("nat_chain", index)
+            else:
+                ok, index = ctx.dchain_allocate("nat_chain")
+                if ctx.cond(ctx.lnot(ok)):
+                    ctx.drop()  # translation table full
+                ctx.map_put("nat_flows", flow, index)
+                ctx.vector_put(
+                    "nat_entries",
+                    index,
+                    {
+                        "src_ip": pkt.src_ip,
+                        "src_port": pkt.src_port,
+                        "dst_ip": pkt.dst_ip,
+                        "dst_port": pkt.dst_port,
+                    },
+                )
+            external_port = ctx.add(index, ctx.const(self.port_base, 16))
+            ctx.set_field("src_ip", ctx.const(self.external_ip, 32))
+            ctx.set_field("src_port", external_port)
+            ctx.forward(WAN)
+        else:
+            index = ctx.sub(pkt.dst_port, ctx.const(self.port_base, 16))
+            allocated = ctx.dchain_is_allocated("nat_chain", index)
+            if ctx.cond(ctx.lnot(allocated)):
+                ctx.drop()
+            entry = ctx.vector_borrow("nat_entries", index)
+            # Only the server the session was opened to may answer (R5).
+            match = ctx.land(
+                ctx.eq(entry["dst_ip"], pkt.src_ip),
+                ctx.eq(entry["dst_port"], pkt.src_port),
+            )
+            if ctx.cond(ctx.lnot(match)):
+                ctx.drop()
+            ctx.dchain_rejuvenate("nat_chain", index)
+            ctx.set_field("dst_ip", entry["src_ip"])
+            ctx.set_field("dst_port", entry["src_port"])
+            ctx.forward(LAN)

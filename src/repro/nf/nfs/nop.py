@@ -1,0 +1,28 @@
+"""NOP: the stateless no-operation forwarder (§6.1).
+
+Maestro finds no state and configures RSS purely for load balancing with a
+random key and all available packet fields on both ports.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.nf.api import NF, NfContext, StateDecl
+
+__all__ = ["Nop"]
+
+LAN, WAN = 0, 1
+
+
+class Nop(NF):
+    """Forward every packet out the opposite interface."""
+
+    name = "nop"
+    ports = {"lan": LAN, "wan": WAN}
+
+    def state(self) -> list[StateDecl]:
+        return []
+
+    def process(self, ctx: NfContext, port: int, pkt: Any) -> None:
+        ctx.forward(self.other_port(port))

@@ -1,0 +1,105 @@
+"""Policer: per-user download rate limiter (§6.1).
+
+Users are identified by IPv4 destination address; each holds a token
+bucket.  Maestro shards on ``dst_ip`` alone.  Because the modelled NIC
+(like the paper's E810) cannot hash IP addresses without the TCP/UDP
+ports, RS3 must find a key that *cancels out* the port bits — the reason
+the Policer has the longest generation time in Figure 6.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.nf.api import NF, NfContext, StateDecl, StateKind
+
+__all__ = ["Policer"]
+
+LAN, WAN = 0, 1
+
+#: Fixed-point factor for token-bucket time arithmetic (microseconds).
+_TIME_SCALE = 1_000_000
+
+
+class Policer(NF):
+    """Token-bucket policer: ``rate`` bytes/s, ``burst`` bytes per user."""
+
+    name = "policer"
+    ports = {"lan": LAN, "wan": WAN}
+    #: Downloads (WAN->LAN) exercise the token buckets; every such packet
+    #: writes state — the reason locks are catastrophic here (§6.4).
+    benchmark_traffic = {
+        "forward_port": WAN,
+        "reply_port": None,
+        "reply_fraction": 0.0,
+        "warmup_heartbeats": 0,
+    }
+
+    def __init__(
+        self,
+        capacity: int = 65536,
+        rate: int = 1_000_000,
+        burst: int = 100_000,
+        expiration_time: float = 60.0,
+    ):
+        self.capacity = capacity
+        self.rate = rate
+        self.burst = burst
+        self.expiration_time = expiration_time
+
+    def state(self) -> list[StateDecl]:
+        return [
+            StateDecl("pol_map", StateKind.MAP, self.capacity),
+            StateDecl("pol_chain", StateKind.DCHAIN, self.capacity),
+            StateDecl(
+                "pol_buckets",
+                StateKind.VECTOR,
+                self.capacity,
+                value_layout=(("tokens", 64), ("last_time", 64)),
+            ),
+        ]
+
+    def process(self, ctx: NfContext, port: int, pkt: Any) -> None:
+        if port == LAN:
+            # Uploads are not policed.
+            ctx.forward(WAN)
+        ctx.expire_flows("pol_map", "pol_chain")
+        key = (pkt.dst_ip,)
+        found, index = ctx.map_get("pol_map", key)
+        now_us = ctx.mul(ctx.now(), ctx.const(_TIME_SCALE, 64))
+        if ctx.cond(found):
+            ctx.dchain_rejuvenate("pol_chain", index)
+            bucket = ctx.vector_borrow("pol_buckets", index)
+            elapsed_us = ctx.sub(now_us, bucket["last_time"])
+            refill = ctx.mul(elapsed_us, ctx.const(self.rate, 64))
+            tokens = ctx.add(
+                bucket["tokens"], refill
+            )  # micro-tokens: bytes * _TIME_SCALE
+            burst_ut = ctx.const(self.burst * _TIME_SCALE, 64)
+            if ctx.cond(ctx.gt(tokens, burst_ut)):
+                tokens = burst_ut
+            cost = ctx.mul(pkt.wire_size, ctx.const(_TIME_SCALE, 64))
+            if ctx.cond(ctx.lt(tokens, cost)):
+                ctx.vector_put(
+                    "pol_buckets", index, {"tokens": tokens, "last_time": now_us}
+                )
+                ctx.drop()
+            ctx.vector_put(
+                "pol_buckets",
+                index,
+                {"tokens": ctx.sub(tokens, cost), "last_time": now_us},
+            )
+            ctx.forward(LAN)
+        else:
+            ok, index = ctx.dchain_allocate("pol_chain")
+            if ctx.cond(ok):
+                ctx.map_put("pol_map", key, index)
+                initial = ctx.sub(
+                    ctx.const(self.burst * _TIME_SCALE, 64),
+                    ctx.mul(pkt.wire_size, ctx.const(_TIME_SCALE, 64)),
+                )
+                ctx.vector_put(
+                    "pol_buckets", index, {"tokens": initial, "last_time": now_us}
+                )
+            # Fail open for untracked users when the table is full.
+            ctx.forward(LAN)

@@ -1,0 +1,178 @@
+"""Packet model: concrete packets and their symbolic views.
+
+Concrete packets feed the functional simulator and the traffic generators;
+symbolic packet views feed the ESE engine, exposing each header field as a
+canonical :class:`~repro.symbex.expr.Sym` (e.g. ``pkt.src_ip``).  The
+canonical names are the shared vocabulary between the Constraints
+Generator and RS3's bit-level compiler.
+
+A minimal Ethernet/IPv4/TCP-UDP serializer is included so traces can be
+round-tripped through real ``.pcap`` files (:mod:`repro.traffic.pcap`).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, replace
+
+from repro.symbex import expr as E
+
+__all__ = [
+    "PACKET_FIELDS",
+    "ETH_TYPE_IPV4",
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "Packet",
+    "SymbolicPacket",
+    "field_symbol",
+]
+
+#: Canonical packet header fields and their widths in bits, in the order
+#: used throughout the library.
+PACKET_FIELDS: dict[str, int] = {
+    "dst_mac": 48,
+    "src_mac": 48,
+    "eth_type": 16,
+    "src_ip": 32,
+    "dst_ip": 32,
+    "proto": 8,
+    "src_port": 16,
+    "dst_port": 16,
+}
+
+ETH_TYPE_IPV4 = 0x0800
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+_MIN_WIRE_SIZE = 64
+_HEADERS_LEN = 14 + 20 + 8  # Ethernet + IPv4 + (UDP or truncated TCP)
+
+
+def field_symbol(name: str) -> E.Sym:
+    """Canonical symbol for packet field ``name`` (e.g. ``pkt.src_ip``)."""
+    if name not in PACKET_FIELDS:
+        raise KeyError(f"unknown packet field {name!r}")
+    return E.Sym(PACKET_FIELDS[name], f"pkt.{name}")
+
+
+@dataclass(frozen=True)
+class Packet:
+    """A concrete packet, identified by its parsed header fields.
+
+    ``wire_size`` is the on-wire frame length in bytes (without the 20-byte
+    preamble/IFG overhead, which the line-rate model adds separately).
+    """
+
+    src_ip: int
+    dst_ip: int
+    src_port: int
+    dst_port: int
+    proto: int = PROTO_UDP
+    src_mac: int = 0x02_00_00_00_00_01
+    dst_mac: int = 0x02_00_00_00_00_02
+    eth_type: int = ETH_TYPE_IPV4
+    wire_size: int = 64
+    timestamp: float = 0.0
+
+    def field(self, name: str) -> int:
+        """Value of header field ``name``."""
+        if name not in PACKET_FIELDS:
+            raise KeyError(f"unknown packet field {name!r}")
+        return getattr(self, name)
+
+    def flow_tuple(self) -> tuple[int, int, int, int, int]:
+        """The classic 5-tuple."""
+        return (self.src_ip, self.dst_ip, self.src_port, self.dst_port, self.proto)
+
+    def inverted(self) -> "Packet":
+        """The reply-direction packet (sources and destinations swapped)."""
+        return replace(
+            self,
+            src_ip=self.dst_ip,
+            dst_ip=self.src_ip,
+            src_port=self.dst_port,
+            dst_port=self.src_port,
+            src_mac=self.dst_mac,
+            dst_mac=self.src_mac,
+        )
+
+    def env(self) -> dict[str, int]:
+        """Binding of canonical symbol names to this packet's values."""
+        return {f"pkt.{name}": getattr(self, name) for name in PACKET_FIELDS}
+
+    def to_bytes(self) -> bytes:
+        """Serialize to an Ethernet/IPv4/UDP-or-TCP frame of ``wire_size``."""
+        eth = (
+            self.dst_mac.to_bytes(6, "big")
+            + self.src_mac.to_bytes(6, "big")
+            + struct.pack("!H", self.eth_type)
+        )
+        payload_len = max(0, self.wire_size - _HEADERS_LEN)
+        ip_total = 20 + 8 + payload_len
+        ip = struct.pack(
+            "!BBHHHBBH4s4s",
+            0x45,
+            0,
+            ip_total,
+            0,
+            0,
+            64,
+            self.proto,
+            0,
+            self.src_ip.to_bytes(4, "big"),
+            self.dst_ip.to_bytes(4, "big"),
+        )
+        l4 = struct.pack("!HHHH", self.src_port, self.dst_port, 8 + payload_len, 0)
+        frame = eth + ip + l4 + bytes(payload_len)
+        if len(frame) < self.wire_size:
+            frame += bytes(self.wire_size - len(frame))
+        return frame[: max(self.wire_size, _MIN_WIRE_SIZE)]
+
+    @classmethod
+    def from_bytes(cls, frame: bytes, timestamp: float = 0.0) -> "Packet":
+        """Parse an Ethernet/IPv4 frame produced by :meth:`to_bytes`."""
+        if len(frame) < _HEADERS_LEN:
+            raise ValueError(f"frame too short: {len(frame)} bytes")
+        dst_mac = int.from_bytes(frame[0:6], "big")
+        src_mac = int.from_bytes(frame[6:12], "big")
+        eth_type = struct.unpack("!H", frame[12:14])[0]
+        proto = frame[23]
+        src_ip = int.from_bytes(frame[26:30], "big")
+        dst_ip = int.from_bytes(frame[30:34], "big")
+        src_port, dst_port = struct.unpack("!HH", frame[34:38])
+        return cls(
+            src_ip=src_ip,
+            dst_ip=dst_ip,
+            src_port=src_port,
+            dst_port=dst_port,
+            proto=proto,
+            src_mac=src_mac,
+            dst_mac=dst_mac,
+            eth_type=eth_type,
+            wire_size=len(frame),
+            timestamp=timestamp,
+        )
+
+
+class SymbolicPacket:
+    """Symbolic view of a packet: every field is a canonical symbol.
+
+    ``wire_size`` is exposed as a (non-RSS-hashable) symbol so NFs doing
+    byte accounting (the Policer's token bucket) stay analyzable.
+    """
+
+    __slots__ = ()
+
+    def __getattr__(self, name: str) -> E.Sym:
+        if name == "wire_size":
+            return E.Sym(16, "pkt.wire_size")
+        try:
+            return field_symbol(name)
+        except KeyError as exc:
+            raise AttributeError(str(exc)) from exc
+
+    def field(self, name: str) -> E.Sym:
+        return field_symbol(name)
+
+    def env(self) -> dict[str, int]:  # pragma: no cover - symmetry helper
+        raise TypeError("symbolic packets have no concrete environment")

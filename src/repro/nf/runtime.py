@@ -1,0 +1,307 @@
+"""Concrete execution of NFs: the sequential reference runtime.
+
+This is what "running the sequential NF" means throughout the repository:
+the functional simulator, the equivalence checker, and the traffic studies
+all execute NF ``process`` methods through :class:`ConcreteContext`.
+
+Besides producing the packet's fate (:class:`PacketResult`), the runtime
+records *operation statistics* — which stateful objects were read or
+written — because the performance model (:mod:`repro.hw.cpu`) prices each
+packet from exactly those counts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.errors import SimulationError, StateModelError
+from repro.nf.api import NF, ActionKind, NfContext, PacketDone, StateDecl, StateKind
+from repro.nf.packet import PACKET_FIELDS, Packet
+from repro.nf.state import DChain, Map, Sketch, Vector
+
+__all__ = ["OpRecord", "PacketResult", "StateStore", "ConcreteContext", "SequentialRunner"]
+
+
+@dataclass(frozen=True)
+class OpRecord:
+    """One stateful operation performed while processing a packet."""
+
+    obj: str
+    op: str
+    write: bool
+
+
+@dataclass
+class PacketResult:
+    """The observable outcome of processing one packet."""
+
+    kind: ActionKind
+    port: int | None = None
+    mods: dict[str, int] = field(default_factory=dict)
+    ops: list[OpRecord] = field(default_factory=list)
+    new_flow: bool = False
+
+    @property
+    def reads(self) -> int:
+        return sum(1 for op in self.ops if not op.write)
+
+    @property
+    def writes(self) -> int:
+        return sum(1 for op in self.ops if op.write)
+
+    def observable(self) -> tuple[Any, ...]:
+        """The externally visible behaviour (for equivalence checking)."""
+        return (self.kind, self.port, tuple(sorted(self.mods.items())))
+
+
+class StateStore:
+    """Instantiates and owns the stateful objects declared by an NF.
+
+    ``scale`` divides every capacity, implementing the paper's state
+    sharding (§4): per-core shards hold ``capacity / n_cores`` entries so
+    total memory stays constant.
+    """
+
+    def __init__(self, decls: Sequence[StateDecl], scale: int = 1):
+        if scale <= 0:
+            raise SimulationError(f"state scale must be positive: {scale}")
+        self.decls = {decl.name: decl for decl in decls}
+        self.scale = scale
+        self.objects: dict[str, Any] = {}
+        for decl in decls:
+            # Read-only tables are replicated whole on every core; only
+            # written state is sharded (§4, *State sharding*).
+            capacity = decl.capacity if decl.read_only else max(1, decl.capacity // scale)
+            if decl.kind is StateKind.MAP:
+                self.objects[decl.name] = Map(capacity)
+            elif decl.kind is StateKind.VECTOR:
+                initial = {field_name: 0 for field_name, _ in decl.value_layout}
+                self.objects[decl.name] = Vector(capacity, initial=initial)
+            elif decl.kind is StateKind.DCHAIN:
+                self.objects[decl.name] = DChain(capacity)
+            elif decl.kind is StateKind.SKETCH:
+                self.objects[decl.name] = Sketch(capacity, depth=decl.sketch_depth)
+            else:  # pragma: no cover - enum is closed
+                raise StateModelError(f"unknown state kind {decl.kind}")
+        # Reverse value->key indices for the map+dchain expiry idiom.
+        self._reverse: dict[str, dict[int, Any]] = {
+            decl.name: {} for decl in decls if decl.kind is StateKind.MAP
+        }
+
+    def __getitem__(self, name: str) -> Any:
+        try:
+            return self.objects[name]
+        except KeyError:
+            raise StateModelError(f"undeclared state object {name!r}") from None
+
+    def decl(self, name: str) -> StateDecl:
+        try:
+            return self.decls[name]
+        except KeyError:
+            raise StateModelError(f"undeclared state object {name!r}") from None
+
+    def note_put(self, name: str, key: Any, value: int) -> None:
+        reverse = self._reverse.get(name)
+        if reverse is not None:
+            reverse[int(value)] = key
+
+    def note_erase(self, name: str, key: Any) -> None:
+        reverse = self._reverse.get(name)
+        if reverse is not None:
+            stale = [v for v, k in reverse.items() if k == key]
+            for v in stale:
+                del reverse[v]
+
+    def key_for_value(self, name: str, value: int) -> Any | None:
+        return self._reverse.get(name, {}).get(int(value))
+
+
+class ConcreteContext(NfContext):
+    """NfContext implementation over real data structures and packets."""
+
+    def __init__(self, nf: NF, store: StateStore):
+        self.nf = nf
+        self.store = store
+        self._now: float = 0.0
+        self._mods: dict[str, int] = {}
+        self._ops: list[OpRecord] = []
+        self._new_flow = False
+        self._last_expiry: float = float("-inf")
+
+    # -------------------------------------------------------------- #
+    # Control flow & value algebra: plain Python semantics.
+    # -------------------------------------------------------------- #
+    def cond(self, value: Any) -> bool:
+        return bool(value)
+
+    def const(self, value: int, width: int) -> int:
+        return int(value) & ((1 << width) - 1)
+
+    def eq(self, lhs: Any, rhs: Any) -> bool:
+        return lhs == rhs
+
+    def lt(self, lhs: Any, rhs: Any) -> bool:
+        return lhs < rhs
+
+    def add(self, lhs: Any, rhs: Any) -> Any:
+        return lhs + rhs
+
+    def sub(self, lhs: Any, rhs: Any) -> Any:
+        return lhs - rhs
+
+    def mul(self, lhs: Any, rhs: Any) -> Any:
+        return lhs * rhs
+
+    def extract(self, value: Any, hi: int, lo: int) -> int:
+        return (int(value) >> lo) & ((1 << (hi - lo + 1)) - 1)
+
+    def lnot(self, value: Any) -> bool:
+        return not value
+
+    def land(self, lhs: Any, rhs: Any) -> bool:
+        return bool(lhs) and bool(rhs)
+
+    def lor(self, lhs: Any, rhs: Any) -> bool:
+        return bool(lhs) or bool(rhs)
+
+    def hash_value(self, fn: str, values: Sequence[Any], width: int) -> int:
+        material = fn.encode() + b"|".join(str(int(v)).encode() for v in values)
+        digest = hashlib.blake2b(material, digest_size=8).digest()
+        return int.from_bytes(digest, "little") & ((1 << width) - 1)
+
+    def now(self) -> float:
+        return self._now
+
+    # -------------------------------------------------------------- #
+    # Stateful operations
+    # -------------------------------------------------------------- #
+    def _record(self, obj: str, op: str, write: bool) -> None:
+        self._ops.append(OpRecord(obj, op, write))
+
+    def map_get(self, name: str, key: Sequence[Any]) -> tuple[bool, int]:
+        self._record(name, "map_get", write=False)
+        return self.store[name].get(tuple(key))
+
+    def map_put(self, name: str, key: Sequence[Any], value: Any) -> bool:
+        self._record(name, "map_put", write=True)
+        key_t = tuple(key)
+        ok = self.store[name].put(key_t, int(value))
+        if ok:
+            self.store.note_put(name, key_t, int(value))
+        return ok
+
+    def map_erase(self, name: str, key: Sequence[Any]) -> None:
+        self._record(name, "map_erase", write=True)
+        key_t = tuple(key)
+        self.store.note_erase(name, key_t)
+        self.store[name].erase(key_t)
+
+    def vector_borrow(self, name: str, index: Any) -> Mapping[str, Any]:
+        self._record(name, "vector_borrow", write=False)
+        return self.store[name].borrow(int(index))
+
+    def vector_put(self, name: str, index: Any, record: Mapping[str, Any]) -> None:
+        self._record(name, "vector_put", write=True)
+        self.store[name].put(int(index), dict(record))
+
+    def vector_fill(self, name: str, records: Sequence[Mapping[str, Any]]) -> None:
+        self._record(name, "vector_fill", write=True)
+        vector: Vector = self.store[name]
+        for i in range(len(vector)):
+            vector.put(i, dict(records[i % len(records)]) if records else {})
+
+    def dchain_allocate(self, name: str) -> tuple[bool, int]:
+        self._record(name, "dchain_allocate", write=True)
+        ok, index = self.store[name].allocate(self._now)
+        if ok:
+            self._new_flow = True
+        return ok, index
+
+    def dchain_is_allocated(self, name: str, index: Any) -> bool:
+        self._record(name, "dchain_is_allocated", write=False)
+        return self.store[name].is_allocated(int(index))
+
+    def dchain_rejuvenate(self, name: str, index: Any) -> None:
+        self._record(name, "dchain_rejuvenate", write=True)
+        self.store[name].rejuvenate(int(index), self._now)
+
+    def sketch_fetch(self, name: str, key: Sequence[Any]) -> int:
+        self._record(name, "sketch_fetch", write=False)
+        return self.store[name].fetch(tuple(key))
+
+    def sketch_touch(self, name: str, key: Sequence[Any]) -> None:
+        self._record(name, "sketch_touch", write=True)
+        self.store[name].touch(tuple(key))
+
+    def expire_flows(self, map_name: str, chain_name: str) -> None:
+        horizon = self.nf.expiration_time
+        if horizon is None:
+            return
+        # Sweep at most once per simulated second to keep traces cheap.
+        if self._now - self._last_expiry < 1.0:
+            return
+        self._last_expiry = self._now
+        self._record(chain_name, "expire", write=True)
+        chain: DChain = self.store[chain_name]
+        flow_map: Map = self.store[map_name]
+        for index in chain.expire(self._now - horizon):
+            key = self.store.key_for_value(map_name, index)
+            if key is not None:
+                flow_map.erase(key)
+                self.store.note_erase(map_name, key)
+
+    # -------------------------------------------------------------- #
+    # Packet operations
+    # -------------------------------------------------------------- #
+    def set_field(self, name: str, value: Any) -> None:
+        if name not in PACKET_FIELDS:
+            raise StateModelError(f"cannot rewrite unknown packet field {name!r}")
+        self._mods[name] = int(value)
+
+    # -------------------------------------------------------------- #
+    # Driver
+    # -------------------------------------------------------------- #
+    def run(self, port: int, pkt: Packet, now: float | None = None) -> PacketResult:
+        """Process one packet and return its observable result."""
+        self._now = pkt.timestamp if now is None else now
+        self._mods = {}
+        self._ops = []
+        self._new_flow = False
+        try:
+            self.nf.process(self, port, pkt)
+        except PacketDone as done:
+            return PacketResult(
+                kind=done.kind,
+                port=None if done.port is None else int(done.port),
+                mods=dict(self._mods),
+                ops=list(self._ops),
+                new_flow=self._new_flow,
+            )
+        raise SimulationError(
+            f"{self.nf.name}.process returned without a packet operation"
+        )
+
+
+class SequentialRunner:
+    """Convenience wrapper: one NF instance with its own state.
+
+    >>> runner = SequentialRunner(Firewall())
+    >>> result = runner.process(port=0, pkt=some_packet)
+    """
+
+    def __init__(self, nf: NF, *, state_scale: int = 1):
+        self.nf = nf
+        self.store = StateStore(nf.state(), scale=state_scale)
+        self.ctx = ConcreteContext(nf, self.store)
+        nf.setup(self.ctx)
+
+    def process(self, port: int, pkt: Packet, now: float | None = None) -> PacketResult:
+        return self.ctx.run(port, pkt, now=now)
+
+    def process_trace(
+        self, trace: Sequence[tuple[int, Packet]]
+    ) -> list[PacketResult]:
+        """Process ``(port, packet)`` pairs in order."""
+        return [self.process(port, pkt) for port, pkt in trace]

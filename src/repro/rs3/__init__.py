@@ -1,0 +1,51 @@
+"""RS3: the RSS configuration-finding library (§3.5).
+
+Standalone, like the paper's C library of the same name: give it key
+requirements (cancellations and field mappings) and it returns per-port
+Toeplitz keys that satisfy them, plus indirection-table management.
+"""
+
+from repro.rs3.config import PortRssConfig, RssConfiguration
+from repro.rs3.fields import (
+    E810,
+    IPV4_ONLY,
+    IPV4_TCP,
+    IPV4_UDP,
+    NON_RSS_FIELDS,
+    PERMISSIVE_NIC,
+    FieldSetOption,
+    NicModel,
+    RssField,
+)
+from repro.rs3.indirection import IndirectionTable
+from repro.rs3.solver import CancelBits, CancelField, KeySearchStats, MapFields, RssKeySolver
+from repro.rs3.toeplitz import (
+    MICROSOFT_TEST_KEY,
+    hash_input,
+    hash_packet,
+    toeplitz_hash,
+)
+
+__all__ = [
+    "PortRssConfig",
+    "RssConfiguration",
+    "E810",
+    "PERMISSIVE_NIC",
+    "IPV4_ONLY",
+    "IPV4_TCP",
+    "IPV4_UDP",
+    "NON_RSS_FIELDS",
+    "FieldSetOption",
+    "NicModel",
+    "RssField",
+    "IndirectionTable",
+    "CancelBits",
+    "CancelField",
+    "MapFields",
+    "KeySearchStats",
+    "RssKeySolver",
+    "MICROSOFT_TEST_KEY",
+    "hash_input",
+    "hash_packet",
+    "toeplitz_hash",
+]

@@ -1,0 +1,92 @@
+"""Concrete RSS configurations: keys + field sets + indirection tables.
+
+This is what the Code Generator installs on each port of the simulated
+NIC: the product of the whole analysis pipeline, and the object the
+functional simulator uses to steer every packet to a core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.nf.packet import Packet
+from repro.rs3.fields import FieldSetOption
+from repro.rs3.indirection import IndirectionTable
+from repro.rs3.toeplitz import hash_packet
+
+__all__ = ["PortRssConfig", "RssConfiguration"]
+
+
+@dataclass
+class PortRssConfig:
+    """RSS state of one NIC port."""
+
+    port: int
+    key: bytes
+    option: FieldSetOption
+    table: IndirectionTable
+
+    def hash(self, pkt: Packet) -> int:
+        return hash_packet(self.key, pkt, self.option)
+
+    def queue_for(self, pkt: Packet) -> int:
+        return self.table.lookup(self.hash(pkt))
+
+    def key_hex(self) -> str:
+        return self.key.hex(":")
+
+
+@dataclass
+class RssConfiguration:
+    """Per-port RSS configuration for a whole NF deployment."""
+
+    ports: dict[int, PortRssConfig]
+
+    @classmethod
+    def build(
+        cls,
+        keys: dict[int, bytes],
+        options: dict[int, FieldSetOption],
+        n_queues: int,
+        reta_size: int = 512,
+    ) -> "RssConfiguration":
+        if set(keys) != set(options):
+            raise SimulationError("keys and options must cover the same ports")
+        return cls(
+            ports={
+                port: PortRssConfig(
+                    port=port,
+                    key=keys[port],
+                    option=options[port],
+                    table=IndirectionTable(n_queues, size=reta_size),
+                )
+                for port in keys
+            }
+        )
+
+    @property
+    def n_queues(self) -> int:
+        return next(iter(self.ports.values())).table.n_queues
+
+    def core_for(self, port: int, pkt: Packet) -> int:
+        """The core that will process ``pkt`` arriving on ``port``."""
+        try:
+            config = self.ports[port]
+        except KeyError:
+            raise SimulationError(f"no RSS configuration for port {port}") from None
+        return config.queue_for(pkt)
+
+    def balance_tables(
+        self, sample: list[tuple[int, Packet]]
+    ) -> None:
+        """Statically rebalance every port's indirection table from a
+        traffic sample (the RSS++ mechanism used in Figures 5/14)."""
+        for port, config in self.ports.items():
+            loads = np.zeros(config.table.size, dtype=np.float64)
+            for in_port, pkt in sample:
+                if in_port == port:
+                    loads[config.hash(pkt) & (config.table.size - 1)] += 1.0
+            config.table.balance(loads)

@@ -1,0 +1,137 @@
+"""RSS packet fields, hash-input layouts, and NIC capability models.
+
+RSS hashes a NIC-selected set of packet fields (§3.5).  The *layout* of
+the hash input follows the Microsoft RSS specification: for IPv4+TCP/UDP,
+``src_ip ++ dst_ip ++ src_port ++ dst_port`` (12 bytes, 96 bits).
+
+Each NIC supports only a subset of the field combinations DPDK defines
+(§5, *RSS limitations*); the paper's Intel E810 cannot hash IPv4 addresses
+without the L4 ports, which is why the Policer's key must *cancel out* the
+port bits.  :data:`E810` models that behaviour.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import NicCapabilityError
+
+__all__ = [
+    "RssField",
+    "FieldSetOption",
+    "IPV4_TCP",
+    "IPV4_UDP",
+    "IPV4_ONLY",
+    "NicModel",
+    "E810",
+    "PERMISSIVE_NIC",
+]
+
+
+class RssField(enum.Enum):
+    """Packet fields RSS can feed into the Toeplitz hash."""
+
+    SRC_IP = "src_ip"
+    DST_IP = "dst_ip"
+    SRC_PORT = "src_port"
+    DST_PORT = "dst_port"
+
+    @property
+    def width(self) -> int:
+        return 32 if self in (RssField.SRC_IP, RssField.DST_IP) else 16
+
+    @property
+    def packet_field(self) -> str:
+        """The canonical :mod:`repro.nf.packet` field name."""
+        return self.value
+
+
+#: Packet header fields that *no* RSS field option covers (MACs, metadata).
+NON_RSS_FIELDS = frozenset(
+    {"src_mac", "dst_mac", "eth_type", "proto", "wire_size"}
+)
+
+
+@dataclass(frozen=True)
+class FieldSetOption:
+    """One hashable field combination, with its hash-input layout."""
+
+    name: str
+    fields: tuple[RssField, ...]
+
+    @property
+    def input_bits(self) -> int:
+        return sum(f.width for f in self.fields)
+
+    @property
+    def input_bytes(self) -> int:
+        return self.input_bits // 8
+
+    def offsets(self) -> dict[RssField, int]:
+        """MSB-first bit offset of each field within the hash input."""
+        out: dict[RssField, int] = {}
+        offset = 0
+        for fld in self.fields:
+            out[fld] = offset
+            offset += fld.width
+        return out
+
+    def bit_positions(self, fld: RssField) -> range:
+        """The hash-input bit positions covered by ``fld``."""
+        start = self.offsets()[fld]
+        return range(start, start + fld.width)
+
+
+IPV4_TCP = FieldSetOption(
+    "ipv4_tcp",
+    (RssField.SRC_IP, RssField.DST_IP, RssField.SRC_PORT, RssField.DST_PORT),
+)
+IPV4_UDP = FieldSetOption(
+    "ipv4_udp",
+    (RssField.SRC_IP, RssField.DST_IP, RssField.SRC_PORT, RssField.DST_PORT),
+)
+IPV4_ONLY = FieldSetOption("ipv4_only", (RssField.SRC_IP, RssField.DST_IP))
+
+
+@dataclass(frozen=True)
+class NicModel:
+    """What the NIC's RSS engine can do.
+
+    ``key_bytes`` is 52 for the Intel E810 (footnote 3 of the paper);
+    ``reta_size`` is the indirection-table length.
+    """
+
+    name: str
+    options: tuple[FieldSetOption, ...]
+    key_bytes: int = 52
+    reta_size: int = 512
+    max_queues: int = 64
+
+    def best_option_for(self, fields: frozenset[RssField]) -> FieldSetOption:
+        """The smallest supported option covering ``fields``.
+
+        Raises :class:`NicCapabilityError` when no option covers them —
+        the situation rule R4 reports for MAC-keyed state.
+        """
+        candidates = [
+            opt for opt in self.options if fields <= frozenset(opt.fields)
+        ]
+        if not candidates:
+            raise NicCapabilityError(
+                f"{self.name}: no RSS field option covers "
+                f"{sorted(f.value for f in fields)}"
+            )
+        return min(candidates, key=lambda opt: opt.input_bits)
+
+    def supports_exactly(self, fields: frozenset[RssField]) -> bool:
+        return any(frozenset(opt.fields) == fields for opt in self.options)
+
+
+#: The paper's NIC: IPv4 hashing only together with L4 ports.
+E810 = NicModel("intel-e810", options=(IPV4_TCP, IPV4_UDP))
+
+#: A hypothetical NIC that also supports IP-only hashing (for ablations).
+PERMISSIVE_NIC = NicModel(
+    "permissive", options=(IPV4_TCP, IPV4_UDP, IPV4_ONLY)
+)

@@ -1,0 +1,115 @@
+"""The RSS indirection table, with RSS++-style static balancing (§4).
+
+The low bits of the Toeplitz hash index a table of queue identifiers.
+Under uniform traffic a round-robin fill spreads load evenly; under
+Zipfian traffic some entries carry elephant flows and overload their
+queue.  ``balance`` implements the *static* version of the RSS++
+rebalancer the paper integrated: given measured per-entry loads, it
+reassigns entries (swapping from overloaded to underloaded queues) to
+flatten the per-queue load — Figure 5's "balanced" series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = ["IndirectionTable"]
+
+
+@dataclass
+class IndirectionTable:
+    """Maps hash values to queue (core) identifiers."""
+
+    n_queues: int
+    size: int = 512
+
+    def __post_init__(self) -> None:
+        if self.n_queues <= 0:
+            raise SimulationError("need at least one queue")
+        if self.size <= 0 or self.size & (self.size - 1):
+            raise SimulationError("table size must be a power of two")
+        self.entries = np.arange(self.size, dtype=np.int64) % self.n_queues
+
+    def lookup(self, hash_value: int) -> int:
+        """Queue id for a 32-bit RSS hash."""
+        return int(self.entries[hash_value & (self.size - 1)])
+
+    def lookup_many(self, hashes: np.ndarray) -> np.ndarray:
+        return self.entries[hashes & (self.size - 1)]
+
+    def queue_loads(self, entry_loads: np.ndarray) -> np.ndarray:
+        """Per-queue load given per-entry load (e.g. packet counts)."""
+        if entry_loads.shape != (self.size,):
+            raise SimulationError(
+                f"entry_loads must have shape ({self.size},)"
+            )
+        loads = np.zeros(self.n_queues, dtype=np.float64)
+        np.add.at(loads, self.entries, entry_loads)
+        return loads
+
+    def rebalance(self, entry_loads: np.ndarray, max_moves: int = 8) -> int:
+        """Incremental (dynamic) RSS++-style rebalancing.
+
+        Where :meth:`balance` recomputes the whole table offline, this
+        moves at most ``max_moves`` entries from the most- to the
+        least-loaded queues — the bounded-migration behaviour the dynamic
+        RSS++ rebalancer uses online so state migration stays cheap (§4:
+        "their dynamic versions could be used to handle changes in skew
+        over time").  Returns the number of entries moved.
+        """
+        if entry_loads.shape != (self.size,):
+            raise SimulationError(
+                f"entry_loads must have shape ({self.size},)"
+            )
+        moves = 0
+        for _ in range(max_moves):
+            loads = self.queue_loads(entry_loads)
+            heavy = int(loads.argmax())
+            light = int(loads.argmin())
+            if heavy == light:
+                break
+            gap = loads[heavy] - loads[light]
+            candidates = np.nonzero(self.entries == heavy)[0]
+            if candidates.size <= 1:
+                break
+            # Move the heaviest entry that still shrinks the gap.
+            weights = entry_loads[candidates]
+            order = np.argsort(weights)[::-1]
+            moved = False
+            for index in order:
+                entry = int(candidates[index])
+                if 0 < entry_loads[entry] < gap:
+                    self.entries[entry] = light
+                    moves += 1
+                    moved = True
+                    break
+            if not moved:
+                break
+        return moves
+
+    def balance(self, entry_loads: np.ndarray) -> None:
+        """Reassign entries to flatten per-queue load (static RSS++).
+
+        Greedy longest-processing-time assignment: walk entries from the
+        heaviest down, placing each on the currently least-loaded queue.
+        This is what "balanced indirection tables" means throughout the
+        experiments (Figures 5 and 14).
+        """
+        if entry_loads.shape != (self.size,):
+            raise SimulationError(
+                f"entry_loads must have shape ({self.size},)"
+            )
+        order = np.argsort(entry_loads)[::-1]
+        loads = np.zeros(self.n_queues, dtype=np.float64)
+        counts = np.zeros(self.n_queues, dtype=np.int64)
+        for entry in order:
+            # Least-loaded queue; tie-break on entry count to keep the
+            # table useful if the measured loads were all zero.
+            queue = int(np.lexsort((counts, loads))[0])
+            self.entries[entry] = queue
+            loads[queue] += float(entry_loads[entry])
+            counts[queue] += 1

@@ -1,0 +1,123 @@
+"""Semantic equivalence checking: parallel vs sequential (§1, §3).
+
+Maestro's whole premise is that the generated parallel NF "preserves the
+semantics of the sequential implementation".  This checker replays the
+same trace through both and compares each packet's observable behaviour
+(action, egress port, header rewrites).
+
+Two documented divergences are permitted, matching the paper:
+
+* **Allocator identities** (§6.1, NAT): the parallel NAT "does not enforce
+  this uniqueness across cores, a feature that does not break semantic
+  equivalence" — allocated values (external ports) may differ, so callers
+  exclude those fields via ``ignore_mods``.
+* **Capacity exhaustion** (§4, *State sharding*): a per-core shard can
+  fill before the global table would; when a capacity divergence is
+  detected it is reported separately, not as a violation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.codegen import ParallelNF
+from repro.nf.api import NF, ActionKind
+from repro.nf.runtime import PacketResult, SequentialRunner
+from repro.traffic.generator import Trace
+
+__all__ = ["Mismatch", "EquivalenceReport", "check_equivalence"]
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    """One packet whose parallel behaviour diverged."""
+
+    index: int
+    port: int
+    sequential: tuple
+    parallel: tuple
+    capacity_related: bool
+
+
+@dataclass
+class EquivalenceReport:
+    """Aggregate result of an equivalence run."""
+
+    n_packets: int
+    mismatches: list[Mismatch] = field(default_factory=list)
+    capacity_divergences: int = 0
+
+    @property
+    def equivalent(self) -> bool:
+        return not self.mismatches
+
+    def describe(self) -> str:
+        if self.equivalent:
+            extra = (
+                f" ({self.capacity_divergences} capacity divergences allowed)"
+                if self.capacity_divergences
+                else ""
+            )
+            return f"equivalent over {self.n_packets} packets{extra}"
+        first = self.mismatches[0]
+        return (
+            f"{len(self.mismatches)}/{self.n_packets} packets diverge; "
+            f"first at #{first.index}: sequential={first.sequential} "
+            f"parallel={first.parallel}"
+        )
+
+
+def _observable(
+    result: PacketResult, ignore_mods: frozenset[str]
+) -> tuple:
+    mods = tuple(
+        sorted((k, v) for k, v in result.mods.items() if k not in ignore_mods)
+    )
+    return (result.kind, result.port, mods)
+
+
+def check_equivalence(
+    make_nf,
+    parallel: ParallelNF,
+    trace: Trace,
+    *,
+    ignore_mods: Iterable[str] = (),
+    allow_capacity_divergence: bool = True,
+) -> EquivalenceReport:
+    """Replay ``trace`` through a fresh sequential NF and ``parallel``.
+
+    ``make_nf`` is a zero-argument factory producing the sequential
+    reference (fresh state).  ``ignore_mods`` names header rewrites with
+    allocator-dependent values (e.g. the NAT's external ``src_port``).
+    """
+    ignored = frozenset(ignore_mods)
+    sequential = SequentialRunner(make_nf())
+    report = EquivalenceReport(n_packets=len(trace))
+    for index, (port, pkt) in enumerate(trace):
+        seq_result = sequential.process(port, pkt)
+        _, par_result = parallel.process(port, pkt)
+        seq_obs = _observable(seq_result, ignored)
+        par_obs = _observable(par_result, ignored)
+        if seq_obs == par_obs:
+            continue
+        # Capacity divergence: one side dropped/refused because its
+        # (smaller) shard filled while the other still had room.
+        capacity = (
+            seq_result.kind != par_result.kind
+            and ActionKind.DROP in (seq_result.kind, par_result.kind)
+            and (seq_result.new_flow or par_result.new_flow)
+        )
+        if capacity and allow_capacity_divergence:
+            report.capacity_divergences += 1
+            continue
+        report.mismatches.append(
+            Mismatch(
+                index=index,
+                port=port,
+                sequential=seq_obs,
+                parallel=par_obs,
+                capacity_related=capacity,
+            )
+        )
+    return report

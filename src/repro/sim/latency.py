@@ -1,0 +1,53 @@
+"""Latency model (§6.4, latency probes).
+
+The paper reports that parallelization does not deeply affect latency:
+12 +/- 2 us for CL and 11 +/- 1 us for the remaining NFs under a 1 Gbps
+background load.  At such low load, latency is dominated by fixed costs —
+wire time, PCIe DMA both ways, DPDK RX/TX batching — with the NF's
+per-packet CPU time contributing well under a microsecond; coordination
+overheads at 1 Gbps are in the tens of nanoseconds, which is exactly why
+the strategies are indistinguishable in this measurement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.codegen import Strategy
+from repro.hw import params
+from repro.hw.cpu import NfCostProfile
+from repro.sim.perf import PerformanceModel, Workload
+
+__all__ = ["latency_probe", "FIXED_PATH_US"]
+
+#: Fixed path latency: wire + PCIe round trip + RX/TX batch residency.
+FIXED_PATH_US = 10.6
+
+
+def latency_probe(
+    profile: NfCostProfile,
+    strategy: Strategy,
+    n_cores: int,
+    *,
+    workload: Workload | None = None,
+    background_gbps: float = 1.0,
+    n_probes: int = 1000,
+    rng: np.random.Generator | None = None,
+) -> tuple[float, float]:
+    """(mean, stddev) latency in microseconds over ``n_probes`` probes."""
+    rng = rng or np.random.default_rng(0)
+    workload = workload or Workload()
+    model = PerformanceModel()
+    t_pkt, t_excl, p_w = model.packet_cost(profile, strategy, n_cores, workload)
+    service_us = t_pkt / params.CPU_FREQ_HZ * 1e6
+    # Probability of landing behind an exclusive section at this load.
+    load_pps = background_gbps * 1e9 / 8.0 / (workload.pkt_size + params.WIRE_OVERHEAD_BYTES)
+    exclusive_us = t_excl / params.CPU_FREQ_HZ * 1e6
+    p_blocked = min(1.0, load_pps * t_excl / params.CPU_FREQ_HZ)
+    samples = (
+        FIXED_PATH_US
+        + service_us
+        + rng.exponential(scale=max(0.3, service_us), size=n_probes)
+        + (rng.random(n_probes) < p_blocked) * exclusive_us
+    )
+    return float(samples.mean()), float(samples.std())

@@ -1,0 +1,17 @@
+"""Solvers: GF(2) linear algebra and equality-logic satisfiability.
+
+These replace the paper's use of Z3 (see DESIGN.md §2 for the soundness
+argument of the substitution).
+"""
+
+from repro.solver import eqsmt, gf2
+from repro.solver.eqsmt import Result, check, find_model, is_definitely_unsat
+
+__all__ = [
+    "gf2",
+    "eqsmt",
+    "Result",
+    "check",
+    "find_model",
+    "is_definitely_unsat",
+]

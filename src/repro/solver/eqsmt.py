@@ -1,0 +1,226 @@
+"""Lightweight satisfiability checking for ESE path conditions.
+
+The paper hands path constraints to Z3 (§3.3).  The NF class Maestro
+supports (Vigor-style, §5) only branches on (dis)equalities and unsigned
+comparisons over packet fields and traced state, so a far smaller decision
+procedure suffices here:
+
+* **Equality logic with constants** is decided exactly via congruence
+  closure (union-find over opaque terms, conflicts on distinct constants
+  or violated disequalities).
+* **Arithmetic / ordering atoms** fall back to bounded randomized model
+  search.  When no model is found and no structural contradiction exists
+  the result is :data:`Result.UNKNOWN`, which the ESE engine treats as
+  *feasible* — pruning only provably-unsat paths keeps exploration sound.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.symbex import expr as E
+
+__all__ = ["Result", "check", "is_definitely_unsat", "find_model"]
+
+
+class Result(enum.Enum):
+    """Tri-state satisfiability verdict."""
+
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class _UnionFind:
+    parent: dict[E.Expr, E.Expr] = field(default_factory=dict)
+
+    def find(self, term: E.Expr) -> E.Expr:
+        self.parent.setdefault(term, term)
+        root = term
+        while self.parent[root] != root:
+            root = self.parent[root]
+        # Path compression.
+        while self.parent[term] != root:
+            self.parent[term], term = root, self.parent[term]
+        return root
+
+    def union(self, lhs: E.Expr, rhs: E.Expr) -> None:
+        root_l, root_r = self.find(lhs), self.find(rhs)
+        if root_l == root_r:
+            return
+        # Prefer constants as class representatives so conflicts surface.
+        if isinstance(root_l, E.Const):
+            self.parent[root_r] = root_l
+        else:
+            self.parent[root_l] = root_r
+
+
+def _normalize(literal: E.Expr) -> tuple[E.Expr, bool]:
+    """Strip negations; returns ``(atom, polarity)``."""
+    polarity = True
+    while isinstance(literal, E.Not):
+        literal = literal.expr
+        polarity = not polarity
+    return literal, polarity
+
+
+def _flatten(literals: Iterable[E.Expr]) -> list[tuple[E.Expr, bool]] | None:
+    """Expand conjunctions and normalize polarity.
+
+    Returns ``None`` when a literal is the constant *false* (trivially
+    UNSAT).
+    """
+    out: list[tuple[E.Expr, bool]] = []
+    stack = list(literals)
+    while stack:
+        lit = stack.pop()
+        atom, pol = _normalize(lit)
+        if isinstance(atom, E.And) and pol:
+            stack.extend([atom.lhs, atom.rhs])
+            continue
+        if isinstance(atom, E.Or) and not pol:
+            # !(a | b) == !a & !b
+            stack.extend([E.Not(atom.lhs), E.Not(atom.rhs)])
+            continue
+        if isinstance(atom, E.Const):
+            if (atom.value == 1) != pol:
+                return None
+            continue
+        out.append((atom, pol))
+    return out
+
+
+def _closure(
+    atoms: Sequence[tuple[E.Expr, bool]],
+) -> tuple[_UnionFind, list[tuple[E.Expr, E.Expr]], list[tuple[E.Expr, bool]]] | None:
+    """Congruence closure over the equality atoms.
+
+    Returns ``(uf, disequalities, residual_atoms)`` or ``None`` if an
+    immediate contradiction (two distinct constants merged) arises.
+    ``residual_atoms`` holds the atoms the closure cannot decide
+    (orderings, arithmetic relations used as booleans).
+    """
+    uf = _UnionFind()
+    disequalities: list[tuple[E.Expr, E.Expr]] = []
+    residual: list[tuple[E.Expr, bool]] = []
+    equalities: list[tuple[E.Expr, E.Expr]] = []
+
+    for atom, pol in atoms:
+        if isinstance(atom, E.Eq):
+            pair = (atom.lhs, atom.rhs)
+            (equalities if pol else disequalities).append(pair)
+        elif isinstance(atom, E.Ne):
+            pair = (atom.lhs, atom.rhs)
+            (disequalities if pol else equalities).append(pair)
+        elif isinstance(atom, E.Sym) and atom.width == 1:
+            equalities.append((atom, E.Const(1, 1 if pol else 0)))
+        else:
+            residual.append((atom, pol))
+
+    for lhs, rhs in equalities:
+        uf.union(lhs, rhs)
+
+    # Iterate to a fixpoint is unnecessary for plain equality logic without
+    # uninterpreted functions; one pass of merges suffices, then conflicts:
+    rep: dict[E.Expr, E.Expr] = {}
+    for term in list(uf.parent):
+        root = uf.find(term)
+        if isinstance(term, E.Const):
+            seen = rep.get(root)
+            if seen is not None and seen.value != term.value:
+                return None
+            rep[root] = term
+    for lhs, rhs in disequalities:
+        if uf.find(lhs) == uf.find(rhs):
+            return None
+    return uf, disequalities, residual
+
+
+def _random_model_search(
+    literals: Sequence[E.Expr],
+    uf: _UnionFind,
+    *,
+    attempts: int,
+    seed: int,
+) -> dict[str, int] | None:
+    """Try random assignments consistent with the equality classes."""
+    symbols: set[E.Sym] = set()
+    for lit in literals:
+        symbols |= E.free_symbols(lit)
+    if not symbols:
+        symbols = set()
+    rng = random.Random(seed)
+    interesting = [0, 1, 2, 255, 256, 65535]
+    for _ in range(attempts):
+        env: dict[str, int] = {}
+        class_value: dict[E.Expr, int] = {}
+        for sym in symbols:
+            root = uf.find(sym) if sym in uf.parent else sym
+            if isinstance(root, E.Const):
+                env[sym.name] = root.value
+                continue
+            if root not in class_value:
+                if rng.random() < 0.4:
+                    class_value[root] = rng.choice(interesting)
+                else:
+                    class_value[root] = rng.getrandbits(min(sym.width, 62))
+            env[sym.name] = class_value[root] & ((1 << sym.width) - 1)
+        try:
+            if all(E.evaluate(lit, env) == 1 for lit in literals):
+                return env
+        except Exception:  # noqa: BLE001 - unbound aux symbols etc.
+            continue
+    return None
+
+
+def check(
+    literals: Iterable[E.Expr],
+    *,
+    attempts: int = 64,
+    seed: int = 0,
+) -> Result:
+    """Check satisfiability of a conjunction of 1-bit literals."""
+    lits = list(literals)
+    atoms = _flatten(lits)
+    if atoms is None:
+        return Result.UNSAT
+    closed = _closure(atoms)
+    if closed is None:
+        return Result.UNSAT
+    uf, _, residual = closed
+    if not residual:
+        # Pure equality logic: congruence closure is a decision procedure
+        # here, so the absence of conflict means SAT.
+        return Result.SAT
+    model = _random_model_search(lits, uf, attempts=attempts, seed=seed)
+    if model is not None:
+        return Result.SAT
+    return Result.UNKNOWN
+
+
+def is_definitely_unsat(literals: Iterable[E.Expr]) -> bool:
+    """True only when the conjunction is *provably* unsatisfiable."""
+    return check(literals) is Result.UNSAT
+
+
+def find_model(
+    literals: Iterable[E.Expr],
+    *,
+    attempts: int = 256,
+    seed: int = 0,
+) -> dict[str, int] | None:
+    """Best-effort model for a conjunction of literals (None on failure)."""
+    lits = list(literals)
+    atoms = _flatten(lits)
+    if atoms is None:
+        return None
+    closed = _closure(atoms)
+    if closed is None:
+        return None
+    uf, _, _ = closed
+    return _random_model_search(lits, uf, attempts=attempts, seed=seed)

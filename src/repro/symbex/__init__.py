@@ -1,0 +1,27 @@
+"""Exhaustive Symbolic Execution (ESE) substrate.
+
+Replaces the paper's KLEE-based analysis: NFs written against the
+:mod:`repro.nf.api` context are explored path-by-path via re-execution
+forking, producing the execution tree of §3.3.
+"""
+
+from repro.symbex import expr
+from repro.symbex.engine import SymbolicEngine, explore_nf
+from repro.symbex.tree import (
+    Action,
+    ActionKind,
+    ExecutionTree,
+    Path,
+    TraceEntry,
+)
+
+__all__ = [
+    "expr",
+    "SymbolicEngine",
+    "explore_nf",
+    "Action",
+    "ActionKind",
+    "ExecutionTree",
+    "Path",
+    "TraceEntry",
+]

@@ -1,0 +1,364 @@
+"""The ESE engine: exhaustive symbolic execution by re-execution forking.
+
+The paper uses KLEE; this engine achieves the same artifact for NFs
+written against :class:`repro.nf.api.NfContext` without interpreter
+instrumentation.  Each exploration replays ``process()`` from the start
+with a *decision log*: recorded branch outcomes are replayed, and the
+first undecided ``ctx.cond`` takes one branch while queueing the other as
+a new decision prefix.  Provably-infeasible branches (checked with the
+equality-logic solver) are pruned, keeping the tree sound and complete for
+the supported NF class (§5: bounded loops, well-defined state).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from repro.errors import PathExplosionError, SymbolicError
+from repro.nf.api import NF, NfContext, PacketDone, StateDecl, StateKind
+from repro.solver import eqsmt
+from repro.symbex import expr as E
+from repro.symbex.tree import Action, ExecutionTree, Path, TraceEntry
+
+__all__ = ["SymbolicEngine", "explore_nf"]
+
+#: Widths of the fresh symbols introduced by stateful operations.
+_FOUND_WIDTH = 1
+_INDEX_WIDTH = 16
+_VALUE_WIDTH = 16
+_COUNT_WIDTH = 32
+_TIME_WIDTH = 64
+
+
+class _Infeasible(Exception):
+    """Internal: the current decision prefix has no feasible continuation."""
+
+
+def _zext(value: E.Expr, width: int) -> E.Expr:
+    """Zero-extend ``value`` to ``width`` bits."""
+    if value.width == width:
+        return value
+    if value.width > width:
+        return E.Extract(width, value, width - 1, 0)
+    return E.Concat.of(E.Const(width - value.width, 0), value)
+
+
+def _align(lhs: E.Expr, rhs: E.Expr) -> tuple[E.Expr, E.Expr]:
+    width = max(lhs.width, rhs.width)
+    return _zext(lhs, width), _zext(rhs, width)
+
+
+def _as_expr(value: Any, width: int = _VALUE_WIDTH) -> E.Expr:
+    if isinstance(value, E.Expr):
+        return value
+    if isinstance(value, bool):
+        return E.Const(1, int(value))
+    if isinstance(value, int):
+        return E.Const(max(width, value.bit_length() or 1), value)
+    raise SymbolicError(f"cannot lift {value!r} into a symbolic expression")
+
+
+class _SymbolicContext(NfContext):
+    """One re-execution of ``process`` under a fixed decision prefix."""
+
+    def __init__(self, nf: NF, decls: Mapping[str, StateDecl], prefix: Sequence[bool]):
+        self.nf = nf
+        self.decls = decls
+        self.prefix = list(prefix)
+        self.cursor = 0
+        self.decisions: list[bool] = []
+        self.pc: list[E.Expr] = []
+        self.trace: list[TraceEntry] = []
+        self.origins: dict[str, tuple[int, str]] = {}
+        self.forks: list[tuple[bool, ...]] = []
+        self.mods: dict[str, E.Expr] = {}
+        self._op_counter = 0
+
+    # -------------------------------------------------------------- #
+    # Branching
+    # -------------------------------------------------------------- #
+    def cond(self, value: Any) -> bool:
+        if isinstance(value, bool):
+            return value
+        if not isinstance(value, E.Expr):
+            return bool(value)
+        expr = value if value.width == 1 else E.Ne(value, E.Const(value.width, 0))
+        if self.cursor < len(self.prefix):
+            taken = self.prefix[self.cursor]
+        else:
+            taken = None
+        self.cursor += 1
+
+        def literal(branch: bool) -> E.Expr:
+            return expr if branch else E.Not(expr)
+
+        if taken is not None:
+            # Replay: the parent run proved this branch feasible.
+            self.pc.append(literal(taken))
+            self.decisions.append(taken)
+            return taken
+
+        true_feasible = not eqsmt.is_definitely_unsat(self.pc + [literal(True)])
+        false_feasible = not eqsmt.is_definitely_unsat(self.pc + [literal(False)])
+        if not true_feasible and not false_feasible:
+            raise _Infeasible()
+        take = True if true_feasible else False
+        if true_feasible and false_feasible:
+            self.forks.append(tuple(self.decisions) + (not take,))
+        self.pc.append(literal(take))
+        self.decisions.append(take)
+        return take
+
+    # -------------------------------------------------------------- #
+    # Value algebra over expressions
+    # -------------------------------------------------------------- #
+    def const(self, value: int, width: int) -> E.Expr:
+        return E.Const(width, value)
+
+    def eq(self, lhs: Any, rhs: Any) -> E.Expr:
+        return E.Eq(*_align(_as_expr(lhs), _as_expr(rhs)))
+
+    def lt(self, lhs: Any, rhs: Any) -> E.Expr:
+        return E.Ult(*_align(_as_expr(lhs), _as_expr(rhs)))
+
+    def add(self, lhs: Any, rhs: Any) -> E.Expr:
+        return E.Add(*_align(_as_expr(lhs), _as_expr(rhs)))
+
+    def sub(self, lhs: Any, rhs: Any) -> E.Expr:
+        return E.Sub(*_align(_as_expr(lhs), _as_expr(rhs)))
+
+    def mul(self, lhs: Any, rhs: Any) -> E.Expr:
+        return E.Mul(*_align(_as_expr(lhs), _as_expr(rhs)))
+
+    def extract(self, value: Any, hi: int, lo: int) -> E.Expr:
+        return E.Extract(hi - lo + 1, _as_expr(value), hi, lo)
+
+    def lnot(self, value: Any) -> E.Expr:
+        return E.Not(_as_expr(value, 1))
+
+    def land(self, lhs: Any, rhs: Any) -> E.Expr:
+        return E.And(_as_expr(lhs, 1), _as_expr(rhs, 1))
+
+    def lor(self, lhs: Any, rhs: Any) -> E.Expr:
+        return E.Or(_as_expr(lhs, 1), _as_expr(rhs, 1))
+
+    def hash_value(self, fn: str, values: Sequence[Any], width: int) -> E.Expr:
+        return E.Uninterp(width, fn, tuple(_as_expr(v) for v in values))
+
+    def now(self) -> E.Expr:
+        return E.Sym(_TIME_WIDTH, "time")
+
+    # -------------------------------------------------------------- #
+    # Stateful operations: fresh symbols + trace entries
+    # -------------------------------------------------------------- #
+    def _fresh(self, obj: str, field: str, width: int) -> E.Sym:
+        return E.Sym(width, f"{obj}.{self._op_counter}.{field}")
+
+    def _emit(
+        self,
+        obj: str,
+        op: str,
+        *,
+        write: bool,
+        key: tuple[E.Expr, ...] | None,
+        results: tuple[tuple[str, E.Sym], ...] = (),
+        stored: tuple[tuple[str, E.Expr], ...] = (),
+        maintenance: bool = False,
+    ) -> TraceEntry:
+        entry = TraceEntry(
+            index=len(self.trace),
+            obj=obj,
+            op=op,
+            write=write,
+            key=key,
+            results=results,
+            stored=stored,
+            pc_len=len(self.pc),
+            maintenance=maintenance,
+        )
+        for field_name, sym in results:
+            self.origins[sym.name] = (entry.index, field_name)
+        self.trace.append(entry)
+        self._op_counter += 1
+        return entry
+
+    def _key(self, key: Sequence[Any]) -> tuple[E.Expr, ...]:
+        return tuple(_as_expr(part) for part in key)
+
+    def map_get(self, name: str, key: Sequence[Any]) -> tuple[E.Expr, E.Expr]:
+        found = self._fresh(name, "found", _FOUND_WIDTH)
+        value = self._fresh(name, "value", _VALUE_WIDTH)
+        self._emit(
+            name,
+            "map_get",
+            write=False,
+            key=self._key(key),
+            results=(("found", found), ("value", value)),
+        )
+        return found, value
+
+    def map_put(self, name: str, key: Sequence[Any], value: Any) -> E.Expr:
+        ok = self._fresh(name, "ok", _FOUND_WIDTH)
+        self._emit(
+            name,
+            "map_put",
+            write=True,
+            key=self._key(key),
+            results=(("ok", ok),),
+            stored=(("value", _as_expr(value)),),
+        )
+        return ok
+
+    def map_erase(self, name: str, key: Sequence[Any]) -> None:
+        self._emit(name, "map_erase", write=True, key=self._key(key))
+
+    def vector_borrow(self, name: str, index: Any) -> Mapping[str, E.Expr]:
+        decl = self.decls[name]
+        results = tuple(
+            (field_name, self._fresh(name, field_name, width))
+            for field_name, width in decl.value_layout
+        )
+        self._emit(
+            name,
+            "vector_borrow",
+            write=False,
+            key=(_as_expr(index),),
+            results=results,
+        )
+        return dict(results)
+
+    def vector_put(self, name: str, index: Any, record: Mapping[str, Any]) -> None:
+        self._emit(
+            name,
+            "vector_put",
+            write=True,
+            key=(_as_expr(index),),
+            stored=tuple((f, _as_expr(v)) for f, v in record.items()),
+        )
+
+    def vector_fill(self, name: str, records: Sequence[Mapping[str, Any]]) -> None:
+        self._emit(name, "vector_fill", write=True, key=None)
+
+    def dchain_allocate(self, name: str) -> tuple[E.Expr, E.Expr]:
+        ok = self._fresh(name, "ok", _FOUND_WIDTH)
+        index = self._fresh(name, "index", _INDEX_WIDTH)
+        self._emit(
+            name,
+            "dchain_allocate",
+            write=True,
+            key=None,
+            results=(("ok", ok), ("index", index)),
+        )
+        return ok, index
+
+    def dchain_is_allocated(self, name: str, index: Any) -> E.Expr:
+        allocated = self._fresh(name, "allocated", _FOUND_WIDTH)
+        self._emit(
+            name,
+            "dchain_is_allocated",
+            write=False,
+            key=(_as_expr(index),),
+            results=(("allocated", allocated),),
+        )
+        return allocated
+
+    def dchain_rejuvenate(self, name: str, index: Any) -> None:
+        self._emit(
+            name,
+            "dchain_rejuvenate",
+            write=True,
+            key=(_as_expr(index),),
+            maintenance=True,
+        )
+
+    def sketch_fetch(self, name: str, key: Sequence[Any]) -> E.Expr:
+        count = self._fresh(name, "count", _COUNT_WIDTH)
+        self._emit(
+            name,
+            "sketch_fetch",
+            write=False,
+            key=self._key(key),
+            results=(("count", count),),
+        )
+        return count
+
+    def sketch_touch(self, name: str, key: Sequence[Any]) -> None:
+        self._emit(name, "sketch_touch", write=True, key=self._key(key))
+
+    def expire_flows(self, map_name: str, chain_name: str) -> None:
+        # Maintenance sweep: local to a shard under shared-nothing, so it
+        # is excluded from key analysis (but still a write for cost models).
+        self._emit(chain_name, "expire", write=True, key=None, maintenance=True)
+        self._emit(map_name, "expire", write=True, key=None, maintenance=True)
+
+    # -------------------------------------------------------------- #
+    # Packet operations
+    # -------------------------------------------------------------- #
+    def set_field(self, name: str, value: Any) -> None:
+        self.mods[name] = _as_expr(value)
+
+
+@dataclass
+class SymbolicEngine:
+    """Explore all execution paths of an NF, per ingress port."""
+
+    max_paths: int = 4096
+
+    def explore_port(self, nf: NF, port: int) -> list[Path]:
+        """All feasible paths for packets arriving on ``port``."""
+        # Imported here to keep repro.nf.packet importable on its own
+        # (it depends on repro.symbex.expr, not on this engine).
+        from repro.nf.packet import SymbolicPacket
+
+        decls = {decl.name: decl for decl in nf.state()}
+        paths: list[Path] = []
+        pending: list[tuple[bool, ...]] = [()]
+        pkt = SymbolicPacket()
+        while pending:
+            prefix = pending.pop()
+            ctx = _SymbolicContext(nf, decls, prefix)
+            try:
+                nf.process(ctx, port, pkt)
+            except PacketDone as done:
+                action = Action(
+                    kind=done.kind,
+                    port=done.port,
+                    mods=tuple(sorted(ctx.mods.items())),
+                )
+                paths.append(
+                    Path(
+                        port=port,
+                        decisions=tuple(ctx.decisions),
+                        constraints=tuple(ctx.pc),
+                        trace=tuple(ctx.trace),
+                        action=action,
+                        origins=dict(ctx.origins),
+                    )
+                )
+                pending.extend(ctx.forks)
+            except _Infeasible:
+                continue
+            else:
+                raise SymbolicError(
+                    f"{nf.name}.process(port={port}) returned without a "
+                    "packet operation"
+                )
+            if len(paths) + len(pending) > self.max_paths:
+                raise PathExplosionError(
+                    f"{nf.name}: more than {self.max_paths} paths; are all "
+                    "loops statically bounded?"
+                )
+        return paths
+
+    def explore(self, nf: NF) -> ExecutionTree:
+        """Build the full execution tree of ``nf`` (§3.3)."""
+        return ExecutionTree(
+            nf_name=nf.name,
+            paths_by_port={port: self.explore_port(nf, port) for port in nf.port_ids()},
+        )
+
+
+def explore_nf(nf: NF, *, max_paths: int = 4096) -> ExecutionTree:
+    """Convenience wrapper around :class:`SymbolicEngine`."""
+    return SymbolicEngine(max_paths=max_paths).explore(nf)

@@ -1,0 +1,123 @@
+"""Execution-tree artifacts produced by the ESE engine (§3.3).
+
+"The extracted model is an execution tree containing all the possible code
+execution paths a packet can trigger.  Each node on this graph is either
+conditional ..., a stateful operation ..., or packet operation" — here the
+tree is stored path-wise: every :class:`Path` carries its branch decisions,
+accumulated constraints, stateful-operation trace, and terminal action,
+which is the exact information the Stateful Report builder consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from repro.nf.api import ActionKind
+from repro.symbex import expr as E
+
+__all__ = ["Action", "ActionKind", "TraceEntry", "Path", "ExecutionTree"]
+
+
+@dataclass(frozen=True)
+class Action:
+    """A terminal packet operation: forward/drop/flood plus header rewrites."""
+
+    kind: ActionKind
+    port: E.Expr | int | None = None
+    mods: tuple[tuple[str, E.Expr], ...] = ()
+
+    def describe(self) -> str:
+        if self.kind is ActionKind.FORWARD:
+            target = f"port {self.port!r}"
+            rewrites = f" with {len(self.mods)} rewrites" if self.mods else ""
+            return f"forward to {target}{rewrites}"
+        return self.kind.value
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One stateful operation observed on a path.
+
+    ``key`` is the symbolic key expression tuple (None for key-less writes
+    such as expiry sweeps or bulk fills — the rule-R4 triggers).
+    ``results`` names the fresh symbols this operation introduced;
+    ``stored`` records, for writes, the expression written into each slot
+    (the provenance that rule R5 consumes).  ``pc_len`` is the number of
+    path constraints that were active when the operation ran.
+    """
+
+    index: int
+    obj: str
+    op: str
+    write: bool
+    key: tuple[E.Expr, ...] | None
+    results: tuple[tuple[str, E.Sym], ...] = ()
+    stored: tuple[tuple[str, E.Expr], ...] = ()
+    pc_len: int = 0
+    maintenance: bool = False
+
+    def result(self, name: str) -> E.Sym:
+        for field_name, sym in self.results:
+            if field_name == name:
+                return sym
+        raise KeyError(f"{self.op} on {self.obj}: no result field {name!r}")
+
+
+@dataclass(frozen=True)
+class Path:
+    """One complete execution path for a packet arriving on ``port``."""
+
+    port: int
+    decisions: tuple[bool, ...]
+    constraints: tuple[E.Expr, ...]
+    trace: tuple[TraceEntry, ...]
+    action: Action
+    #: symbol name -> (trace index, result field) for state-derived values
+    origins: Mapping[str, tuple[int, str]] = field(default_factory=dict)
+
+    def constraints_at(self, entry: TraceEntry) -> tuple[E.Expr, ...]:
+        """Constraints that were active when ``entry`` executed."""
+        return self.constraints[: entry.pc_len]
+
+    def stateful_entries(self) -> Iterator[TraceEntry]:
+        return (entry for entry in self.trace if not entry.maintenance)
+
+
+@dataclass
+class ExecutionTree:
+    """The complete model of an NF: all paths, per ingress port."""
+
+    nf_name: str
+    paths_by_port: dict[int, list[Path]]
+
+    @property
+    def ports(self) -> list[int]:
+        return sorted(self.paths_by_port)
+
+    def paths(self, port: int | None = None) -> list[Path]:
+        if port is not None:
+            return list(self.paths_by_port.get(port, []))
+        return [p for port_paths in self.paths_by_port.values() for p in port_paths]
+
+    def entries(self) -> Iterator[tuple[Path, TraceEntry]]:
+        """Every (path, stateful entry) pair across all ports."""
+        for path in self.paths():
+            for entry in path.stateful_entries():
+                yield path, entry
+
+    def objects(self) -> set[str]:
+        return {entry.obj for _, entry in self.entries()}
+
+    def summary(self) -> str:
+        lines = [f"execution tree for {self.nf_name}:"]
+        for port in self.ports:
+            for path in self.paths_by_port[port]:
+                ops = ", ".join(
+                    f"{e.op}({e.obj})" for e in path.trace if not e.maintenance
+                )
+                lines.append(
+                    f"  port {port}: [{ops or 'stateless'}] -> "
+                    f"{path.action.describe()}"
+                )
+        return "\n".join(lines)

@@ -1,0 +1,90 @@
+"""Churn workloads (§6.3, Figure 9).
+
+The paper measures churn as *relative churn* in flows/Gbit baked into a
+cyclic PCAP: "(i) small enough to fit in memory; (ii) changed enough flows
+to produce the desired relative churn; (iii) evenly spread these changes
+throughout the traffic; and (iv) were cyclic (the flows that expire at the
+start of the PCAP are created at the end)".  As the replay rate varies,
+the *absolute* churn (flows/minute) scales in tandem:
+
+    absolute_churn [fpm] = relative_churn [flows/Gbit] x rate [Gbps] x 60
+
+:func:`churn_trace` builds exactly such traces; :func:`write_fraction`
+converts relative churn into the per-packet new-flow probability the
+analytic performance model consumes (rate-independent, which is what makes
+the Figure 9 equilibrium well-defined).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nf.flow import FiveTuple
+from repro.traffic.generator import Trace, TrafficGenerator
+
+__all__ = ["churn_trace", "write_fraction", "absolute_churn_fpm", "relative_from_absolute"]
+
+
+def write_fraction(relative_churn_fpg: float, pkt_size: int) -> float:
+    """Per-packet probability of creating a new flow.
+
+    ``relative_churn_fpg`` is in flows/Gbit; one packet carries
+    ``pkt_size * 8`` bits, so each packet is a new flow with probability
+    churn x bits / 1e9 (clamped to 1).
+    """
+    return min(1.0, relative_churn_fpg * pkt_size * 8.0 / 1e9)
+
+
+def absolute_churn_fpm(relative_churn_fpg: float, rate_gbps: float) -> float:
+    """Absolute churn in flows/minute at a given replay rate."""
+    return relative_churn_fpg * rate_gbps * 60.0
+
+
+def relative_from_absolute(fpm: float, rate_gbps: float) -> float:
+    """Inverse of :func:`absolute_churn_fpm`."""
+    if rate_gbps <= 0:
+        raise ValueError("rate must be positive")
+    return fpm / (rate_gbps * 60.0)
+
+
+def churn_trace(
+    generator: TrafficGenerator,
+    n_packets: int,
+    n_live_flows: int,
+    relative_churn_fpg: float,
+    *,
+    pkt_size: int = 64,
+    in_port: int = 0,
+) -> Trace:
+    """A cyclic trace with the requested relative churn.
+
+    Maintains a working set of ``n_live_flows`` flows; new-flow events are
+    spread evenly through the trace, each retiring the oldest flow and
+    introducing a fresh one.  Replayed in a loop the trace is cyclic: the
+    flows retired early are exactly the ones (re)created at the end.
+    """
+    p_new = write_fraction(relative_churn_fpg, pkt_size)
+    n_new = int(round(n_packets * p_new))
+    live = generator.make_flows(n_live_flows)
+    replacements = generator.make_flows(min(n_new, n_live_flows))
+
+    new_flow_at = set()
+    if n_new:
+        step = n_packets / n_new
+        new_flow_at = {int(i * step) for i in range(n_new)}
+
+    out: Trace = []
+    next_replacement = 0
+    oldest = 0
+    for i in range(n_packets):
+        if i in new_flow_at and replacements:
+            # Retire the oldest live flow, admit a fresh one (cyclically
+            # reusing the replacement pool keeps the trace loopable).
+            live[oldest] = replacements[next_replacement % len(replacements)]
+            next_replacement += 1
+            oldest = (oldest + 1) % n_live_flows
+            flow = live[(oldest - 1) % n_live_flows]
+        else:
+            flow = live[int(generator.rng.integers(0, n_live_flows))]
+        out.append((in_port, flow.packet(pkt_size, i * 1e-6)))
+    return out

@@ -1,0 +1,66 @@
+"""Flow popularity distributions (§4, *Traffic skew*).
+
+"The expression 'mice and elephants' is typically used to describe packet
+flow distributions on the Internet.  These follow a Zipfian distribution."
+The paper's Zipfian workload uses parameters fitted from a real university
+traffic sample [12, 60]: 1k flows of which 48 carry 80% of the packets —
+:func:`paper_zipf_weights` reproduces exactly that shape by solving for
+the Zipf exponent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "zipf_weights",
+    "top_share",
+    "fit_zipf_exponent",
+    "paper_zipf_weights",
+    "PAPER_N_FLOWS",
+    "PAPER_TOP_FLOWS",
+    "PAPER_TOP_SHARE",
+]
+
+#: The paper's Figure 5 workload: "1k flows, 48 of which responsible for
+#: 80% of the traffic".
+PAPER_N_FLOWS = 1000
+PAPER_TOP_FLOWS = 48
+PAPER_TOP_SHARE = 0.80
+
+
+def zipf_weights(n_flows: int, exponent: float) -> np.ndarray:
+    """Normalized Zipf popularity, descending (rank 1 first)."""
+    if n_flows <= 0:
+        raise ValueError("n_flows must be positive")
+    ranks = np.arange(1, n_flows + 1, dtype=np.float64)
+    weights = ranks**-exponent
+    return weights / weights.sum()
+
+
+def top_share(weights: np.ndarray, top_k: int) -> float:
+    """Fraction of traffic carried by the ``top_k`` most popular flows."""
+    return float(weights[:top_k].sum())
+
+
+def fit_zipf_exponent(
+    n_flows: int, top_k: int, share: float, *, tolerance: float = 1e-6
+) -> float:
+    """Solve for the exponent giving ``share`` of traffic to ``top_k`` flows."""
+    if not 0.0 < share < 1.0:
+        raise ValueError("share must be in (0, 1)")
+    low, high = 0.0, 10.0
+    while high - low > tolerance:
+        mid = (low + high) / 2.0
+        if top_share(zipf_weights(n_flows, mid), top_k) < share:
+            low = mid
+        else:
+            high = mid
+    return (low + high) / 2.0
+
+
+def paper_zipf_weights(n_flows: int = PAPER_N_FLOWS) -> np.ndarray:
+    """The paper's Zipf shape, rescaled to ``n_flows`` if needed."""
+    top_k = max(1, round(PAPER_TOP_FLOWS * n_flows / PAPER_N_FLOWS))
+    exponent = fit_zipf_exponent(n_flows, top_k, PAPER_TOP_SHARE)
+    return zipf_weights(n_flows, exponent)

@@ -1,0 +1,98 @@
+"""Minimal pcap file reader/writer.
+
+The paper's methodology replays PCAP files with DPDK-Pktgen (§6.2); this
+module lets every synthetic workload in this repository round-trip through
+real ``.pcap`` files (classic format, microsecond resolution, Ethernet
+link type), so traces can be inspected with standard tools.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+
+from repro.nf.packet import Packet
+from repro.traffic.generator import Trace
+
+__all__ = ["write_pcap", "read_pcap", "PCAP_MAGIC", "LINKTYPE_ETHERNET"]
+
+PCAP_MAGIC = 0xA1B2C3D4
+_VERSION = (2, 4)
+LINKTYPE_ETHERNET = 1
+_SNAPLEN = 65535
+
+_GLOBAL_HEADER = struct.Struct("<IHHiIII")
+_RECORD_HEADER = struct.Struct("<IIII")
+
+
+def write_pcap(path: str | Path, trace: Trace) -> int:
+    """Write a trace to ``path``; returns the number of packets written.
+
+    The ingress port is not representable in classic pcap, so it is
+    conventionally encoded in the last byte of the destination MAC
+    (read back by :func:`read_pcap`).
+    """
+    path = Path(path)
+    with path.open("wb") as fh:
+        fh.write(
+            _GLOBAL_HEADER.pack(
+                PCAP_MAGIC, *_VERSION, 0, 0, _SNAPLEN, LINKTYPE_ETHERNET
+            )
+        )
+        for port, pkt in trace:
+            tagged = Packet(
+                src_ip=pkt.src_ip,
+                dst_ip=pkt.dst_ip,
+                src_port=pkt.src_port,
+                dst_port=pkt.dst_port,
+                proto=pkt.proto,
+                src_mac=pkt.src_mac,
+                dst_mac=(pkt.dst_mac & ~0xFF) | (port & 0xFF),
+                eth_type=pkt.eth_type,
+                wire_size=pkt.wire_size,
+                timestamp=pkt.timestamp,
+            )
+            frame = tagged.to_bytes()
+            seconds = int(pkt.timestamp)
+            micros = int(round((pkt.timestamp - seconds) * 1e6))
+            fh.write(
+                _RECORD_HEADER.pack(seconds, micros, len(frame), pkt.wire_size)
+            )
+            fh.write(frame)
+    return len(trace)
+
+
+def read_pcap(path: str | Path) -> Trace:
+    """Read a trace written by :func:`write_pcap`."""
+    path = Path(path)
+    data = path.read_bytes()
+    magic, _, _, _, _, _, linktype = _GLOBAL_HEADER.unpack_from(data, 0)
+    if magic != PCAP_MAGIC:
+        raise ValueError(f"{path}: not a (classic, little-endian) pcap file")
+    if linktype != LINKTYPE_ETHERNET:
+        raise ValueError(f"{path}: unsupported link type {linktype}")
+    offset = _GLOBAL_HEADER.size
+    trace: Trace = []
+    while offset < len(data):
+        seconds, micros, incl_len, orig_len = _RECORD_HEADER.unpack_from(
+            data, offset
+        )
+        offset += _RECORD_HEADER.size
+        frame = data[offset : offset + incl_len]
+        offset += incl_len
+        pkt = Packet.from_bytes(frame, timestamp=seconds + micros / 1e6)
+        port = pkt.dst_mac & 0xFF
+        pkt = Packet(
+            src_ip=pkt.src_ip,
+            dst_ip=pkt.dst_ip,
+            src_port=pkt.src_port,
+            dst_port=pkt.dst_port,
+            proto=pkt.proto,
+            src_mac=pkt.src_mac,
+            dst_mac=pkt.dst_mac & ~0xFF,
+            eth_type=pkt.eth_type,
+            wire_size=orig_len,
+            timestamp=pkt.timestamp,
+        )
+        trace.append((port, pkt))
+    return trace

@@ -1,0 +1,41 @@
+"""Shared fixtures: cached Maestro analyses and traffic helpers.
+
+Analyzing an NF (ESE + constraints + RS3 key search) costs a few hundred
+milliseconds; the session-scoped cache below keeps the suite fast without
+hiding cross-test state (analyses are immutable results).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Maestro, MaestroResult
+from repro.nf.nfs import ALL_NFS
+from repro.traffic import TrafficGenerator
+
+
+class AnalysisCache:
+    """Lazily analyze each corpus NF once per test session."""
+
+    def __init__(self) -> None:
+        self._maestro = Maestro(seed=1234)
+        self._cache: dict[str, MaestroResult] = {}
+
+    def __getitem__(self, name: str) -> MaestroResult:
+        if name not in self._cache:
+            self._cache[name] = self._maestro.analyze(ALL_NFS[name]())
+        return self._cache[name]
+
+    @property
+    def maestro(self) -> Maestro:
+        return self._maestro
+
+
+@pytest.fixture(scope="session")
+def analyses() -> AnalysisCache:
+    return AnalysisCache()
+
+
+@pytest.fixture()
+def generator() -> TrafficGenerator:
+    return TrafficGenerator(seed=99)

@@ -1,0 +1,111 @@
+"""Code Generator: parallel NF construction and C emission (§3.6)."""
+
+import pytest
+
+from repro.core import Strategy, Verdict, emit_c
+from repro.errors import SimulationError
+from repro.nf.nfs import ALL_NFS, Firewall
+from repro.nf.packet import Packet
+
+
+def make_parallel(analyses, name, n_cores=4, strategy=None):
+    result = analyses[name]
+    return analyses.maestro.parallelize(
+        ALL_NFS[name](), n_cores=n_cores, result=result, strategy=strategy
+    )
+
+
+class TestGeneration:
+    def test_shared_nothing_gets_per_core_state(self, analyses):
+        parallel = make_parallel(analyses, "fw", n_cores=4)
+        assert parallel.strategy is Strategy.SHARED_NOTHING
+        stores = {id(core.ctx.store) for core in parallel.cores}
+        assert len(stores) == 4
+        assert parallel.shared_store is None
+
+    def test_state_capacity_divided(self, analyses):
+        parallel = make_parallel(analyses, "fw", n_cores=8)
+        nf_capacity = Firewall().capacity
+        for core in parallel.cores:
+            assert core.ctx.store["fw_flows"].capacity == nf_capacity // 8
+
+    def test_locks_share_one_store(self, analyses):
+        parallel = make_parallel(analyses, "lb", n_cores=4)
+        assert parallel.strategy is Strategy.LOCKS
+        assert parallel.shared_store is not None
+        stores = {id(core.ctx.store) for core in parallel.cores}
+        assert len(stores) == 1
+
+    def test_strategy_override_to_locks(self, analyses):
+        parallel = make_parallel(analyses, "fw", strategy=Strategy.LOCKS)
+        assert parallel.strategy is Strategy.LOCKS
+        assert parallel.shared_store is not None
+
+    def test_strategy_override_to_tm(self, analyses):
+        parallel = make_parallel(analyses, "fw", strategy=Strategy.TM)
+        assert parallel.strategy is Strategy.TM
+
+    def test_shared_nothing_cannot_be_forced(self, analyses):
+        with pytest.raises(SimulationError):
+            make_parallel(analyses, "lb", strategy=Strategy.SHARED_NOTHING)
+
+    def test_invalid_core_count(self, analyses):
+        with pytest.raises(SimulationError):
+            make_parallel(analyses, "fw", n_cores=0)
+
+    def test_default_strategy_follows_verdict(self, analyses):
+        assert make_parallel(analyses, "fw").strategy is Strategy.SHARED_NOTHING
+        assert make_parallel(analyses, "dbridge").strategy is Strategy.LOCKS
+
+
+class TestProcessing:
+    def test_process_returns_core_and_result(self, analyses):
+        parallel = make_parallel(analyses, "fw")
+        core, result = parallel.process(0, Packet(1, 2, 3, 4))
+        assert 0 <= core < parallel.n_cores
+        assert result.port == 1
+
+    def test_stats_accumulate(self, analyses):
+        parallel = make_parallel(analyses, "fw")
+        for i in range(10):
+            parallel.process(0, Packet(i, 2, 3, 4))
+        assert sum(core.packets for core in parallel.cores) == 10
+        assert parallel.write_fraction() == 1.0  # all new flows
+        parallel.reset_stats()
+        assert sum(core.packets for core in parallel.cores) == 0
+
+    def test_core_shares_sum_to_one(self, analyses):
+        parallel = make_parallel(analyses, "fw", n_cores=8)
+        trace = [(0, Packet(i, i + 1, 10, 20)) for i in range(200)]
+        shares = parallel.core_shares(trace)
+        assert abs(shares.sum() - 1.0) < 1e-9
+        assert len(shares) == 8
+
+
+class TestEmitC:
+    def test_keys_embedded(self, analyses):
+        parallel = make_parallel(analyses, "fw")
+        code = emit_c(parallel)
+        assert "RSS_KEY_PORT_0[52]" in code
+        assert "RSS_KEY_PORT_1[52]" in code
+        key0 = parallel.rss.ports[0].key
+        assert f"0x{key0[0]:02x}" in code
+
+    def test_shared_nothing_skeleton(self, analyses):
+        code = emit_c(make_parallel(analyses, "fw"))
+        assert "shard on" in code
+        assert "no" in code and "synchronization" in code
+
+    def test_locks_warning_present(self, analyses):
+        code = emit_c(make_parallel(analyses, "dbridge"))
+        assert "read/write locks" in code
+        assert "Maestro warning" in code
+
+    def test_per_core_state_init(self, analyses):
+        code = emit_c(make_parallel(analyses, "fw", n_cores=4))
+        assert "map_init(&fw_flows[core_id]" in code
+        assert "/* per core */" in code
+
+    def test_tm_skeleton(self, analyses):
+        code = emit_c(make_parallel(analyses, "fw", strategy=Strategy.TM))
+        assert "_xbegin" in code

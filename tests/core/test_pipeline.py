@@ -1,0 +1,64 @@
+"""The end-to-end Maestro pipeline (Figure 1)."""
+
+import pytest
+
+from repro.core import Maestro, Verdict
+from repro.nf.nfs import ALL_NFS, Firewall
+from repro.rs3.fields import E810
+
+
+class TestAnalyze:
+    def test_stage_timings_recorded(self, analyses):
+        result = analyses["fw"]
+        assert set(result.timings) >= {
+            "symbolic_execution",
+            "constraints_generator",
+            "rs3",
+        }
+        assert result.total_time > 0
+
+    def test_keys_cover_all_ports(self, analyses):
+        for name in ALL_NFS:
+            result = analyses[name]
+            assert set(result.keys) == {0, 1}
+            for key in result.keys.values():
+                assert len(key) == E810.key_bytes
+
+    def test_key_stats_populated(self, analyses):
+        stats = analyses["fw"].key_stats
+        assert stats.attempts >= 1
+        assert stats.constraint_rows > 0
+
+    def test_nop_keys_unconstrained(self, analyses):
+        assert analyses["nop"].key_stats.constraint_rows == 0
+
+    def test_describe_includes_keys_and_timings(self, analyses):
+        text = analyses["fw"].describe()
+        assert "key port 0:" in text and "timings:" in text
+
+    def test_different_seeds_different_keys(self):
+        key_a = Maestro(seed=1).analyze(Firewall()).keys[0]
+        key_b = Maestro(seed=2).analyze(Firewall()).keys[0]
+        assert key_a != key_b
+
+    def test_same_seed_reproducible_verdict(self):
+        a = Maestro(seed=3).analyze(Firewall())
+        b = Maestro(seed=3).analyze(Firewall())
+        assert a.keys == b.keys
+        assert a.solution.per_port == b.solution.per_port
+
+
+class TestParallelize:
+    def test_reuses_analysis(self, analyses):
+        result = analyses["fw"]
+        parallel = analyses.maestro.parallelize(
+            Firewall(), n_cores=2, result=result
+        )
+        assert parallel.rss.ports[0].key == result.keys[0]
+        assert "code_generator" in result.timings
+
+    def test_rss_configuration_queue_count(self, analyses):
+        rss = analyses["fw"].rss_configuration(n_cores=6)
+        assert rss.n_queues == 6
+        for config in rss.ports.values():
+            assert config.table.n_queues == 6

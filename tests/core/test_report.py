@@ -1,0 +1,56 @@
+"""Stateful Report: construction and read-only filtering (§3.4)."""
+
+from repro.core.report import build_report
+from repro.nf.nfs import Firewall, Nop, StaticBridge
+from repro.symbex import explore_nf
+
+
+class TestBuildReport:
+    def test_stateless_nf_yields_empty_report(self):
+        nf = Nop()
+        report = build_report(nf, explore_nf(nf))
+        assert report.stateless
+        assert not report.read_only_objects
+
+    def test_read_only_objects_filtered(self):
+        nf = StaticBridge(bindings={1: 0})
+        report = build_report(nf, explore_nf(nf))
+        assert report.stateless
+        assert "sbr_macs" in report.read_only_objects
+
+    def test_firewall_entries_present(self):
+        nf = Firewall()
+        report = build_report(nf, explore_nf(nf))
+        assert not report.stateless
+        assert "fw_flows" in report.objects()
+
+    def test_maintenance_ops_excluded(self):
+        nf = Firewall()
+        report = build_report(nf, explore_nf(nf))
+        ops = {entry.op for entry in report.entries}
+        assert "expire" not in ops
+        assert "dchain_rejuvenate" not in ops
+
+    def test_entries_grouped_by_object(self):
+        nf = Firewall()
+        report = build_report(nf, explore_nf(nf))
+        grouped = report.by_object()
+        assert set(grouped) == report.objects()
+        assert sum(len(v) for v in grouped.values()) == len(report.entries)
+
+    def test_entry_constraints_snapshot(self):
+        nf = Firewall()
+        report = build_report(nf, explore_nf(nf))
+        for entry in report.entries:
+            assert len(entry.constraints()) == entry.entry.pc_len
+
+    def test_describe_lists_entries(self):
+        nf = Firewall()
+        report = build_report(nf, explore_nf(nf))
+        text = report.describe()
+        assert "map_get(fw_flows" in text
+
+    def test_describe_mentions_filtered(self):
+        nf = StaticBridge(bindings={1: 0})
+        report = build_report(nf, explore_nf(nf))
+        assert "sbr_macs" in report.describe()

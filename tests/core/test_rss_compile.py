@@ -1,0 +1,93 @@
+"""Sharding solution -> RS3 requirement compilation (§3.5)."""
+
+import pytest
+
+from repro.core.rss_compile import compile_rss
+from repro.errors import RssUnsatisfiableError
+from repro.nf.nfs import ALL_NFS, Firewall, Nat, Nop, Policer
+from repro.rs3.fields import E810, PERMISSIVE_NIC, RssField
+from repro.rs3.solver import CancelField, MapFields
+
+
+class TestPolicerCompilation:
+    def test_e810_cancels_ports_and_src(self, analyses):
+        result = analyses["policer"]
+        compilation = compile_rss(Policer(), result.solution, E810)
+        cancels = {
+            (r.port, r.field)
+            for r in compilation.requirements
+            if isinstance(r, CancelField)
+        }
+        # Sharding on dst_ip alone: everything else the option hashes must
+        # be cancelled (the E810 cannot hash IPs without ports, §6.1).
+        assert cancels == {
+            (1, RssField.SRC_IP),
+            (1, RssField.SRC_PORT),
+            (1, RssField.DST_PORT),
+        }
+
+    def test_permissive_nic_needs_fewer_cancels(self, analyses):
+        result = analyses["policer"]
+        compilation = compile_rss(Policer(), result.solution, PERMISSIVE_NIC)
+        cancels = [
+            r for r in compilation.requirements if isinstance(r, CancelField)
+        ]
+        # The IP-only option only forces src_ip to be cancelled.
+        assert {(c.port, c.field) for c in cancels} == {(1, RssField.SRC_IP)}
+
+
+class TestFirewallCompilation:
+    def test_cross_port_mappings(self, analyses):
+        compilation = compile_rss(Firewall(), analyses["fw"].solution, E810)
+        maps = {
+            (r.port_a, r.field_a, r.port_b, r.field_b)
+            for r in compilation.requirements
+            if isinstance(r, MapFields)
+        }
+        assert (0, RssField.SRC_IP, 1, RssField.DST_IP) in maps
+        assert (0, RssField.DST_PORT, 1, RssField.SRC_PORT) in maps
+        assert len(maps) == 4
+
+    def test_no_cancels_for_full_tuple(self, analyses):
+        compilation = compile_rss(Firewall(), analyses["fw"].solution, E810)
+        assert not any(
+            isinstance(r, CancelField) for r in compilation.requirements
+        )
+
+
+class TestNatCompilation:
+    def test_cancels_and_maps(self, analyses):
+        compilation = compile_rss(Nat(), analyses["nat"].solution, E810)
+        cancels = {
+            (r.port, r.field)
+            for r in compilation.requirements
+            if isinstance(r, CancelField)
+        }
+        assert (0, RssField.SRC_IP) in cancels
+        assert (1, RssField.DST_PORT) in cancels
+        maps = {
+            (r.field_a, r.field_b)
+            for r in compilation.requirements
+            if isinstance(r, MapFields)
+        }
+        assert maps == {
+            (RssField.DST_IP, RssField.SRC_IP),
+            (RssField.DST_PORT, RssField.SRC_PORT),
+        }
+
+
+class TestFreePorts:
+    def test_load_balance_everything_free(self, analyses):
+        compilation = compile_rss(Nop(), analyses["nop"].solution, E810)
+        assert compilation.free_ports == [0, 1]
+        assert not compilation.requirements
+
+    def test_locks_everything_free(self, analyses):
+        nf = ALL_NFS["lb"]()
+        compilation = compile_rss(nf, analyses["lb"].solution, E810)
+        assert compilation.free_ports == [0, 1]
+
+    def test_psd_other_port_free(self, analyses):
+        nf = ALL_NFS["psd"]()
+        compilation = compile_rss(nf, analyses["psd"].solution, E810)
+        assert compilation.free_ports == [1]

@@ -1,0 +1,137 @@
+"""Edge cases of the Constraints Generator beyond the paper corpus."""
+
+from typing import Any
+
+import pytest
+
+from repro.core import Verdict
+from repro.core.report import build_report
+from repro.core.sharding import ConstraintsGenerator
+from repro.nf.api import NF, NfContext, StateDecl, StateKind
+from repro.symbex import explore_nf
+
+LAN, WAN = 0, 1
+
+
+def solve(nf):
+    return ConstraintsGenerator(build_report(nf, explore_nf(nf))).solve()
+
+
+class _HashSharded(NF):
+    """A map keyed by a hash of packet fields: footprint flows through."""
+
+    name = "hash_sharded"
+    ports = {"lan": LAN, "wan": WAN}
+
+    def state(self):
+        return [
+            StateDecl("hs_map", StateKind.MAP, 1024),
+            StateDecl("hs_chain", StateKind.DCHAIN, 1024),
+        ]
+
+    def process(self, ctx: NfContext, port: int, pkt: Any) -> None:
+        if port != LAN:
+            ctx.forward(LAN)
+        bucket = ctx.hash_value("bucket", [pkt.src_ip, pkt.dst_ip], 10)
+        found, _ = ctx.map_get("hs_map", (bucket,))
+        if ctx.cond(ctx.lnot(found)):
+            ok, index = ctx.dchain_allocate("hs_chain")
+            if ctx.cond(ok):
+                ctx.map_put("hs_map", (bucket,), index)
+        ctx.forward(WAN)
+
+
+class _NamespacedKeys(NF):
+    """Same map, two key namespaces distinguished by a constant tag.
+
+    Keys ('0', src_ip) and ('1', dst_ip) can never collide, so they impose
+    *no* cross-constraint — unlike the R3 dual-counter case.
+    """
+
+    name = "namespaced"
+    ports = {"lan": LAN, "wan": WAN}
+
+    def state(self):
+        return [
+            StateDecl("ns_map", StateKind.MAP, 1024),
+            StateDecl("ns_chain", StateKind.DCHAIN, 1024),
+        ]
+
+    def process(self, ctx: NfContext, port: int, pkt: Any) -> None:
+        if port != LAN:
+            ctx.forward(LAN)
+        tag = ctx.const(0 if port == LAN else 1, 8)
+        found, _ = ctx.map_get("ns_map", (tag, pkt.src_ip))
+        if ctx.cond(ctx.lnot(found)):
+            ok, index = ctx.dchain_allocate("ns_chain")
+            if ctx.cond(ok):
+                ctx.map_put("ns_map", (tag, pkt.src_ip), index)
+        ctx.forward(WAN)
+
+
+class _TimeKeyed(NF):
+    """State keyed by (a function of) time: not packet-derived -> R4."""
+
+    name = "time_keyed"
+    ports = {"lan": LAN, "wan": WAN}
+
+    def state(self):
+        return [
+            StateDecl("tk_map", StateKind.MAP, 64),
+            StateDecl("tk_chain", StateKind.DCHAIN, 64),
+        ]
+
+    def process(self, ctx: NfContext, port: int, pkt: Any) -> None:
+        slot = ctx.now()
+        found, _ = ctx.map_get("tk_map", (slot,))
+        if ctx.cond(ctx.lnot(found)):
+            ok, index = ctx.dchain_allocate("tk_chain")
+            if ctx.cond(ok):
+                ctx.map_put("tk_map", (slot,), index)
+        ctx.forward(self.other_port(port))
+
+
+class _TransformedField(NF):
+    """Key is an arithmetic transform of one field: still that field."""
+
+    name = "transformed"
+    ports = {"lan": LAN, "wan": WAN}
+
+    def state(self):
+        return [
+            StateDecl("tf_map", StateKind.MAP, 1024),
+            StateDecl("tf_chain", StateKind.DCHAIN, 1024),
+        ]
+
+    def process(self, ctx: NfContext, port: int, pkt: Any) -> None:
+        if port != LAN:
+            ctx.forward(LAN)
+        shifted = ctx.sub(pkt.dst_port, ctx.const(1024, 16))
+        found, _ = ctx.map_get("tf_map", (shifted,))
+        if ctx.cond(ctx.lnot(found)):
+            ok, index = ctx.dchain_allocate("tf_chain")
+            if ctx.cond(ok):
+                ctx.map_put("tf_map", (shifted,), index)
+        ctx.forward(WAN)
+
+
+class TestEdgeCases:
+    def test_hash_keys_shard_on_their_footprint(self):
+        solution = solve(_HashSharded())
+        assert solution.verdict is Verdict.SHARED_NOTHING
+        assert solution.per_port == {0: ("src_ip", "dst_ip")}
+
+    def test_constant_namespaces_do_not_conflict(self):
+        solution = solve(_NamespacedKeys())
+        assert solution.verdict is Verdict.SHARED_NOTHING
+        assert solution.per_port == {0: ("src_ip",)}
+
+    def test_time_keyed_state_blocks_sharding(self):
+        solution = solve(_TimeKeyed())
+        assert solution.verdict is Verdict.LOCKS
+        assert any("R4" in rule for rule in solution.rules_applied)
+
+    def test_transformed_field_resolves_to_field(self):
+        solution = solve(_TransformedField())
+        assert solution.verdict is Verdict.SHARED_NOTHING
+        assert solution.per_port == {0: ("dst_port",)}

@@ -1,0 +1,136 @@
+"""The headline analysis result: per-NF verdicts matching §6.1 + Figure 2.
+
+This is the reproduction's ground truth: Maestro must reach exactly the
+paper's conclusion for every NF in the corpus, including the sharding
+fields, the rules exercised, and the human-readable explanations.
+"""
+
+import pytest
+
+from repro.core import Verdict
+from repro.core.report import build_report
+from repro.core.sharding import ConstraintsGenerator
+from repro.nf.nfs.micro import (
+    DhcpGuard,
+    DualCounter,
+    FlowCounter,
+    GlobalCounter,
+    SrcStats,
+)
+from repro.symbex import explore_nf
+
+
+def solve(nf):
+    return ConstraintsGenerator(build_report(nf, explore_nf(nf))).solve()
+
+
+class TestCorpusVerdicts:
+    """§6.1: one assertion block per NF of the paper's corpus."""
+
+    def test_nop_load_balance(self, analyses):
+        solution = analyses["nop"].solution
+        assert solution.verdict is Verdict.LOAD_BALANCE
+        assert "no state" in " ".join(solution.explanation)
+
+    def test_sbridge_load_balance(self, analyses):
+        solution = analyses["sbridge"].solution
+        assert solution.verdict is Verdict.LOAD_BALANCE
+        assert "read-only" in " ".join(solution.explanation)
+
+    def test_policer_shards_on_dst_ip(self, analyses):
+        solution = analyses["policer"].solution
+        assert solution.verdict is Verdict.SHARED_NOTHING
+        assert solution.per_port == {1: ("dst_ip",)}
+
+    def test_dbridge_locks_because_of_macs(self, analyses):
+        solution = analyses["dbridge"].solution
+        assert solution.verdict is Verdict.LOCKS
+        text = " ".join(solution.explanation)
+        assert "mac" in text.lower()
+
+    def test_fw_symmetric_sharding(self, analyses):
+        solution = analyses["fw"].solution
+        assert solution.verdict is Verdict.SHARED_NOTHING
+        four = ("src_ip", "dst_ip", "src_port", "dst_port")
+        assert solution.per_port == {0: four, 1: four}
+        (pair,) = solution.pairs
+        mapping = pair.mapping()
+        assert mapping["src_ip"] == "dst_ip"
+        assert mapping["dst_ip"] == "src_ip"
+        assert mapping["src_port"] == "dst_port"
+        assert mapping["dst_port"] == "src_port"
+
+    def test_psd_subsumes_to_src_ip(self, analyses):
+        solution = analyses["psd"].solution
+        assert solution.verdict is Verdict.SHARED_NOTHING
+        assert solution.per_port == {0: ("src_ip",)}
+        assert "R2" in solution.rules_applied
+
+    def test_nat_r5_server_sharding(self, analyses):
+        solution = analyses["nat"].solution
+        assert solution.verdict is Verdict.SHARED_NOTHING
+        assert solution.per_port == {
+            0: ("dst_ip", "dst_port"),
+            1: ("src_ip", "src_port"),
+        }
+        assert "R5" in solution.rules_applied
+        assert any("mismatch behaves" in note for note in solution.explanation)
+
+    def test_lb_locks(self, analyses):
+        solution = analyses["lb"].solution
+        assert solution.verdict is Verdict.LOCKS
+        assert any("hash" in note or "data-dependent" in note
+                   for note in solution.explanation)
+
+    def test_cl_shards_on_ip_pair(self, analyses):
+        solution = analyses["cl"].solution
+        assert solution.verdict is Verdict.SHARED_NOTHING
+        assert solution.per_port == {
+            0: ("src_ip", "dst_ip"),
+            1: ("src_ip", "dst_ip"),
+        }
+
+
+class TestFigure2Rules:
+    """One micro-NF per rule (Figure 2)."""
+
+    def test_r1_flow_counter(self):
+        solution = solve(FlowCounter())
+        assert solution.verdict is Verdict.SHARED_NOTHING
+        assert set(solution.per_port[0]) == {
+            "src_ip", "dst_ip", "src_port", "dst_port",
+        }
+
+    def test_r2_subsumption(self):
+        solution = solve(SrcStats())
+        assert solution.verdict is Verdict.SHARED_NOTHING
+        assert solution.per_port == {0: ("src_ip",)}
+        assert "R2" in solution.rules_applied
+
+    def test_r3_disjoint_counters(self):
+        solution = solve(DualCounter())
+        assert solution.verdict is Verdict.LOCKS
+        assert "R3" in solution.rules_applied
+        assert any("disjoint" in note for note in solution.explanation)
+
+    def test_r4_global_counter(self):
+        solution = solve(GlobalCounter())
+        assert solution.verdict is Verdict.LOCKS
+        assert "R4" in solution.rules_applied
+
+    def test_r5_dhcp_guard(self):
+        solution = solve(DhcpGuard())
+        assert solution.verdict is Verdict.SHARED_NOTHING
+        assert solution.per_port == {0: ("src_ip",)}
+        assert "R5" in solution.rules_applied
+
+
+class TestSolutionPresentation:
+    def test_describe_mentions_verdict_and_ports(self, analyses):
+        text = analyses["fw"].solution.describe()
+        assert "shared-nothing" in text
+        assert "port 0" in text and "port 1" in text
+
+    def test_rules_are_deduplicated_sorted(self, analyses):
+        rules = analyses["cl"].solution.rules_applied
+        assert rules == sorted(set(rules))

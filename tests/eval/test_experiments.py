@@ -1,0 +1,184 @@
+"""Experiment harness: every figure runs and shows the paper's shape.
+
+These are integration tests over the full stack: pipeline + simulators +
+traffic.  Each asserts the *qualitative* claims the corresponding paper
+figure makes (who wins, where the knees are), which is the reproduction
+contract (absolute numbers belong to the authors' testbed).
+"""
+
+import pytest
+
+from repro.eval import EXPERIMENTS
+from repro.eval import fig05, fig06, fig08, fig09, fig10, fig11, fig14
+from repro.eval import latency as latency_exp
+from repro.eval import verdicts as verdicts_exp
+
+
+def series_by_label(experiment, needle: str):
+    matches = [s for s in experiment.series if needle in s.label]
+    assert matches, f"no series matching {needle!r}"
+    return matches
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def experiment(self):
+        return fig05.run(fast=True)
+
+    def test_zipf_unbalanced_slowest_at_scale(self, experiment):
+        uniform = series_by_label(experiment, "uniform")[0]
+        unbalanced = series_by_label(experiment, "zipf unbalanced")[0]
+        assert unbalanced.values[-1] <= uniform.values[-1]
+
+    def test_balancing_recovers_throughput(self, experiment):
+        unbalanced = series_by_label(experiment, "zipf unbalanced")[0]
+        balanced = series_by_label(experiment, "zipf balanced")[0]
+        assert balanced.values[-1] >= unbalanced.values[-1]
+
+    def test_single_core_zipf_faster(self, experiment):
+        uniform = series_by_label(experiment, "uniform")[0]
+        zipf = series_by_label(experiment, "zipf balanced")[0]
+        assert zipf.values[0] >= uniform.values[0]
+
+    def test_error_bars_present(self, experiment):
+        for series in experiment.series:
+            assert series.low is not None and series.high is not None
+            assert all(
+                lo <= v <= hi
+                for lo, v, hi in zip(series.low, series.values, series.high)
+            )
+
+
+class TestFig6:
+    def test_all_nfs_timed(self):
+        experiment = fig06.run(fast=True)
+        totals = series_by_label(experiment, "total")[0]
+        assert len(totals.values) == len(experiment.x_values) == 9
+        assert all(v > 0 for v in totals.values)
+
+    def test_rs3_dominates_constrained_nfs(self):
+        experiment = fig06.run(fast=True)
+        totals = series_by_label(experiment, "total")[0]
+        rs3 = series_by_label(experiment, "rs3")[0]
+        fw_index = experiment.x_values.index("fw")
+        assert rs3.values[fw_index] > 0.5 * totals.values[fw_index]
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def experiment(self):
+        return fig08.run()
+
+    def test_64b_pcie_bound(self, experiment):
+        mpps = series_by_label(experiment, "Mpps")[0]
+        assert 85 < mpps.values[0] < 95
+
+    def test_large_packets_line_rate(self, experiment):
+        gbps = series_by_label(experiment, "Gbps")[0]
+        assert gbps.values[experiment.x_values.index("1500")] > 93
+
+    def test_gbps_monotone_in_size(self, experiment):
+        gbps = series_by_label(experiment, "Gbps")[0].values[:6]
+        assert all(a <= b for a, b in zip(gbps, gbps[1:]))
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def experiment(self):
+        return fig09.run(fast=True)
+
+    def test_shared_nothing_churn_immune(self, experiment):
+        sn = series_by_label(experiment, "shared-nothing")
+        calm, stormy = sn[0], sn[-1]
+        assert stormy.values[-1] > 0.9 * calm.values[-1]
+
+    def test_locks_collapse(self, experiment):
+        locks = series_by_label(experiment, "locks")
+        calm, stormy = locks[0], locks[-1]
+        assert stormy.values[-1] < 0.2 * calm.values[-1]
+
+    def test_heavy_churn_locks_antiscale(self, experiment):
+        stormy = series_by_label(experiment, "locks")[-1]
+        assert stormy.values[-1] < stormy.values[0] * 2
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def experiment(self):
+        return fig10.run(fast=True)
+
+    def test_no_shared_nothing_for_dbridge_lb(self, experiment):
+        labels = [s.label for s in experiment.series]
+        assert not any("dbridge/shared-nothing" in label for label in labels)
+        assert not any("lb/shared-nothing" in label for label in labels)
+        assert any("dbridge/locks" in label for label in labels)
+
+    def test_fw_ordering(self, experiment):
+        sn = series_by_label(experiment, "fw/shared-nothing")[0]
+        locks = series_by_label(experiment, "fw/locks")[0]
+        tm = series_by_label(experiment, "fw/tm")[0]
+        for i in range(len(sn.values)):
+            assert sn.values[i] >= locks.values[i] >= tm.values[i]
+
+    def test_policer_locks_catastrophic(self, experiment):
+        locks = series_by_label(experiment, "policer/locks")[0]
+        sn = series_by_label(experiment, "policer/shared-nothing")[0]
+        assert sn.values[-1] / locks.values[-1] > 10
+
+
+class TestFig11:
+    def test_ordering_and_pcie(self):
+        experiment = fig11.run(fast=True)
+        sn = series_by_label(experiment, "shared-nothing")[0]
+        locks = series_by_label(experiment, "maestro locks")[0]
+        vpp = series_by_label(experiment, "vpp")[0]
+        assert sn.values[-1] >= locks.values[-1] >= vpp.values[-1]
+        assert sn.values[-1] > 85  # reaches PCIe
+
+
+class TestFig14:
+    def test_sn_still_best_under_zipf(self):
+        experiment = fig14.run(fast=True)
+        sn = series_by_label(experiment, "fw/shared-nothing")[0]
+        locks = series_by_label(experiment, "fw/locks")[0]
+        assert sn.values[-1] >= locks.values[-1]
+
+    def test_zipf_below_uniform_at_scale(self):
+        zipf = fig14.run(fast=True)
+        uniform = fig10.run(fast=True)
+        z = series_by_label(zipf, "fw/shared-nothing")[0]
+        u = series_by_label(uniform, "fw/shared-nothing")[0]
+        assert z.values[-1] <= u.values[-1] + 1e-6
+
+
+class TestLatencyAndVerdicts:
+    def test_latency_in_range(self):
+        experiment = latency_exp.run(fast=True)
+        for series in experiment.series:
+            assert all(9.0 < v < 14.0 for v in series.values)
+
+    def test_verdict_table_complete(self):
+        experiment = verdicts_exp.run()
+        table = experiment.notes[0]
+        for name in ("nop", "policer", "fw", "nat", "lb", "cl"):
+            assert name in table
+        assert "shared-nothing" in table and "locks" in table
+
+    def test_registry_runs_everything(self):
+        assert set(EXPERIMENTS) == {
+            "fig5", "fig6", "fig8", "fig9", "fig10", "fig11", "fig14",
+            "latency", "verdicts",
+        }
+
+
+class TestRendering:
+    def test_render_contains_table(self):
+        text = fig08.run().render()
+        assert "fig8" in text and "Gbps" in text
+
+    def test_cli_main(self, capsys):
+        from repro.eval.__main__ import main
+
+        assert main(["fig8"]) == 0
+        out = capsys.readouterr().out
+        assert "fig8" in out

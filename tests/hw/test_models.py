@@ -1,0 +1,185 @@
+"""Hardware models: PCIe/line-rate, caches, locks, TM, NUMA, profiles."""
+
+import numpy as np
+import pytest
+
+from repro.hw import params
+from repro.hw.cache import CacheHierarchy
+from repro.hw.cpu import BASE_PROFILES, benchmark_trace, profile_for
+from repro.hw.locks import RwLockModel
+from repro.hw.numa import DEFAULT_TOPOLOGY
+from repro.hw.pcie import Bottleneck, bottleneck_for, io_ceiling_pps
+from repro.hw.tm import TmModel
+from repro.hw.vpp import VPP_NAT44_EI
+from repro.nf.nfs import ALL_NFS, Firewall, Policer
+from repro.traffic.distributions import paper_zipf_weights
+
+
+class TestIoCeilings:
+    def test_64b_is_pcie_bound_near_91mpps(self):
+        """Figure 8's headline: ~90 Mpps / ~45 Gbps at 64 B."""
+        pps = io_ceiling_pps(64)
+        assert 85e6 < pps < 95e6
+        assert 43 < params.pps_to_gbps(pps, 64) < 48
+        assert pps == pytest.approx(params.pcie_pps(64))
+
+    def test_large_packets_reach_line_rate(self):
+        pps = io_ceiling_pps(1500)
+        gbps = params.pps_to_gbps(pps, 1500)
+        assert gbps > 93
+        assert pps == pytest.approx(params.line_rate_pps(1500))
+
+    def test_crossover_exists(self):
+        assert params.pcie_pps(64) < params.line_rate_pps(64)
+        assert params.pcie_pps(1500) > params.line_rate_pps(1500)
+
+    def test_bottleneck_classification(self):
+        assert bottleneck_for(1e6, 1e6, 64) is Bottleneck.CPU
+        assert bottleneck_for(91e6, 500e6, 64) is Bottleneck.PCIE
+        assert bottleneck_for(8e6, 500e6, 1500) is Bottleneck.LINE_RATE
+
+
+class TestCacheHierarchy:
+    def test_tiny_working_set_all_l1(self):
+        cache = CacheHierarchy()
+        fractions = cache.hit_fractions(1024)
+        assert fractions["l1"] == 1.0
+        assert cache.access_cycles(1024) == params.L1_CYCLES
+
+    def test_cost_monotone_in_working_set(self):
+        cache = CacheHierarchy()
+        sizes = [2**k for k in range(10, 29)]
+        costs = [cache.access_cycles(s) for s in sizes]
+        assert all(a <= b + 1e-9 for a, b in zip(costs, costs[1:]))
+
+    def test_huge_working_set_hits_dram(self):
+        cache = CacheHierarchy()
+        assert cache.access_cycles(2**34) > 0.9 * params.DRAM_CYCLES
+
+    def test_zipf_beats_uniform(self):
+        """The Figure 5 single-core effect: hot flows cache better."""
+        cache = CacheHierarchy()
+        working_set = 8 * 1024 * 1024
+        weights = paper_zipf_weights(1000)
+        assert cache.access_cycles(working_set, weights) < cache.access_cycles(
+            working_set
+        )
+
+    def test_llc_sharing_hurts(self):
+        working_set = 4 * 1024 * 1024
+        alone = CacheHierarchy(llc_sharers=1).access_cycles(working_set)
+        shared = CacheHierarchy(llc_sharers=16).access_cycles(working_set)
+        assert shared > alone
+
+    def test_numa_remote_penalty(self):
+        cache = CacheHierarchy()
+        big = 2**32
+        assert cache.access_cycles(big, numa_remote=True) > cache.access_cycles(big)
+
+    def test_fractions_sum_to_one(self):
+        cache = CacheHierarchy()
+        for size in (1, 10**4, 10**6, 10**8):
+            fractions = cache.hit_fractions(size)
+            assert sum(fractions.values()) == pytest.approx(1.0)
+
+
+class TestLockModel:
+    def test_read_path_is_cheap(self):
+        lock = RwLockModel()
+        assert lock.read_overhead() < 50
+
+    def test_write_cost_grows_with_cores(self):
+        lock = RwLockModel()
+        profile = BASE_PROFILES["fw"]
+        assert lock.write_overhead(16, profile) > lock.write_overhead(2, profile)
+        assert lock.exclusive_section(16, profile) > lock.exclusive_section(
+            2, profile
+        )
+
+    def test_write_includes_speculative_restart(self):
+        lock = RwLockModel()
+        profile = BASE_PROFILES["fw"]
+        assert lock.write_overhead(4, profile) > profile.base_cycles
+
+
+class TestTmModel:
+    def test_single_core_never_aborts(self):
+        tm = TmModel()
+        assert tm.abort_probability(1, BASE_PROFILES["cl"], 1.0) == 0.0
+
+    def test_aborts_grow_with_cores_and_complexity(self):
+        tm = TmModel()
+        simple = BASE_PROFILES["sbridge"]
+        complex_ = BASE_PROFILES["cl"]
+        assert tm.abort_probability(16, complex_, 0.0) > tm.abort_probability(
+            4, complex_, 0.0
+        )
+        assert tm.abort_probability(8, complex_, 0.0) > tm.abort_probability(
+            8, simple, 0.0
+        )
+
+    def test_writes_increase_aborts(self):
+        tm = TmModel()
+        profile = BASE_PROFILES["fw"]
+        assert tm.abort_probability(8, profile, 1.0) > tm.abort_probability(
+            8, profile, 0.0
+        )
+
+    def test_expected_attempts_bounded(self):
+        tm = TmModel()
+        assert tm.expected_attempts(0.0) == 1.0
+        assert tm.expected_attempts(0.9) < tm.max_retries + 2
+
+    def test_packet_overhead_components(self):
+        tm = TmModel()
+        extra, serialized = tm.packet_overhead(16, BASE_PROFILES["cl"], 0.5, 500)
+        assert extra > tm.begin_commit_cycles
+        assert serialized > 0
+
+
+class TestNuma:
+    def test_testbed_pins_to_single_node(self):
+        """§4's rule of thumb holds on the modelled testbed (large LLC)."""
+        advice = DEFAULT_TOPOLOGY.advise(pkt_size=64)
+        assert advice.single_node
+        assert "NIC" in advice.reason
+
+    def test_small_llc_spreads(self):
+        from repro.hw.numa import NumaTopology
+
+        tiny = NumaTopology(llc_bytes=1024 * 1024)
+        advice = tiny.advise(pkt_size=1500)
+        assert not advice.single_node
+
+
+class TestProfiles:
+    def test_policer_writes_every_packet(self):
+        profile = profile_for(Policer())
+        assert profile.intrinsic_write_fraction > 0.95
+
+    def test_fw_read_heavy_steady_state(self):
+        profile = profile_for(Firewall())
+        assert profile.intrinsic_write_fraction < 0.05
+        assert profile.mem_ops_per_packet >= 1.5
+
+    def test_nop_is_stateless(self):
+        profile = profile_for(ALL_NFS["nop"]())
+        assert profile.mem_ops_per_packet == 0.0
+        assert profile.state_bytes_per_flow == 0.0
+
+    def test_all_corpus_profiles_have_base_entries(self):
+        for name in ALL_NFS:
+            assert name in BASE_PROFILES
+
+    def test_benchmark_trace_respects_spec(self):
+        trace = benchmark_trace(Policer(), packets=100)
+        assert all(port == 1 for port, _ in trace)
+        lb_trace = benchmark_trace(ALL_NFS["lb"](), packets=100)
+        heartbeat_ports = {port for port, _ in lb_trace[:8]}
+        assert heartbeat_ports == {0}
+
+    def test_vpp_adjustment(self):
+        base = BASE_PROFILES["nat"]
+        adjusted = VPP_NAT44_EI.adjust_profile(base)
+        assert adjusted.name == "vpp-nat"
+        assert adjusted.base_cycles != base.base_cycles

@@ -1,0 +1,101 @@
+"""Sequential behaviour of the Figure 2 micro-NFs + their R5 equivalence."""
+
+import pytest
+
+from repro.core import Maestro
+from repro.nf.api import ActionKind
+from repro.nf.nfs.micro import (
+    DhcpGuard,
+    DualCounter,
+    FlowCounter,
+    GlobalCounter,
+    SrcStats,
+)
+from repro.nf.packet import Packet
+from repro.nf.runtime import SequentialRunner
+from repro.sim.equivalence import check_equivalence
+
+LAN, WAN = 0, 1
+
+
+class TestFlowCounter:
+    def test_counts_per_flow(self):
+        runner = SequentialRunner(FlowCounter())
+        pkt = Packet(1, 2, 3, 4)
+        for _ in range(3):
+            out = runner.process(LAN, pkt)
+            assert out.kind is ActionKind.FORWARD
+        store = runner.store
+        found, index = store["fc_counts"].get((1, 3, 2, 4))
+        assert found
+        assert store["fc_values"].borrow(index)["count"] == 3
+
+
+class TestGlobalCounter:
+    def test_every_packet_counted(self):
+        runner = SequentialRunner(GlobalCounter())
+        for i in range(5):
+            runner.process(LAN, Packet(i, 2, 3, 4))
+        assert runner.store["gc_total"].borrow(0)["count"] == 5
+
+
+class TestDualCounter:
+    def test_both_dimensions_tracked(self):
+        runner = SequentialRunner(DualCounter())
+        runner.process(LAN, Packet(src_ip=7, dst_ip=9, src_port=1, dst_port=1))
+        assert runner.store["dc_srcs"].get((7,))[0]
+        assert runner.store["dc_dsts"].get((9,))[0]
+
+
+class TestDhcpGuardSemantics:
+    def make(self):
+        return SequentialRunner(DhcpGuard())
+
+    def dhcp(self, mac, ip):
+        return Packet(src_ip=ip, dst_ip=0xFFFFFFFF, src_port=68, dst_port=67,
+                      src_mac=mac)
+
+    def data(self, mac, ip):
+        return Packet(src_ip=ip, dst_ip=0x08080808, src_port=5555,
+                      dst_port=80, src_mac=mac)
+
+    def test_unbound_mac_dropped(self):
+        runner = self.make()
+        assert runner.process(LAN, self.data(0xAA, 1)).kind is ActionKind.DROP
+
+    def test_bound_mac_with_matching_ip_forwarded(self):
+        runner = self.make()
+        runner.process(LAN, self.dhcp(0xAA, 1))
+        assert runner.process(LAN, self.data(0xAA, 1)).kind is ActionKind.FORWARD
+
+    def test_spoofed_ip_dropped(self):
+        runner = self.make()
+        runner.process(LAN, self.dhcp(0xAA, 1))
+        assert runner.process(LAN, self.data(0xAA, 2)).kind is ActionKind.DROP
+
+    def test_rebinding_updates_ip(self):
+        runner = self.make()
+        runner.process(LAN, self.dhcp(0xAA, 1))
+        runner.process(LAN, self.dhcp(0xAA, 9))
+        assert runner.process(LAN, self.data(0xAA, 9)).kind is ActionKind.FORWARD
+        assert runner.process(LAN, self.data(0xAA, 1)).kind is ActionKind.DROP
+
+
+class TestDhcpGuardR5Equivalence:
+    def test_parallel_equivalent_on_well_formed_traffic(self):
+        """The R5 guarantee in action: sharding on src_ip (not the MAC the
+        state is keyed by!) preserves behaviour, because a wrong-core
+        lookup misses and drops exactly like a binding mismatch."""
+        maestro = Maestro(seed=31)
+        result = maestro.analyze(DhcpGuard())
+        parallel = maestro.parallelize(DhcpGuard(), n_cores=4, result=result)
+        trace = []
+        semantics = TestDhcpGuardSemantics()
+        for i in range(40):
+            mac, ip = 0x1000 + i, 0x0A000000 + i
+            trace.append((LAN, semantics.dhcp(mac, ip)))
+            trace.append((LAN, semantics.data(mac, ip)))       # match
+            trace.append((LAN, semantics.data(mac, ip + 1)))   # spoof: drop
+            trace.append((LAN, semantics.data(0x9999, ip)))    # unbound: drop
+        report = check_equivalence(DhcpGuard, parallel, trace)
+        assert report.equivalent, report.describe()

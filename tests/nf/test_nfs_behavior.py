@@ -1,0 +1,245 @@
+"""Sequential behaviour of the 8-NF corpus (§6.1 semantics)."""
+
+import pytest
+
+from repro.nf.api import ActionKind
+from repro.nf.nfs import (
+    ConnectionLimiter,
+    DynamicBridge,
+    Firewall,
+    LoadBalancer,
+    Nat,
+    Nop,
+    Policer,
+    PortScanDetector,
+    StaticBridge,
+)
+from repro.nf.packet import Packet
+from repro.nf.runtime import SequentialRunner
+
+LAN, WAN = 0, 1
+
+
+def pkt(src=0x0A000001, dst=0x08080808, sport=1000, dport=80, **kw) -> Packet:
+    return Packet(src_ip=src, dst_ip=dst, src_port=sport, dst_port=dport, **kw)
+
+
+class TestNop:
+    def test_forwards_both_ways(self):
+        runner = SequentialRunner(Nop())
+        assert runner.process(LAN, pkt()).port == WAN
+        assert runner.process(WAN, pkt()).port == LAN
+
+
+class TestPolicer:
+    def make(self, rate=1000, burst=2000):
+        return SequentialRunner(Policer(rate=rate, burst=burst))
+
+    def test_uploads_unpoliced(self):
+        runner = self.make()
+        out = runner.process(LAN, pkt(wire_size=1500))
+        assert out.kind is ActionKind.FORWARD and out.port == WAN
+
+    def test_burst_allows_then_drops(self):
+        runner = self.make(rate=0, burst=150)
+        user = pkt(wire_size=100)
+        assert runner.process(WAN, user, now=0.0).kind is ActionKind.FORWARD
+        # Bucket now holds 50 tokens; a 100B packet must be dropped.
+        assert runner.process(WAN, user, now=0.001).kind is ActionKind.DROP
+
+    def test_refill_restores_allowance(self):
+        runner = self.make(rate=1000, burst=100)
+        user = pkt(wire_size=100)
+        assert runner.process(WAN, user, now=0.0).kind is ActionKind.FORWARD
+        assert runner.process(WAN, user, now=0.001).kind is ActionKind.DROP
+        # After one second, 1000 B of tokens refilled (capped at burst).
+        assert runner.process(WAN, user, now=1.1).kind is ActionKind.FORWARD
+
+    def test_users_isolated(self):
+        runner = self.make(rate=0, burst=100)
+        a, b = pkt(dst=1, wire_size=100), pkt(dst=2, wire_size=100)
+        assert runner.process(WAN, a, now=0.0).kind is ActionKind.FORWARD
+        assert runner.process(WAN, a, now=0.001).kind is ActionKind.DROP
+        assert runner.process(WAN, b, now=0.002).kind is ActionKind.FORWARD
+
+
+class TestBridges:
+    def test_dynamic_learns_and_forwards(self):
+        runner = SequentialRunner(DynamicBridge())
+        host_a = pkt().__class__(
+            src_ip=1, dst_ip=2, src_port=1, dst_port=2,
+            src_mac=0xAAAA, dst_mac=0xBBBB,
+        )
+        # Unknown destination: flood.
+        assert runner.process(LAN, host_a).kind is ActionKind.FLOOD
+        # Reply towards the learned MAC: forwarded to its port.
+        reply = Packet(src_ip=2, dst_ip=1, src_port=2, dst_port=1,
+                       src_mac=0xBBBB, dst_mac=0xAAAA)
+        out = runner.process(WAN, reply)
+        assert out.kind is ActionKind.FORWARD and out.port == LAN
+
+    def test_dynamic_drops_same_segment(self):
+        runner = SequentialRunner(DynamicBridge())
+        a = Packet(src_ip=1, dst_ip=2, src_port=1, dst_port=1,
+                   src_mac=0xAAAA, dst_mac=0xCCCC)
+        runner.process(LAN, a)
+        back = Packet(src_ip=2, dst_ip=1, src_port=1, dst_port=1,
+                      src_mac=0xDDDD, dst_mac=0xAAAA)
+        assert runner.process(LAN, back).kind is ActionKind.DROP
+
+    def test_static_uses_bindings(self):
+        runner = SequentialRunner(StaticBridge(bindings={0xBBBB: WAN}))
+        out = runner.process(
+            LAN, Packet(1, 2, 3, 4, src_mac=0xAAAA, dst_mac=0xBBBB)
+        )
+        assert out.kind is ActionKind.FORWARD and out.port == WAN
+
+    def test_static_floods_unknown(self):
+        runner = SequentialRunner(StaticBridge(bindings={}))
+        out = runner.process(LAN, Packet(1, 2, 3, 4, dst_mac=0xEEEE))
+        assert out.kind is ActionKind.FLOOD
+
+
+class TestFirewall:
+    def test_session_lifecycle(self):
+        runner = SequentialRunner(Firewall())
+        flow = pkt()
+        assert runner.process(LAN, flow).port == WAN
+        assert runner.process(WAN, flow.inverted()).port == LAN
+        assert runner.process(WAN, pkt(src=0xDEAD)).kind is ActionKind.DROP
+
+    def test_table_full_still_forwards_lan(self):
+        runner = SequentialRunner(Firewall(capacity=1))
+        assert runner.process(LAN, pkt(src=1)).port == WAN
+        assert runner.process(LAN, pkt(src=2)).port == WAN  # untracked
+        # ... but the untracked flow's reply is dropped.
+        assert runner.process(WAN, pkt(src=2).inverted()).kind is ActionKind.DROP
+
+
+class TestPsd:
+    def test_blocks_beyond_threshold(self):
+        runner = SequentialRunner(PortScanDetector(threshold=3))
+        scanner = 0x0A000099
+        outcomes = [
+            runner.process(LAN, pkt(src=scanner, dport=port)).kind
+            for port in range(1, 10)
+        ]
+        assert ActionKind.DROP in outcomes
+        allowed = outcomes[: outcomes.index(ActionKind.DROP)]
+        assert all(kind is ActionKind.FORWARD for kind in allowed)
+        assert len(allowed) >= 3
+
+    def test_repeat_ports_not_counted(self):
+        runner = SequentialRunner(PortScanDetector(threshold=3))
+        for _ in range(20):  # same port over and over: no scan
+            out = runner.process(LAN, pkt(src=7, dport=443))
+            assert out.kind is ActionKind.FORWARD
+
+    def test_wan_traffic_unmonitored(self):
+        runner = SequentialRunner(PortScanDetector(threshold=1))
+        for port in range(50):
+            assert runner.process(WAN, pkt(dport=port)).kind is ActionKind.FORWARD
+
+
+class TestNat:
+    def test_translation_roundtrip(self):
+        nat = Nat(external_ip=0xC0A80101, port_base=1024)
+        runner = SequentialRunner(nat)
+        client = pkt(src=0x0A000002, dst=0x08080808, sport=3333, dport=80)
+        out = runner.process(LAN, client)
+        assert out.kind is ActionKind.FORWARD and out.port == WAN
+        assert out.mods["src_ip"] == 0xC0A80101
+        ext_port = out.mods["src_port"]
+        reply = Packet(
+            src_ip=0x08080808, dst_ip=0xC0A80101, src_port=80, dst_port=ext_port
+        )
+        back = runner.process(WAN, reply)
+        assert back.kind is ActionKind.FORWARD and back.port == LAN
+        assert back.mods["dst_ip"] == 0x0A000002
+        assert back.mods["dst_port"] == 3333
+
+    def test_rejects_spoofed_server(self):
+        runner = SequentialRunner(Nat())
+        out = runner.process(LAN, pkt(src=0x0A000002, dport=80))
+        ext_port = out.mods["src_port"]
+        spoof = Packet(
+            src_ip=0xBADBAD, dst_ip=0xC0A80101, src_port=80, dst_port=ext_port
+        )
+        assert runner.process(WAN, spoof).kind is ActionKind.DROP
+
+    def test_unknown_external_port_dropped(self):
+        runner = SequentialRunner(Nat())
+        stray = Packet(src_ip=1, dst_ip=0xC0A80101, src_port=80, dst_port=40000)
+        assert runner.process(WAN, stray).kind is ActionKind.DROP
+
+    def test_same_flow_keeps_port(self):
+        runner = SequentialRunner(Nat())
+        client = pkt(src=0x0A000002, dport=80)
+        first = runner.process(LAN, client).mods["src_port"]
+        second = runner.process(LAN, client).mods["src_port"]
+        assert first == second
+
+
+class TestLb:
+    def test_flow_stickiness(self):
+        runner = SequentialRunner(LoadBalancer())
+        for beat in range(4):  # register backends
+            runner.process(LAN, pkt(src=0x0A0000F0 + beat))
+        flow = pkt(src=0x01020304, dport=80)
+        first = runner.process(WAN, flow)
+        assert first.kind is ActionKind.FORWARD
+        backend = first.mods["dst_ip"]
+        for _ in range(5):
+            assert runner.process(WAN, flow).mods["dst_ip"] == backend
+
+    def test_no_backends_drops(self):
+        runner = SequentialRunner(LoadBalancer())
+        assert runner.process(WAN, pkt()).kind is ActionKind.DROP
+
+    def test_spreads_flows(self):
+        runner = SequentialRunner(LoadBalancer())
+        for beat in range(8):
+            runner.process(LAN, pkt(src=0x0A0000F0 + beat))
+        backends = {
+            runner.process(WAN, pkt(src=i, sport=i % 50000 + 1)).mods["dst_ip"]
+            for i in range(1, 200)
+        }
+        assert len(backends) > 1
+
+
+class TestCl:
+    def test_limits_connections_per_pair(self):
+        runner = SequentialRunner(ConnectionLimiter(limit=5))
+        client, server = 0x0A000002, 0x08080808
+        outcomes = [
+            runner.process(
+                LAN, pkt(src=client, dst=server, sport=1000 + i)
+            ).kind
+            for i in range(20)
+        ]
+        assert ActionKind.DROP in outcomes
+        assert outcomes[:5] == [ActionKind.FORWARD] * 5
+
+    def test_existing_flow_not_recounted(self):
+        runner = SequentialRunner(ConnectionLimiter(limit=2))
+        flow = pkt(src=1, dst=2, sport=99)
+        for _ in range(10):
+            assert runner.process(LAN, flow).kind is ActionKind.FORWARD
+
+    def test_reply_admitted_for_known_flow(self):
+        runner = SequentialRunner(ConnectionLimiter(limit=5))
+        flow = pkt(src=1, dst=2, sport=99)
+        runner.process(LAN, flow)
+        out = runner.process(WAN, flow.inverted())
+        assert out.kind is ActionKind.FORWARD and out.port == LAN
+
+    def test_unknown_reply_dropped(self):
+        runner = SequentialRunner(ConnectionLimiter())
+        assert runner.process(WAN, pkt()).kind is ActionKind.DROP
+
+    def test_other_pairs_unaffected(self):
+        runner = SequentialRunner(ConnectionLimiter(limit=1))
+        runner.process(LAN, pkt(src=1, dst=2, sport=1))
+        runner.process(LAN, pkt(src=1, dst=2, sport=2))  # may be dropped
+        out = runner.process(LAN, pkt(src=3, dst=4, sport=1))
+        assert out.kind is ActionKind.FORWARD

@@ -1,0 +1,74 @@
+"""Packet model: fields, inversion, serialization, symbolic view."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nf.packet import (
+    PACKET_FIELDS,
+    Packet,
+    SymbolicPacket,
+    field_symbol,
+)
+
+ips = st.integers(0, 2**32 - 1)
+ports = st.integers(0, 2**16 - 1)
+
+
+class TestPacket:
+    def test_field_access(self):
+        pkt = Packet(src_ip=1, dst_ip=2, src_port=3, dst_port=4)
+        assert pkt.field("src_ip") == 1
+        assert pkt.field("dst_port") == 4
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(KeyError):
+            Packet(1, 2, 3, 4).field("ttl")
+
+    def test_inverted_swaps(self):
+        pkt = Packet(src_ip=1, dst_ip=2, src_port=3, dst_port=4)
+        inv = pkt.inverted()
+        assert (inv.src_ip, inv.dst_ip, inv.src_port, inv.dst_port) == (2, 1, 4, 3)
+        assert inv.inverted() == pkt
+
+    def test_env_names_match_symbols(self):
+        pkt = Packet(1, 2, 3, 4)
+        env = pkt.env()
+        assert set(env) == {f"pkt.{name}" for name in PACKET_FIELDS}
+
+    def test_flow_tuple(self):
+        pkt = Packet(1, 2, 3, 4, proto=6)
+        assert pkt.flow_tuple() == (1, 2, 3, 4, 6)
+
+    @given(ips, ips, ports, ports, st.sampled_from([64, 128, 1500]))
+    @settings(max_examples=40, deadline=None)
+    def test_serialization_roundtrip(self, src, dst, sport, dport, size):
+        pkt = Packet(src, dst, sport, dport, wire_size=size)
+        parsed = Packet.from_bytes(pkt.to_bytes())
+        assert (parsed.src_ip, parsed.dst_ip) == (src, dst)
+        assert (parsed.src_port, parsed.dst_port) == (sport, dport)
+        assert parsed.wire_size == max(size, 64)
+
+    def test_frame_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            Packet.from_bytes(b"\x00" * 10)
+
+
+class TestSymbolicView:
+    def test_fields_are_canonical_symbols(self):
+        sym_pkt = SymbolicPacket()
+        assert sym_pkt.src_ip == field_symbol("src_ip")
+        assert sym_pkt.src_ip.width == 32
+        assert sym_pkt.src_port.width == 16
+        assert sym_pkt.src_mac.width == 48
+
+    def test_wire_size_exposed(self):
+        assert SymbolicPacket().wire_size.name == "pkt.wire_size"
+
+    def test_unknown_attribute(self):
+        with pytest.raises(AttributeError):
+            SymbolicPacket().ttl
+
+    def test_field_symbol_rejects_unknown(self):
+        with pytest.raises(KeyError):
+            field_symbol("nope")

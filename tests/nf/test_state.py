@@ -1,0 +1,181 @@
+"""The Table 1 data structures: map, vector, dchain, sketch."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StateModelError
+from repro.nf.state import DChain, Map, Sketch, Vector, expire_flows
+
+
+class TestMap:
+    def test_get_miss(self):
+        assert Map(4).get(("k",)) == (False, 0)
+
+    def test_put_get_roundtrip(self):
+        m = Map(4)
+        assert m.put(("k",), 7)
+        assert m.get(("k",)) == (True, 7)
+
+    def test_capacity_enforced_for_new_keys(self):
+        m = Map(2)
+        assert m.put("a", 1) and m.put("b", 2)
+        assert not m.put("c", 3)
+
+    def test_update_allowed_at_capacity(self):
+        m = Map(1)
+        assert m.put("a", 1)
+        assert m.put("a", 2)
+        assert m.get("a") == (True, 2)
+
+    def test_erase(self):
+        m = Map(2)
+        m.put("a", 1)
+        assert m.erase("a")
+        assert not m.erase("a")
+        assert m.get("a") == (False, 0)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(StateModelError):
+            Map(0)
+
+    @given(st.lists(st.tuples(st.integers(0, 50), st.integers()), max_size=60))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_dict_semantics_under_capacity(self, ops):
+        m = Map(1000)
+        reference: dict = {}
+        for key, value in ops:
+            m.put(key, value)
+            reference[key] = value
+        for key, value in reference.items():
+            assert m.get(key) == (True, value)
+
+
+class TestVector:
+    def test_layout_initialized(self):
+        v = Vector(3, initial={"x": 0})
+        assert v.borrow(0) == {"x": 0}
+
+    def test_put_borrow(self):
+        v = Vector(3)
+        v.put(1, {"x": 9})
+        assert v.borrow(1) == {"x": 9}
+
+    def test_borrow_returns_copy(self):
+        v = Vector(2, initial={"x": 1})
+        record = v.borrow(0)
+        record["x"] = 99
+        assert v.borrow(0) == {"x": 1}
+
+    def test_out_of_range(self):
+        v = Vector(2)
+        with pytest.raises(StateModelError):
+            v.borrow(2)
+        with pytest.raises(StateModelError):
+            v.put(-1, {})
+
+
+class TestDChain:
+    def test_allocates_distinct_indices(self):
+        chain = DChain(8)
+        indices = [chain.allocate(0.0)[1] for _ in range(8)]
+        assert sorted(indices) == list(range(8))
+
+    def test_exhaustion(self):
+        chain = DChain(2)
+        chain.allocate(0.0)
+        chain.allocate(0.0)
+        assert chain.allocate(0.0) == (False, 0)
+
+    def test_free_and_reallocate(self):
+        chain = DChain(1)
+        _, index = chain.allocate(0.0)
+        assert chain.free_index(index)
+        ok, again = chain.allocate(1.0)
+        assert ok and again == index
+
+    def test_rejuvenate_refreshes(self):
+        chain = DChain(2)
+        _, index = chain.allocate(0.0)
+        assert chain.rejuvenate(index, 5.0)
+        assert chain.last_touched(index) == 5.0
+
+    def test_rejuvenate_unallocated_fails(self):
+        assert not DChain(2).rejuvenate(0, 1.0)
+
+    def test_expire_frees_only_stale(self):
+        chain = DChain(4)
+        _, old = chain.allocate(0.0)
+        _, fresh = chain.allocate(10.0)
+        expired = chain.expire(threshold=5.0)
+        assert expired == [old]
+        assert not chain.is_allocated(old)
+        assert chain.is_allocated(fresh)
+
+    @given(st.lists(st.sampled_from(["alloc", "free", "expire"]), max_size=80))
+    @settings(max_examples=30, deadline=None)
+    def test_never_double_allocates(self, ops):
+        chain = DChain(8)
+        live: set[int] = set()
+        now = 0.0
+        for op in ops:
+            now += 1.0
+            if op == "alloc":
+                ok, index = chain.allocate(now)
+                if ok:
+                    assert index not in live
+                    live.add(index)
+            elif op == "free" and live:
+                index = live.pop()
+                assert chain.free_index(index)
+            elif op == "expire":
+                for index in chain.expire(now - 10):
+                    live.discard(index)
+        assert chain.allocated_count() == len(live)
+
+
+class TestSketch:
+    def test_initial_count_zero(self):
+        assert Sketch(64).fetch(("a",)) == 0
+
+    def test_touch_increments(self):
+        sketch = Sketch(64)
+        for _ in range(5):
+            sketch.touch(("a",))
+        assert sketch.fetch(("a",)) >= 5
+
+    @given(st.lists(st.integers(0, 30), min_size=1, max_size=200))
+    @settings(max_examples=25, deadline=None)
+    def test_never_undercounts(self, keys):
+        sketch = Sketch(256, depth=5)
+        true_counts: dict[int, int] = {}
+        for key in keys:
+            sketch.touch(key)
+            true_counts[key] = true_counts.get(key, 0) + 1
+        for key, count in true_counts.items():
+            assert sketch.fetch(key) >= count
+
+    def test_reset(self):
+        sketch = Sketch(64)
+        sketch.touch("a", amount=3)
+        sketch.reset()
+        assert sketch.fetch("a") == 0
+
+    def test_depth_default_matches_paper(self):
+        # "indexing a configurable number of entries based on different
+        # hashes (5 by default in our case)" (§6.1, CL)
+        assert Sketch(100).depth == 5
+
+
+class TestExpireFlows:
+    def test_triad_expiry(self):
+        flow_map, chain, vector = Map(4), DChain(4), Vector(4)
+        index_to_key = {}
+        for i, key in enumerate(["a", "b"]):
+            _, index = chain.allocate(float(i))
+            flow_map.put(key, index)
+            index_to_key[index] = key
+        expired = expire_flows(flow_map, chain, vector, index_to_key, threshold=0.5)
+        assert expired == 1
+        assert flow_map.get("a") == (False, 0)
+        assert flow_map.get("b")[0]

@@ -1,0 +1,82 @@
+"""RssConfiguration: per-port steering and table balancing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.nf.packet import Packet
+from repro.rs3.config import RssConfiguration
+from repro.rs3.fields import IPV4_TCP
+from repro.rs3.toeplitz import MICROSOFT_TEST_KEY
+
+
+def make_config(n_queues: int = 4) -> RssConfiguration:
+    key = (MICROSOFT_TEST_KEY + bytes(12))[:52]
+    return RssConfiguration.build(
+        keys={0: key, 1: key},
+        options={0: IPV4_TCP, 1: IPV4_TCP},
+        n_queues=n_queues,
+    )
+
+
+class TestBuild:
+    def test_ports_configured(self):
+        config = make_config()
+        assert set(config.ports) == {0, 1}
+        assert config.n_queues == 4
+
+    def test_mismatched_ports_rejected(self):
+        key = bytes(52)
+        with pytest.raises(SimulationError):
+            RssConfiguration.build(
+                keys={0: key}, options={0: IPV4_TCP, 1: IPV4_TCP}, n_queues=2
+            )
+
+    def test_key_hex_renders(self):
+        config = make_config()
+        assert config.ports[0].key_hex().count(":") == 51
+
+
+class TestSteering:
+    def test_same_packet_same_core(self):
+        config = make_config()
+        pkt = Packet(1, 2, 3, 4)
+        assert config.core_for(0, pkt) == config.core_for(0, pkt)
+
+    def test_unknown_port_rejected(self):
+        with pytest.raises(SimulationError):
+            make_config().core_for(9, Packet(1, 2, 3, 4))
+
+    def test_cores_in_range(self):
+        config = make_config(n_queues=6)
+        rng = np.random.default_rng(1)
+        for _ in range(100):
+            pkt = Packet(
+                int(rng.integers(2**32)),
+                int(rng.integers(2**32)),
+                int(rng.integers(2**16)),
+                int(rng.integers(2**16)),
+            )
+            assert 0 <= config.core_for(0, pkt) < 6
+
+
+class TestBalancing:
+    def test_balance_tables_reduces_skew(self):
+        config = make_config(n_queues=4)
+        rng = np.random.default_rng(8)
+        # Heavy-hitter trace: one flow dominates.
+        heavy = Packet(10, 20, 30, 40)
+        trace = [(0, heavy)] * 500 + [
+            (0, Packet(int(rng.integers(2**32)), 2, 3, 4)) for _ in range(500)
+        ]
+
+        def max_share() -> float:
+            counts = np.zeros(4)
+            for port, pkt in trace:
+                counts[config.core_for(port, pkt)] += 1
+            return counts.max() / counts.sum()
+
+        before = max_share()
+        config.balance_tables(trace)
+        after = max_share()
+        assert after <= before

@@ -1,0 +1,63 @@
+"""Dynamic (incremental) RSS++ rebalancing under shifting skew."""
+
+import numpy as np
+import pytest
+
+from repro.rs3.indirection import IndirectionTable
+
+
+def imbalance(table: IndirectionTable, loads: np.ndarray) -> float:
+    queue_loads = table.queue_loads(loads)
+    return float(queue_loads.max() / max(queue_loads.mean(), 1e-12))
+
+
+class TestDynamicRebalance:
+    def test_bounded_moves(self):
+        table = IndirectionTable(n_queues=4, size=64)
+        rng = np.random.default_rng(1)
+        loads = rng.pareto(1.1, size=64) + 0.01
+        moved = table.rebalance(loads, max_moves=3)
+        assert moved <= 3
+
+    def test_each_round_improves_or_stops(self):
+        table = IndirectionTable(n_queues=4, size=64)
+        rng = np.random.default_rng(2)
+        loads = rng.pareto(1.1, size=64) + 0.01
+        previous = imbalance(table, loads)
+        for _ in range(10):
+            moved = table.rebalance(loads, max_moves=2)
+            current = imbalance(table, loads)
+            assert current <= previous + 1e-9
+            previous = current
+            if moved == 0:
+                break
+
+    def test_converges_toward_offline_balance(self):
+        rng = np.random.default_rng(3)
+        loads = rng.pareto(1.1, size=128) + 0.01
+        online = IndirectionTable(n_queues=8, size=128)
+        for _ in range(60):
+            if online.rebalance(loads, max_moves=4) == 0:
+                break
+        offline = IndirectionTable(n_queues=8, size=128)
+        offline.balance(loads)
+        assert imbalance(online, loads) <= 1.35 * imbalance(offline, loads)
+
+    def test_tracks_shifting_skew(self):
+        """Online rebalancing keeps up when the elephants move."""
+        rng = np.random.default_rng(4)
+        table = IndirectionTable(n_queues=4, size=64)
+        for epoch in range(5):
+            loads = np.full(64, 0.1)
+            hot = rng.choice(64, size=4, replace=False)
+            loads[hot] = 10.0
+            before = imbalance(table, loads)
+            for _ in range(20):
+                if table.rebalance(loads, max_moves=2) == 0:
+                    break
+            assert imbalance(table, loads) <= before + 1e-9
+
+    def test_shape_validated(self):
+        table = IndirectionTable(n_queues=4, size=64)
+        with pytest.raises(Exception):
+            table.rebalance(np.ones(16))

@@ -1,0 +1,82 @@
+"""RSS field sets and NIC capability models."""
+
+import pytest
+
+from repro.errors import NicCapabilityError
+from repro.rs3.fields import (
+    E810,
+    IPV4_ONLY,
+    IPV4_TCP,
+    PERMISSIVE_NIC,
+    FieldSetOption,
+    RssField,
+)
+
+
+class TestFieldSetOption:
+    def test_layout_offsets(self):
+        offsets = IPV4_TCP.offsets()
+        assert offsets[RssField.SRC_IP] == 0
+        assert offsets[RssField.DST_IP] == 32
+        assert offsets[RssField.SRC_PORT] == 64
+        assert offsets[RssField.DST_PORT] == 80
+
+    def test_input_size(self):
+        assert IPV4_TCP.input_bits == 96
+        assert IPV4_TCP.input_bytes == 12
+        assert IPV4_ONLY.input_bytes == 8
+
+    def test_bit_positions(self):
+        positions = IPV4_TCP.bit_positions(RssField.DST_PORT)
+        assert positions == range(80, 96)
+
+    def test_field_widths(self):
+        assert RssField.SRC_IP.width == 32
+        assert RssField.DST_PORT.width == 16
+
+    def test_packet_field_names_canonical(self):
+        assert RssField.SRC_IP.packet_field == "src_ip"
+
+
+class TestNicModels:
+    def test_e810_key_geometry(self):
+        # Footnote 3: 52-byte key for the Intel E810.
+        assert E810.key_bytes == 52
+        assert E810.reta_size == 512
+
+    def test_e810_lacks_ip_only(self):
+        """The paper's policer story: 'Although DPDK allows RSS packet
+        field options containing only IP addresses, our NICs do not
+        support this option' — so sharding on dst_ip alone must go through
+        the full-tuple option (and cancel the extra fields in the key)."""
+        option = E810.best_option_for(frozenset({RssField.DST_IP}))
+        assert option is IPV4_TCP
+        assert PERMISSIVE_NIC.best_option_for(
+            frozenset({RssField.DST_IP})
+        ) is IPV4_ONLY
+
+    def test_uncoverable_fields_raise(self):
+        class Fake:
+            pass
+
+        with pytest.raises(NicCapabilityError):
+            # An empty-option NIC covers nothing.
+            from repro.rs3.fields import NicModel
+
+            NicModel("none", options=()).best_option_for(
+                frozenset({RssField.SRC_IP})
+            )
+
+    def test_best_option_prefers_smallest(self):
+        option = PERMISSIVE_NIC.best_option_for(
+            frozenset({RssField.SRC_IP, RssField.DST_IP})
+        )
+        assert option is IPV4_ONLY
+
+    def test_supports_exactly(self):
+        assert PERMISSIVE_NIC.supports_exactly(
+            frozenset({RssField.SRC_IP, RssField.DST_IP})
+        )
+        assert not E810.supports_exactly(
+            frozenset({RssField.SRC_IP, RssField.DST_IP})
+        )

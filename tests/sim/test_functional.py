@@ -1,0 +1,93 @@
+"""Functional multicore simulation: steering, skew, balancing."""
+
+import numpy as np
+import pytest
+
+from repro.nf.nfs import ALL_NFS
+from repro.sim.functional import run_functional
+from repro.traffic import TrafficGenerator, paper_zipf_weights
+
+
+@pytest.fixture()
+def fw_parallel(analyses):
+    return analyses.maestro.parallelize(
+        ALL_NFS["fw"](), n_cores=8, result=analyses["fw"]
+    )
+
+
+class TestSteering:
+    def test_flow_affinity(self, analyses, generator):
+        """Every packet of a flow (and its replies) on one core."""
+        parallel = analyses.maestro.parallelize(
+            ALL_NFS["fw"](), n_cores=8, result=analyses["fw"]
+        )
+        trace, flows = generator.uniform_trace(
+            600, 40, in_port=0, reply_port=1, reply_fraction=0.5
+        )
+        run = run_functional(parallel, trace)
+        flow_core: dict = {}
+        for (port, pkt), (core, _) in zip(trace, run.results):
+            key = tuple(sorted([pkt.src_ip, pkt.dst_ip])) + tuple(
+                sorted([pkt.src_port, pkt.dst_port])
+            )
+            assert flow_core.setdefault(key, core) == core
+
+    def test_shares_sum_to_one(self, fw_parallel, generator):
+        trace, _ = generator.uniform_trace(500, 100, in_port=0)
+        run = run_functional(fw_parallel, trace)
+        assert run.core_shares().sum() == pytest.approx(1.0)
+        assert run.n_packets == 500
+
+    def test_uniform_traffic_spreads(self, fw_parallel, generator):
+        trace, _ = generator.uniform_trace(4000, 2000, in_port=0)
+        run = run_functional(fw_parallel, trace)
+        assert run.imbalance() < 1.6
+
+
+class TestSkewAndBalancing:
+    def test_zipf_skews_more_than_uniform(self, analyses):
+        generator = TrafficGenerator(seed=123)
+        uniform_trace, _ = generator.uniform_trace(4000, 1000, in_port=0)
+        zipf_trace, _ = TrafficGenerator(seed=123).zipf_trace(
+            4000, 1000, in_port=0
+        )
+        make = lambda: analyses.maestro.parallelize(
+            ALL_NFS["fw"](), n_cores=8, result=analyses["fw"]
+        )
+        uniform_imbalance = run_functional(make(), uniform_trace).imbalance()
+        zipf_imbalance = run_functional(make(), zipf_trace).imbalance()
+        assert zipf_imbalance > uniform_imbalance
+
+    def test_balancing_reduces_zipf_skew(self, analyses):
+        generator = TrafficGenerator(seed=321)
+        trace, _ = generator.zipf_trace(4000, 1000, in_port=0)
+        make = lambda: analyses.maestro.parallelize(
+            ALL_NFS["fw"](), n_cores=8, result=analyses["fw"]
+        )
+        unbalanced = run_functional(make(), trace).imbalance()
+        balanced = run_functional(
+            make(), trace, balance_tables_with=trace
+        ).imbalance()
+        assert balanced <= unbalanced
+
+
+class TestMeasurements:
+    def test_write_fraction_warm_vs_cold(self, analyses, generator):
+        parallel = analyses.maestro.parallelize(
+            ALL_NFS["fw"](), n_cores=4, result=analyses["fw"]
+        )
+        trace, _ = generator.uniform_trace(300, 30, in_port=0)
+        cold = run_functional(parallel, trace)
+        assert cold.write_fraction() > 0.05  # flow creation
+        warm = run_functional(parallel, trace)
+        assert warm.write_fraction() == 0.0  # steady state, rejuvenation only
+
+    def test_action_counts(self, analyses, generator):
+        from repro.nf.api import ActionKind
+
+        parallel = analyses.maestro.parallelize(
+            ALL_NFS["fw"](), n_cores=4, result=analyses["fw"]
+        )
+        trace, _ = generator.uniform_trace(100, 10, in_port=0)
+        run = run_functional(parallel, trace)
+        assert run.action_counts()[ActionKind.FORWARD] == 100

@@ -1,0 +1,44 @@
+"""Latency model: §6.4's 11-12us, strategy-independent."""
+
+import numpy as np
+import pytest
+
+from repro.core import Strategy
+from repro.hw.cpu import profile_for
+from repro.nf.nfs import ALL_NFS
+from repro.sim.latency import latency_probe
+
+
+class TestLatency:
+    @pytest.mark.parametrize("name", list(ALL_NFS))
+    def test_in_paper_range(self, name):
+        profile = profile_for(ALL_NFS[name]())
+        mean, std = latency_probe(profile, Strategy.SHARED_NOTHING
+                                  if name not in ("dbridge", "lb")
+                                  else Strategy.LOCKS, 16)
+        assert 9.0 < mean < 14.0
+        assert std < 3.0
+
+    def test_cl_slowest(self):
+        cl_mean, _ = latency_probe(profile_for(ALL_NFS["cl"]()),
+                                   Strategy.SHARED_NOTHING, 16)
+        nop_mean, _ = latency_probe(profile_for(ALL_NFS["nop"]()),
+                                    Strategy.SHARED_NOTHING, 16)
+        assert cl_mean > nop_mean
+
+    def test_strategy_does_not_deeply_affect_latency(self):
+        """'We detected no noticeable differences ... regardless of the
+        adopted parallelization strategy.'"""
+        profile = profile_for(ALL_NFS["fw"]())
+        rng = np.random.default_rng(1)
+        means = [
+            latency_probe(profile, strategy, 16, rng=rng)[0]
+            for strategy in (Strategy.SHARED_NOTHING, Strategy.LOCKS, Strategy.TM)
+        ]
+        assert max(means) - min(means) < 1.5
+
+    def test_deterministic_with_seeded_rng(self):
+        profile = profile_for(ALL_NFS["fw"]())
+        a = latency_probe(profile, Strategy.LOCKS, 8, rng=np.random.default_rng(3))
+        b = latency_probe(profile, Strategy.LOCKS, 8, rng=np.random.default_rng(3))
+        assert a == b

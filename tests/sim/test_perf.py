@@ -1,0 +1,172 @@
+"""Performance model: the qualitative laws the paper's figures rest on."""
+
+import numpy as np
+import pytest
+
+from repro.core import Strategy
+from repro.hw.cpu import profile_for
+from repro.hw.pcie import Bottleneck
+from repro.nf.nfs import ALL_NFS
+from repro.sim.perf import PerformanceModel, Workload
+
+MODEL = PerformanceModel()
+WL = Workload(pkt_size=64, n_flows=40_000)
+
+
+def mpps(name, strategy, cores, workload=WL, **kw):
+    profile = profile_for(ALL_NFS[name]())
+    return MODEL.throughput(profile, strategy, cores, workload, **kw).mpps
+
+
+class TestSharedNothingScaling:
+    @pytest.mark.parametrize("name", ["fw", "nat", "cl", "psd", "policer"])
+    def test_monotone_in_cores(self, name):
+        rates = [mpps(name, Strategy.SHARED_NOTHING, n) for n in (1, 2, 4, 8, 16)]
+        assert all(a <= b + 1e-6 for a, b in zip(rates, rates[1:]))
+
+    def test_nop_hits_pcie_ceiling(self):
+        profile = profile_for(ALL_NFS["nop"]())
+        result = MODEL.throughput(profile, Strategy.SHARED_NOTHING, 16, WL)
+        assert result.bottleneck is Bottleneck.PCIE
+        assert result.mpps == pytest.approx(91.5, rel=0.05)
+
+    def test_psd_compound_speedup(self):
+        """§6.4: PSD gains far more than 8x at 16 cores (paper: 19x) from
+        parallelism plus per-core cache locality."""
+        one = mpps("psd", Strategy.SHARED_NOTHING, 1)
+        sixteen = mpps("psd", Strategy.SHARED_NOTHING, 16)
+        assert sixteen / one > 12
+
+    def test_small_flow_count_nullifies_cache_effect(self):
+        """§6.4: with only 256 flows everything fits in L1 and the cache
+        boost disappears."""
+        tiny = Workload(pkt_size=64, n_flows=256)
+        one = mpps("psd", Strategy.SHARED_NOTHING, 1, tiny)
+        sixteen = mpps("psd", Strategy.SHARED_NOTHING, 16, tiny)
+        assert sixteen / one < 17  # no super-linearity left
+
+
+class TestStrategyOrdering:
+    @pytest.mark.parametrize("name", ["fw", "nat", "cl", "psd"])
+    @pytest.mark.parametrize("cores", [4, 16])
+    def test_shared_nothing_beats_locks_beats_tm(self, name, cores):
+        sn = mpps(name, Strategy.SHARED_NOTHING, cores)
+        locks = mpps(name, Strategy.LOCKS, cores)
+        tm = mpps(name, Strategy.TM, cores)
+        assert sn >= locks >= tm
+
+    def test_policer_locks_catastrophic(self):
+        """§6.4: 'every packet requires an exclusive write lock, and
+        performance suffers catastrophically'."""
+        locks_16 = mpps("policer", Strategy.LOCKS, 16)
+        locks_4 = mpps("policer", Strategy.LOCKS, 4)
+        sn_16 = mpps("policer", Strategy.SHARED_NOTHING, 16)
+        assert locks_16 < locks_4  # adding cores makes it WORSE
+        assert sn_16 / locks_16 > 10
+
+    def test_tm_collapses_on_complex_nfs(self):
+        """§6.4: TM scales for simple NFs, 'performs abysmally' for
+        complex ones.  Compared on raw CPU capacity so the PCIe ceiling
+        does not mask the scaling difference."""
+
+        def cpu_pps(name, cores):
+            profile = profile_for(ALL_NFS[name]())
+            return MODEL.throughput(profile, Strategy.TM, cores, WL).cpu_pps
+
+        simple_ratio = cpu_pps("sbridge", 16) / cpu_pps("sbridge", 4)
+        complex_ratio = cpu_pps("cl", 16) / cpu_pps("cl", 4)
+        assert simple_ratio > 2.5
+        assert complex_ratio < 0.75 * simple_ratio
+
+
+class TestChurn:
+    def test_shared_nothing_flat_under_churn(self):
+        calm = mpps("fw", Strategy.SHARED_NOTHING, 16)
+        # ~56M fpm at equilibrium: well beyond the lock collapse point.
+        stormy = mpps(
+            "fw", Strategy.SHARED_NOTHING, 16,
+            Workload(pkt_size=64, n_flows=40_000, relative_churn_fpg=20_000),
+        )
+        assert stormy > 0.9 * calm
+
+    def test_locks_collapse_under_churn(self):
+        calm = mpps("fw", Strategy.LOCKS, 16)
+        stormy = mpps(
+            "fw", Strategy.LOCKS, 16,
+            Workload(pkt_size=64, n_flows=40_000, relative_churn_fpg=20_000),
+        )
+        assert stormy < 0.25 * calm
+
+    def test_tm_worse_than_locks_under_churn(self):
+        workload = Workload(
+            pkt_size=64, n_flows=40_000, relative_churn_fpg=2_000
+        )
+        assert mpps("fw", Strategy.TM, 16, workload) <= mpps(
+            "fw", Strategy.LOCKS, 16, workload
+        )
+
+
+class TestSkewInput:
+    def test_skewed_shares_lower_throughput(self):
+        skewed = np.array([0.4] + [0.6 / 7] * 7)
+        uniform = Workload(pkt_size=64, n_flows=40_000)
+        with_skew = Workload(pkt_size=64, n_flows=40_000, core_shares=skewed)
+        assert mpps("fw", Strategy.SHARED_NOTHING, 8, with_skew) < mpps(
+            "fw", Strategy.SHARED_NOTHING, 8, uniform
+        )
+
+    def test_share_length_validated(self):
+        workload = Workload(core_shares=np.ones(4) / 4)
+        with pytest.raises(ValueError):
+            workload.shares(8)
+
+    def test_zipf_single_core_faster(self):
+        """Figure 5: one core runs faster under Zipf (cache hit rate)."""
+        from repro.traffic import paper_zipf_weights
+
+        uniform = Workload(pkt_size=64, n_flows=40_000)
+        zipf = Workload(
+            pkt_size=64, n_flows=40_000, zipf_weights=paper_zipf_weights(40_000)
+        )
+        assert mpps("fw", Strategy.SHARED_NOTHING, 1, zipf) > mpps(
+            "fw", Strategy.SHARED_NOTHING, 1, uniform
+        )
+
+
+class TestVppComparison:
+    def test_figure11_ordering(self):
+        profile = profile_for(ALL_NFS["nat"]())
+        for cores in (4, 8, 16):
+            # Raw CPU capacity: the PCIe ceiling flattens the top end.
+            sn = MODEL.throughput(
+                profile, Strategy.SHARED_NOTHING, cores, WL
+            ).cpu_pps
+            locks = MODEL.throughput(profile, Strategy.LOCKS, cores, WL).cpu_pps
+            vpp = MODEL.throughput(
+                profile, Strategy.LOCKS, cores, WL, vpp_mode=True
+            ).cpu_pps
+            assert sn > vpp
+            assert locks > vpp  # "Maestro slightly outperforms VPP"
+
+    def test_sn_nat_reaches_pcie_before_16(self):
+        """Figure 11: shared-nothing NAT hits the PCIe bottleneck with
+        ~10 cores."""
+        profile = profile_for(ALL_NFS["nat"]())
+        result = MODEL.throughput(profile, Strategy.SHARED_NOTHING, 12, WL)
+        assert result.bottleneck is Bottleneck.PCIE
+
+    def test_vpp_scales(self):
+        assert mpps("nat", Strategy.LOCKS, 16, vpp_mode=True) > 3 * mpps(
+            "nat", Strategy.LOCKS, 1, vpp_mode=True
+        )
+
+
+class TestEvaluateParallel:
+    def test_measured_shares_flow_into_model(self, analyses, generator):
+        parallel = analyses.maestro.parallelize(
+            ALL_NFS["fw"](), n_cores=8, result=analyses["fw"]
+        )
+        trace, _ = generator.zipf_trace(2000, 500, in_port=0)
+        skewed = MODEL.evaluate_parallel(parallel, WL, trace=trace)
+        even = MODEL.evaluate_parallel(parallel, WL)
+        assert skewed.pps <= even.pps

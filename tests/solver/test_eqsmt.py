@@ -1,0 +1,101 @@
+"""Path-feasibility solver: the only pruning ESE is allowed to do."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solver import eqsmt
+from repro.solver.eqsmt import Result
+from repro.symbex import expr as E
+
+
+def sym(name: str, width: int = 32) -> E.Sym:
+    return E.Sym(width, name)
+
+
+class TestEqualityLogic:
+    def test_empty_conjunction_sat(self):
+        assert eqsmt.check([]) is Result.SAT
+
+    def test_simple_equality_sat(self):
+        assert eqsmt.check([E.Eq(sym("a"), sym("b"))]) is Result.SAT
+
+    def test_contradiction_unsat(self):
+        a, b = sym("a"), sym("b")
+        assert eqsmt.check([E.Eq(a, b), E.Ne(a, b)]) is Result.UNSAT
+
+    def test_distinct_constants_unsat(self):
+        a = sym("a")
+        literals = [E.Eq(a, E.Const(32, 1)), E.Eq(a, E.Const(32, 2))]
+        assert eqsmt.check(literals) is Result.UNSAT
+
+    def test_transitive_conflict(self):
+        a, b, c = sym("a"), sym("b"), sym("c")
+        literals = [E.Eq(a, b), E.Eq(b, c), E.Ne(a, c)]
+        assert eqsmt.check(literals) is Result.UNSAT
+
+    def test_boolean_symbol_polarity(self):
+        found = sym("found", 1)
+        assert eqsmt.check([found, E.Not(found)]) is Result.UNSAT
+        assert eqsmt.check([found]) is Result.SAT
+
+    def test_double_negation_normalized(self):
+        found = sym("found", 1)
+        assert eqsmt.check([E.Not(E.Not(found)), E.Not(found)]) is Result.UNSAT
+
+    def test_conjunction_flattening(self):
+        a, b = sym("a"), sym("b")
+        conj = E.And(E.Eq(a, E.Const(32, 1)), E.Eq(b, E.Const(32, 2)))
+        assert eqsmt.check([conj, E.Ne(a, b)]) is Result.SAT
+        assert eqsmt.check([conj, E.Eq(a, b)]) is Result.UNSAT
+
+    def test_negated_disjunction(self):
+        a = sym("a", 1)
+        b = sym("b", 1)
+        # !(a | b) implies !a
+        assert eqsmt.check([E.Not(E.Or(a, b)), a]) is Result.UNSAT
+
+    def test_constant_false_literal(self):
+        assert eqsmt.check([E.FALSE]) is Result.UNSAT
+        assert eqsmt.check([E.TRUE]) is Result.SAT
+
+
+class TestArithmeticFallback:
+    def test_satisfiable_comparison(self):
+        a = sym("a", 16)
+        assert eqsmt.check([E.Ult(a, E.Const(16, 100))]) is Result.SAT
+
+    def test_comparison_with_equalities(self):
+        a, b = sym("a", 16), sym("b", 16)
+        literals = [E.Eq(a, b), E.Ult(a, E.Const(16, 5))]
+        assert eqsmt.check(literals) is Result.SAT
+
+    def test_unknown_not_reported_as_unsat(self):
+        # x < 0 (unsigned) has no model; the solver may say UNKNOWN but
+        # must never claim SAT.
+        a = sym("a", 8)
+        verdict = eqsmt.check([E.Ult(a, E.Const(8, 0))])
+        assert verdict in (Result.UNKNOWN, Result.UNSAT)
+
+    def test_is_definitely_unsat_is_conservative(self):
+        a = sym("a", 8)
+        assert not eqsmt.is_definitely_unsat([E.Ult(a, E.Const(8, 0))])
+
+
+class TestFindModel:
+    def test_model_satisfies_literals(self):
+        a, b = sym("a"), sym("b")
+        literals = [E.Eq(a, E.Const(32, 7)), E.Ne(a, b)]
+        model = eqsmt.find_model(literals)
+        assert model is not None
+        assert all(E.evaluate(lit, model) == 1 for lit in literals)
+
+    def test_no_model_for_contradiction(self):
+        a = sym("a")
+        assert eqsmt.find_model([E.Eq(a, a), E.Ne(a, a)]) is None
+
+    @given(st.integers(0, 2**16 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_pinned_value_respected(self, value):
+        a = sym("a", 16)
+        model = eqsmt.find_model([E.Eq(a, E.Const(16, value))])
+        assert model is not None and model["a"] == value

@@ -1,0 +1,126 @@
+"""GF(2) linear algebra: correctness of the RSS key solver's foundation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.solver import gf2
+
+
+def random_matrix(rows: int, cols: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 2, size=(rows, cols), dtype=np.uint8)
+
+
+class TestRref:
+    def test_identity_is_fixed_point(self):
+        eye = np.eye(4, dtype=np.uint8)
+        reduced, pivots = gf2.rref(eye)
+        assert np.array_equal(reduced, eye)
+        assert pivots == [0, 1, 2, 3]
+
+    def test_dependent_rows_eliminated(self):
+        matrix = np.array([[1, 1, 0], [1, 1, 0]], dtype=np.uint8)
+        _, pivots = gf2.rref(matrix)
+        assert len(pivots) == 1
+
+    def test_pivot_columns_are_unit(self):
+        matrix = random_matrix(6, 10, seed=3)
+        reduced, pivots = gf2.rref(matrix)
+        for row_index, col in enumerate(pivots):
+            column = reduced[:, col]
+            assert column[row_index] == 1
+            assert column.sum() == 1
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            gf2.rref(np.zeros(4, dtype=np.uint8))
+
+
+class TestRank:
+    def test_zero_matrix(self):
+        assert gf2.rank(np.zeros((3, 5), dtype=np.uint8)) == 0
+
+    def test_full_rank(self):
+        assert gf2.rank(np.eye(5, dtype=np.uint8)) == 5
+
+    @given(st.integers(0, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_rank_bounded(self, seed):
+        matrix = random_matrix(8, 12, seed)
+        assert 0 <= gf2.rank(matrix) <= 8
+
+
+class TestNullspace:
+    @given(st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_basis_vectors_satisfy_system(self, seed):
+        matrix = random_matrix(7, 15, seed)
+        basis = gf2.nullspace(matrix)
+        for vector in basis:
+            assert not ((matrix @ vector) & 1).any()
+
+    @given(st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_dimension_theorem(self, seed):
+        matrix = random_matrix(6, 11, seed)
+        assert gf2.nullspace(matrix).shape[0] == 11 - gf2.rank(matrix)
+
+    def test_empty_system_gives_identity(self):
+        basis = gf2.nullspace(np.zeros((0, 4), dtype=np.uint8))
+        assert np.array_equal(basis, np.eye(4, dtype=np.uint8))
+
+    def test_basis_is_independent(self):
+        matrix = random_matrix(5, 12, seed=9)
+        basis = gf2.nullspace(matrix)
+        assert gf2.rank(basis) == basis.shape[0]
+
+
+class TestSolve:
+    @given(st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_solution_satisfies_system(self, seed):
+        matrix = random_matrix(6, 10, seed)
+        rng = np.random.default_rng(seed + 1)
+        x_true = rng.integers(0, 2, size=10, dtype=np.uint8)
+        rhs = (matrix @ x_true) & 1
+        solution = gf2.solve(matrix, rhs)
+        assert solution is not None
+        assert np.array_equal((matrix @ solution) & 1, rhs)
+
+    def test_inconsistent_returns_none(self):
+        matrix = np.array([[1, 0], [1, 0]], dtype=np.uint8)
+        rhs = np.array([0, 1], dtype=np.uint8)
+        assert gf2.solve(matrix, rhs) is None
+
+    def test_rhs_shape_checked(self):
+        with pytest.raises(ValueError):
+            gf2.solve(np.eye(3, dtype=np.uint8), np.zeros(2, dtype=np.uint8))
+
+
+class TestRandomSolution:
+    @given(st.integers(0, 60))
+    @settings(max_examples=20, deadline=None)
+    def test_random_solution_in_nullspace(self, seed):
+        matrix = random_matrix(5, 14, seed)
+        rng = np.random.default_rng(seed)
+        solution = gf2.random_solution(matrix, rng)
+        assert not ((matrix @ solution) & 1).any()
+
+    def test_bias_produces_dense_solutions(self):
+        matrix = np.zeros((0, 64), dtype=np.uint8)
+        rng = np.random.default_rng(5)
+        dense = gf2.random_solution(matrix, rng, one_bias=0.95)
+        assert dense.sum() > 40
+
+
+class TestSpan:
+    def test_member(self):
+        matrix = np.array([[1, 0, 1], [0, 1, 1]], dtype=np.uint8)
+        assert gf2.is_in_span(matrix, np.array([1, 1, 0], dtype=np.uint8))
+
+    def test_non_member(self):
+        matrix = np.array([[1, 0, 0]], dtype=np.uint8)
+        assert not gf2.is_in_span(matrix, np.array([0, 1, 0], dtype=np.uint8))

@@ -1,0 +1,164 @@
+"""ESE engine: path enumeration, tracing, pruning, explosion guards."""
+
+import pytest
+
+from repro.errors import PathExplosionError
+from repro.nf.api import NF, ActionKind, NfContext, StateDecl, StateKind
+from repro.nf.nfs import Firewall, Nat, Nop, PortScanDetector
+from repro.symbex import explore_nf
+from repro.symbex import expr as E
+
+
+class TestNopExploration:
+    def test_single_path_per_port(self):
+        tree = explore_nf(Nop())
+        assert {p: len(tree.paths_by_port[p]) for p in tree.ports} == {0: 1, 1: 1}
+
+    def test_action_is_forward_to_other_port(self):
+        tree = explore_nf(Nop())
+        (path,) = tree.paths(0)
+        assert path.action.kind is ActionKind.FORWARD
+        assert path.action.port == 1
+
+    def test_no_stateful_entries(self):
+        tree = explore_nf(Nop())
+        assert list(tree.entries()) == []
+
+
+class TestFirewallExploration:
+    def test_lan_paths(self):
+        tree = explore_nf(Firewall())
+        # found / allocated / allocation-failed
+        assert len(tree.paths(0)) == 3
+
+    def test_wan_paths(self):
+        tree = explore_nf(Firewall())
+        assert len(tree.paths(1)) == 2
+
+    def test_wan_miss_drops(self):
+        tree = explore_nf(Firewall())
+        actions = {p.action.kind for p in tree.paths(1)}
+        assert actions == {ActionKind.FORWARD, ActionKind.DROP}
+
+    def test_trace_records_flow_key(self):
+        tree = explore_nf(Firewall())
+        gets = [
+            entry
+            for _, entry in tree.entries()
+            if entry.op == "map_get" and entry.obj == "fw_flows"
+        ]
+        assert gets
+        for entry in gets:
+            assert entry.key is not None and len(entry.key) == 4
+            names = {s.name for part in entry.key for s in E.free_symbols(part)}
+            assert names <= {
+                "pkt.src_ip",
+                "pkt.dst_ip",
+                "pkt.src_port",
+                "pkt.dst_port",
+            }
+
+    def test_constraints_snapshot_monotone(self):
+        tree = explore_nf(Firewall())
+        for path in tree.paths():
+            previous = -1
+            for entry in path.trace:
+                assert entry.pc_len >= previous - 0  # non-decreasing
+                assert entry.pc_len <= len(path.constraints)
+                previous = entry.pc_len
+
+    def test_origins_cover_results(self):
+        tree = explore_nf(Firewall())
+        for path in tree.paths():
+            for entry in path.trace:
+                for _, symbol in entry.results:
+                    assert symbol.name in path.origins
+
+    def test_deterministic(self):
+        t1 = explore_nf(Firewall())
+        t2 = explore_nf(Firewall())
+        for port in t1.ports:
+            d1 = sorted(p.decisions for p in t1.paths(port))
+            d2 = sorted(p.decisions for p in t2.paths(port))
+            assert d1 == d2
+
+
+class TestPruning:
+    def test_infeasible_branch_pruned(self):
+        class Contradictory(NF):
+            name = "contradictory"
+            ports = {"a": 0, "b": 1}
+
+            def state(self):
+                return []
+
+            def process(self, ctx, port, pkt):
+                is_http = ctx.eq(pkt.dst_port, ctx.const(80, 16))
+                if ctx.cond(is_http):
+                    # Inside: dst_port == 80, so this cond can only be True.
+                    if ctx.cond(ctx.eq(pkt.dst_port, ctx.const(80, 16))):
+                        ctx.forward(1)
+                    ctx.drop()  # infeasible
+                ctx.drop()
+
+        tree = explore_nf(Contradictory())
+        assert len(tree.paths(0)) == 2  # http-forward + non-http-drop
+
+
+class TestExplosionGuard:
+    def test_unbounded_forking_raises(self):
+        class Exploder(NF):
+            name = "exploder"
+            ports = {"a": 0, "b": 1}
+
+            def state(self):
+                return []
+
+            def process(self, ctx, port, pkt):
+                # Each comparison is independent: the tree doubles per
+                # iteration (equalities would be pruned as contradictory).
+                for i in range(64):
+                    ctx.cond(ctx.lt(pkt.src_ip, ctx.const(1 + i * 1000, 32)))
+                ctx.drop()
+
+        with pytest.raises(PathExplosionError):
+            explore_nf(Exploder(), max_paths=100)
+
+
+class TestNatProvenance:
+    def test_vector_put_records_provenance(self):
+        tree = explore_nf(Nat())
+        puts = [
+            entry
+            for _, entry in tree.entries()
+            if entry.op == "vector_put" and entry.obj == "nat_entries"
+        ]
+        assert puts
+        stored = dict(puts[0].stored)
+        assert set(stored) == {"src_ip", "src_port", "dst_ip", "dst_port"}
+        assert stored["dst_ip"] == E.Sym(32, "pkt.dst_ip")
+
+    def test_missing_packet_op_detected(self):
+        class Silent(NF):
+            name = "silent"
+            ports = {"a": 0, "b": 1}
+
+            def state(self):
+                return []
+
+            def process(self, ctx, port, pkt):
+                return None  # forgets to forward/drop
+
+        with pytest.raises(Exception):
+            explore_nf(Silent())
+
+
+class TestSummary:
+    def test_summary_mentions_all_paths(self):
+        tree = explore_nf(PortScanDetector())
+        text = tree.summary()
+        assert "psd" in text
+        port0_lines = [
+            line for line in text.splitlines() if line.startswith("  port 0:")
+        ]
+        assert len(port0_lines) == len(tree.paths(0))

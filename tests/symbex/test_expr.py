@@ -1,0 +1,126 @@
+"""Symbolic expression IR: widths, evaluation, substitution."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SymbolicError
+from repro.symbex import expr as E
+
+
+class TestConstruction:
+    def test_const_masks_to_width(self):
+        assert E.Const(8, 0x1FF).value == 0xFF
+
+    def test_const_rejects_zero_width(self):
+        with pytest.raises(SymbolicError):
+            E.Const(0, 1)
+
+    def test_concat_width(self):
+        c = E.Concat.of(E.Const(8, 1), E.Const(16, 2))
+        assert c.width == 24
+
+    def test_concat_empty_rejected(self):
+        with pytest.raises(SymbolicError):
+            E.Concat(0, ())
+
+    def test_extract_bounds_checked(self):
+        with pytest.raises(SymbolicError):
+            E.Const(8, 0).extract(8, 0)
+
+    def test_arith_width_mismatch_rejected(self):
+        with pytest.raises(SymbolicError):
+            E.Add(E.Const(8, 1), E.Const(16, 1))
+
+    def test_structural_equality_and_hash(self):
+        a1 = E.Eq(E.Sym(32, "x"), E.Const(32, 5))
+        a2 = E.Eq(E.Sym(32, "x"), E.Const(32, 5))
+        assert a1 == a2 and hash(a1) == hash(a2)
+
+    def test_eq_ne_not_confused(self):
+        x = E.Sym(32, "x")
+        assert E.Eq(x, x) != E.Ne(x, x)
+
+
+class TestEvaluate:
+    def test_concat_msb_first(self):
+        c = E.Concat.of(E.Const(8, 0xAB), E.Const(8, 0xCD))
+        assert E.evaluate(c, {}) == 0xABCD
+
+    def test_extract(self):
+        value = E.Const(16, 0xABCD)
+        assert E.evaluate(value.extract(15, 8), {}) == 0xAB
+        assert E.evaluate(value.extract(7, 0), {}) == 0xCD
+
+    def test_symbols_from_env(self):
+        x = E.Sym(16, "x")
+        assert E.evaluate(E.Add(x, E.Const(16, 1)), {"x": 0xFFFF}) == 0
+
+    def test_missing_binding_raises(self):
+        with pytest.raises(SymbolicError):
+            E.evaluate(E.Sym(8, "nope"), {})
+
+    def test_comparisons(self):
+        env = {"a": 3, "b": 5}
+        a, b = E.Sym(8, "a"), E.Sym(8, "b")
+        assert E.evaluate(E.Ult(a, b), env) == 1
+        assert E.evaluate(E.Ugt(a, b), env) == 0
+        assert E.evaluate(E.Ne(a, b), env) == 1
+
+    def test_boolean_ops(self):
+        t, f = E.TRUE, E.FALSE
+        assert E.evaluate(E.And(t, f), {}) == 0
+        assert E.evaluate(E.Or(t, f), {}) == 1
+        assert E.evaluate(E.Not(f), {}) == 1
+
+    def test_uninterp_deterministic_and_width_bounded(self):
+        u = E.Uninterp(8, "h", (E.Const(32, 5),))
+        first = E.evaluate(u, {})
+        assert first == E.evaluate(u, {})
+        assert 0 <= first < 256
+
+    def test_uninterp_depends_on_args(self):
+        u1 = E.Uninterp(32, "h", (E.Const(32, 5),))
+        u2 = E.Uninterp(32, "h", (E.Const(32, 6),))
+        assert E.evaluate(u1, {}) != E.evaluate(u2, {})
+
+    @given(st.integers(0, 2**16 - 1), st.integers(0, 2**16 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_modular_arithmetic(self, a, b):
+        ea, eb = E.Const(16, a), E.Const(16, b)
+        assert E.evaluate(E.Add(ea, eb), {}) == (a + b) % 2**16
+        assert E.evaluate(E.Sub(ea, eb), {}) == (a - b) % 2**16
+        assert E.evaluate(E.Mul(ea, eb), {}) == (a * b) % 2**16
+
+
+class TestSubstituteAndSymbols:
+    def test_free_symbols(self):
+        x, y = E.Sym(32, "x"), E.Sym(32, "y")
+        expr = E.And(E.Eq(x, y), E.Ult(x, E.Const(32, 9)))
+        assert E.free_symbols(expr) == {x, y}
+
+    def test_substitute_replaces(self):
+        x = E.Sym(32, "x")
+        expr = E.Add(x, E.Const(32, 1))
+        out = E.substitute(expr, {x: E.Const(32, 41)})
+        assert E.evaluate(out, {}) == 42
+
+    def test_substitute_width_checked(self):
+        x = E.Sym(32, "x")
+        with pytest.raises(SymbolicError):
+            E.substitute(x, {x: E.Const(8, 1)})
+
+    def test_substitute_through_uninterp(self):
+        x = E.Sym(32, "x")
+        u = E.Uninterp(16, "h", (x,))
+        out = E.substitute(u, {x: E.Const(32, 3)})
+        assert E.free_symbols(out) == frozenset()
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_extract_concat_roundtrip(self, value):
+        c = E.Const(32, value)
+        hi = c.extract(31, 16)
+        lo = c.extract(15, 0)
+        rebuilt = E.Concat.of(hi, lo)
+        assert E.evaluate(rebuilt, {}) == value

@@ -1,0 +1,57 @@
+"""Execution-tree artifacts: Path/TraceEntry/Action helpers."""
+
+import pytest
+
+from repro.nf.api import ActionKind
+from repro.nf.nfs import Firewall, Nat
+from repro.symbex import explore_nf
+from repro.symbex.tree import Action
+
+
+class TestAction:
+    def test_describe_forward(self):
+        action = Action(kind=ActionKind.FORWARD, port=1)
+        assert "forward" in action.describe()
+        assert "1" in action.describe()
+
+    def test_describe_drop(self):
+        assert Action(kind=ActionKind.DROP).describe() == "drop"
+
+    def test_describe_mentions_rewrites(self):
+        tree = explore_nf(Nat())
+        rewriting = [
+            p for p in tree.paths(0) if p.action.kind is ActionKind.FORWARD
+        ]
+        assert rewriting
+        assert "rewrites" in rewriting[0].action.describe()
+
+
+class TestTraceEntry:
+    def test_result_lookup(self):
+        tree = explore_nf(Firewall())
+        for path in tree.paths(0):
+            for entry in path.trace:
+                if entry.op == "map_get":
+                    assert entry.result("found").width == 1
+                    with pytest.raises(KeyError):
+                        entry.result("nonexistent")
+
+
+class TestExecutionTree:
+    def test_ports_sorted(self):
+        tree = explore_nf(Firewall())
+        assert tree.ports == [0, 1]
+
+    def test_paths_none_returns_all(self):
+        tree = explore_nf(Firewall())
+        assert len(tree.paths()) == len(tree.paths(0)) + len(tree.paths(1))
+
+    def test_objects_enumerated(self):
+        tree = explore_nf(Firewall())
+        assert "fw_flows" in tree.objects()
+
+    def test_stateful_entries_exclude_maintenance(self):
+        tree = explore_nf(Firewall())
+        for path in tree.paths():
+            for entry in path.stateful_entries():
+                assert not entry.maintenance

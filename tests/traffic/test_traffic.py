@@ -1,0 +1,153 @@
+"""Traffic substrate: distributions, generation, churn, pcap I/O."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traffic import (
+    PAPER_N_FLOWS,
+    PAPER_TOP_FLOWS,
+    PAPER_TOP_SHARE,
+    TrafficGenerator,
+    absolute_churn_fpm,
+    churn_trace,
+    fit_zipf_exponent,
+    paper_zipf_weights,
+    read_pcap,
+    relative_from_absolute,
+    top_share,
+    write_fraction,
+    write_pcap,
+    zipf_weights,
+)
+
+
+class TestDistributions:
+    def test_weights_normalized_and_descending(self):
+        weights = zipf_weights(100, 1.1)
+        assert weights.sum() == pytest.approx(1.0)
+        assert all(a >= b for a, b in zip(weights, weights[1:]))
+
+    def test_paper_parameters_fit(self):
+        """'1k flows, 48 of which responsible for 80% of the traffic'."""
+        weights = paper_zipf_weights()
+        assert len(weights) == PAPER_N_FLOWS
+        assert top_share(weights, PAPER_TOP_FLOWS) == pytest.approx(
+            PAPER_TOP_SHARE, abs=0.01
+        )
+
+    @given(st.integers(10, 500), st.integers(1, 9))
+    @settings(max_examples=20, deadline=None)
+    def test_fit_inverts_top_share(self, n_flows, top_tenth):
+        top_k = max(1, n_flows * top_tenth // 20)
+        if top_k >= n_flows:
+            return
+        share = 0.6
+        exponent = fit_zipf_exponent(n_flows, top_k, share)
+        assert top_share(zipf_weights(n_flows, exponent), top_k) == pytest.approx(
+            share, abs=0.01
+        )
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+        with pytest.raises(ValueError):
+            fit_zipf_exponent(10, 2, 1.5)
+
+
+class TestGenerator:
+    def test_flows_distinct(self, generator):
+        flows = generator.make_flows(500)
+        assert len(set(flows)) == 500
+
+    def test_seed_reproducible(self):
+        a = TrafficGenerator(seed=4).make_flows(50)
+        b = TrafficGenerator(seed=4).make_flows(50)
+        assert a == b
+
+    def test_trace_ports_and_sizes(self, generator):
+        trace, _ = generator.uniform_trace(200, 20, pkt_size=128, in_port=1)
+        assert all(port == 1 for port, _ in trace)
+        assert all(pkt.wire_size == 128 for _, pkt in trace)
+
+    def test_replies_never_precede_forward(self, generator):
+        trace, flows = generator.uniform_trace(
+            400, 30, in_port=0, reply_port=1, reply_fraction=0.5
+        )
+        opened: set = set()
+        for port, pkt in trace:
+            if port == 0:
+                opened.add(pkt.flow_tuple())
+            else:
+                forward = pkt.inverted().flow_tuple()
+                assert forward in opened
+
+    def test_zipf_trace_is_skewed(self):
+        trace, flows = TrafficGenerator(seed=6).zipf_trace(5000, 1000, in_port=0)
+        counts: dict = {}
+        for _, pkt in trace:
+            counts[pkt.flow_tuple()] = counts.get(pkt.flow_tuple(), 0) + 1
+        ranked = sorted(counts.values(), reverse=True)
+        assert sum(ranked[:48]) / 5000 > 0.6
+
+    def test_size_mix(self, generator):
+        from repro.traffic.generator import INTERNET_MIX
+
+        trace, _ = generator.uniform_trace(
+            300, 10, pkt_size=None, size_mix=INTERNET_MIX
+        )
+        sizes = {pkt.wire_size for _, pkt in trace}
+        assert sizes <= {64, 576, 1500}
+        assert len(sizes) > 1
+
+    def test_timestamps_follow_rate(self, generator):
+        trace, _ = generator.uniform_trace(10, 5, rate_pps=1000.0)
+        deltas = [
+            b[1].timestamp - a[1].timestamp for a, b in zip(trace, trace[1:])
+        ]
+        assert all(d == pytest.approx(1e-3) for d in deltas)
+
+
+class TestChurn:
+    def test_write_fraction_math(self):
+        # 1000 flows/Gbit at 64B packets: 512 bits/packet.
+        assert write_fraction(1000, 64) == pytest.approx(512e-6)
+        assert write_fraction(0, 64) == 0.0
+        assert write_fraction(1e12, 64) == 1.0
+
+    def test_absolute_relative_roundtrip(self):
+        assert relative_from_absolute(
+            absolute_churn_fpm(123.0, 40.0), 40.0
+        ) == pytest.approx(123.0)
+
+    def test_churn_trace_new_flow_rate(self, generator):
+        trace = churn_trace(generator, 10_000, 100, relative_churn_fpg=20_000)
+        flows_seen = {pkt.flow_tuple() for _, pkt in trace}
+        # p_new ~ 1%: about 100 fresh flows on top of the 100 live ones.
+        assert 120 <= len(flows_seen) <= 260
+
+    def test_zero_churn_keeps_flow_set(self, generator):
+        trace = churn_trace(generator, 2000, 50, relative_churn_fpg=0.0)
+        assert len({pkt.flow_tuple() for _, pkt in trace}) == 50
+
+
+class TestPcap:
+    def test_roundtrip(self, generator, tmp_path):
+        trace, _ = generator.uniform_trace(
+            50, 10, in_port=0, reply_port=1, reply_fraction=0.3, pkt_size=128
+        )
+        path = tmp_path / "trace.pcap"
+        assert write_pcap(path, trace) == 50
+        loaded = read_pcap(path)
+        assert len(loaded) == 50
+        for (port_a, pkt_a), (port_b, pkt_b) in zip(trace, loaded):
+            assert port_a == port_b
+            assert pkt_a.flow_tuple() == pkt_b.flow_tuple()
+            assert pkt_b.wire_size == pkt_a.wire_size
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "junk.pcap"
+        path.write_bytes(b"\x00" * 64)
+        with pytest.raises(ValueError):
+            read_pcap(path)
