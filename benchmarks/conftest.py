@@ -6,14 +6,34 @@ Every figure of the paper has a ``bench_figNN_*.py`` here; running
 
 regenerates each figure's data (printed through the benchmark's
 ``extra_info``) and records how long the regeneration takes.
+
+Set ``REPRO_OBS_TRACE=/path/to/trace.jsonl`` to capture a structured
+observability trace of the whole benchmark session (pipeline spans,
+symbex/RS3 counters, perf-model bottleneck attribution); render it with
+``python -m repro.obs report trace.jsonl``.
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
+from repro import obs
 from repro.core import Maestro
 from repro.nf.nfs import ALL_NFS
+
+
+@pytest.fixture(scope="session", autouse=True)
+def obs_trace():
+    """Session-wide JSONL trace export, gated on REPRO_OBS_TRACE."""
+    path = os.environ.get("REPRO_OBS_TRACE")
+    if not path:
+        yield None
+        return
+    with obs.JsonlCollector(path) as collector:
+        with obs.attached(collector):
+            yield collector
 
 
 @pytest.fixture(scope="session")

@@ -22,6 +22,7 @@ See ``examples/`` for runnable scenarios and ``python -m repro.eval all``
 for the paper's figures.
 """
 
+from repro import obs
 from repro.core import (
     Maestro,
     MaestroResult,
@@ -51,6 +52,7 @@ from repro.sim import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "obs",
     "Maestro",
     "MaestroResult",
     "ParallelNF",

@@ -7,29 +7,40 @@ Code Generator.
 <Verdict.SHARED_NOTHING: 'shared-nothing'>
 >>> parallel = maestro.parallelize(Firewall(), n_cores=8)
 
-Stage wall-times are recorded per run; the Figure 6 benchmark aggregates
-them over repeated invocations.
+Every run records an observability trace (``repro.obs``): stage spans,
+symbex path counters, and RS3 key-search counters land in
+``result.trace``, and ``result.timings`` is a view over the recorded
+stage spans.  The Figure 6 benchmark aggregates them over repeated
+invocations; attach a global :class:`repro.obs.JsonlCollector` to export
+the same events to disk.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.core.codegen import ParallelNF, Strategy
 from repro.core.report import StatefulReport, build_report
 from repro.core.rss_compile import RssCompilation, compile_rss
 from repro.core.sharding import ConstraintsGenerator, ShardingSolution, Verdict
-from repro.errors import RssUnsatisfiableError
 from repro.nf.api import NF
 from repro.rs3.config import RssConfiguration
 from repro.rs3.fields import E810, NicModel
 from repro.rs3.solver import KeySearchStats, RssKeySolver
 from repro.symbex import ExecutionTree, explore_nf
 
-__all__ = ["MaestroResult", "Maestro"]
+__all__ = ["PIPELINE_STAGES", "MaestroResult", "Maestro"]
+
+#: Span names of the four pipeline stages, in execution order.
+PIPELINE_STAGES: tuple[str, ...] = (
+    "symbolic_execution",
+    "constraints_generator",
+    "rs3",
+    "code_generator",
+)
 
 
 @dataclass
@@ -43,7 +54,16 @@ class MaestroResult:
     compilation: RssCompilation
     keys: dict[int, bytes]
     key_stats: KeySearchStats
-    timings: dict[str, float] = field(default_factory=dict)
+    trace: obs.MemoryCollector = field(default_factory=obs.MemoryCollector)
+
+    @property
+    def timings(self) -> dict[str, float]:
+        """Per-stage wall times, read from the recorded stage spans."""
+        out: dict[str, float] = {}
+        for record in self.trace.spans:
+            if record.name in PIPELINE_STAGES:
+                out[record.name] = out.get(record.name, 0.0) + record.duration_s
+        return out
 
     @property
     def total_time(self) -> float:
@@ -61,6 +81,14 @@ class MaestroResult:
         lines.append(
             "  timings: "
             + ", ".join(f"{k}={v * 1e3:.1f}ms" for k, v in self.timings.items())
+        )
+        stats = self.key_stats
+        lines.append(
+            "  rs3: "
+            f"attempts={stats.attempts}, rows={stats.constraint_rows}, "
+            f"rank={stats.gf2_rank}, free_bits={stats.free_bits}, "
+            f"rejected_quality={stats.rejected_quality}, "
+            f"elapsed={stats.elapsed_s * 1e3:.1f}ms"
         )
         return "\n".join(lines)
 
@@ -80,27 +108,34 @@ class Maestro:
         self._rng = np.random.default_rng(seed)
 
     def analyze(self, nf: NF) -> MaestroResult:
-        """Run ESE, the Constraints Generator, and RS3 for ``nf``."""
-        timings: dict[str, float] = {}
+        """Run ESE, the Constraints Generator, and RS3 for ``nf``.
 
-        start = time.perf_counter()
-        tree = explore_nf(nf)
-        timings["symbolic_execution"] = time.perf_counter() - start
-
-        start = time.perf_counter()
-        report = build_report(nf, tree)
-        solution = ConstraintsGenerator(report).solve()
-        timings["constraints_generator"] = time.perf_counter() - start
-
-        start = time.perf_counter()
-        compilation = compile_rss(nf, solution, self.nic)
-        solver = RssKeySolver(
-            self.nic, compilation.port_options, n_queues=self.n_queues
-        )
-        stats = KeySearchStats()
-        keys = solver.solve(compilation.requirements, rng=self._rng, stats=stats)
-        solver.verify(compilation.requirements, keys, rng=self._rng, samples=32)
-        timings["rs3"] = time.perf_counter() - start
+        The run is traced end to end: a per-result
+        :class:`repro.obs.MemoryCollector` captures stage spans plus every
+        counter the lower layers emit, alongside any globally attached
+        collectors.
+        """
+        trace = obs.MemoryCollector()
+        with obs.attached(trace):
+            with obs.span("maestro.analyze", nf=nf.name) as root:
+                with obs.span("symbolic_execution", nf=nf.name):
+                    tree = explore_nf(nf)
+                with obs.span("constraints_generator", nf=nf.name):
+                    report = build_report(nf, tree)
+                    solution = ConstraintsGenerator(report).solve()
+                with obs.span("rs3", nf=nf.name):
+                    compilation = compile_rss(nf, solution, self.nic)
+                    solver = RssKeySolver(
+                        self.nic, compilation.port_options, n_queues=self.n_queues
+                    )
+                    stats = KeySearchStats()
+                    keys = solver.solve(
+                        compilation.requirements, rng=self._rng, stats=stats
+                    )
+                    solver.verify(
+                        compilation.requirements, keys, rng=self._rng, samples=32
+                    )
+                root.set("verdict", solution.verdict.value)
 
         return MaestroResult(
             nf=nf,
@@ -110,7 +145,7 @@ class Maestro:
             compilation=compilation,
             keys=keys,
             key_stats=stats,
-            timings=timings,
+            trace=trace,
         )
 
     def parallelize(
@@ -131,10 +166,10 @@ class Maestro:
         """
         if result is None:
             result = self.analyze(nf)
-        start = time.perf_counter()
-        rss = result.rss_configuration(n_cores)
-        parallel = ParallelNF.generate(
-            nf, result.solution, rss, n_cores, strategy=strategy
-        )
-        result.timings["code_generator"] = time.perf_counter() - start
+        with obs.attached(result.trace):
+            with obs.span("code_generator", nf=nf.name):
+                rss = result.rss_configuration(n_cores)
+                parallel = ParallelNF.generate(
+                    nf, result.solution, rss, n_cores, strategy=strategy
+                )
         return parallel

@@ -5,7 +5,9 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import obs
 from repro.eval import EXPERIMENTS
+from repro.eval.runner import trace_to
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -23,11 +25,26 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="smaller sweeps for a quick pass",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a JSONL observability trace of the run "
+        "(inspect with `python -m repro.obs report PATH`)",
+    )
     args = parser.parse_args(argv)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        print(EXPERIMENTS[name](fast=args.fast).render())
-        print()
+    try:
+        with trace_to(args.trace):
+            for name in names:
+                with obs.span("eval.experiment", experiment=name):
+                    print(EXPERIMENTS[name](fast=args.fast).render())
+                print()
+    except OSError as exc:
+        print(f"error: cannot write trace: {exc}", file=sys.stderr)
+        return 1
+    if args.trace:
+        print(f"trace written to {args.trace}", file=sys.stderr)
     return 0
 
 

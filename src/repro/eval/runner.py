@@ -7,10 +7,19 @@ exactly the rows/series the corresponding paper figure plots.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Iterator, Sequence
 
-__all__ = ["Series", "Experiment", "CORE_COUNTS", "format_table"]
+from repro import obs
+
+__all__ = [
+    "Series",
+    "Experiment",
+    "CORE_COUNTS",
+    "format_table",
+    "trace_to",
+]
 
 #: Core counts swept in the scalability studies (§6.2: 1..16 cores).
 CORE_COUNTS: tuple[int, ...] = (1, 2, 4, 8, 12, 16)
@@ -73,3 +82,21 @@ def format_table(header: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
     out = [line(header), line(["-" * w for w in widths])]
     out.extend(line(row) for row in rows)
     return "\n".join(out)
+
+
+@contextmanager
+def trace_to(path: str | None) -> Iterator["obs.JsonlCollector | None"]:
+    """Export every trace event in the block to a JSONL file.
+
+    The hook behind ``python -m repro.eval <figure> --trace out.jsonl``
+    and the benchmark harness: attaches a :class:`repro.obs.JsonlCollector`
+    for the duration, so all pipeline spans/counters emitted while
+    regenerating a figure land in a machine-readable trace.  A ``None``
+    path makes the whole thing a no-op.
+    """
+    if path is None:
+        yield None
+        return
+    with obs.JsonlCollector(path) as collector:
+        with obs.attached(collector):
+            yield collector

@@ -16,6 +16,7 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
+from repro import obs
 from repro.errors import SimulationError, StateModelError
 from repro.nf.api import NF, ActionKind, NfContext, PacketDone, StateDecl, StateKind
 from repro.nf.packet import PACKET_FIELDS, Packet
@@ -129,6 +130,8 @@ class ConcreteContext(NfContext):
         self._ops: list[OpRecord] = []
         self._new_flow = False
         self._last_expiry: float = float("-inf")
+        #: Lifetime stateful-op totals: ``(obj, "read"|"write") -> count``.
+        self.op_totals: dict[tuple[str, str], int] = {}
 
     # -------------------------------------------------------------- #
     # Control flow & value algebra: plain Python semantics.
@@ -179,6 +182,10 @@ class ConcreteContext(NfContext):
     # -------------------------------------------------------------- #
     def _record(self, obj: str, op: str, write: bool) -> None:
         self._ops.append(OpRecord(obj, op, write))
+        kind = "write" if write else "read"
+        key = (obj, kind)
+        self.op_totals[key] = self.op_totals.get(key, 0) + 1
+        obs.counter("nf.state_op", 1, nf=self.nf.name, obj=obj, kind=kind)
 
     def map_get(self, name: str, key: Sequence[Any]) -> tuple[bool, int]:
         self._record(name, "map_get", write=False)
@@ -296,6 +303,11 @@ class SequentialRunner:
         self.store = StateStore(nf.state(), scale=state_scale)
         self.ctx = ConcreteContext(nf, self.store)
         nf.setup(self.ctx)
+
+    @property
+    def op_totals(self) -> dict[tuple[str, str], int]:
+        """Lifetime per-object stateful read/write counts (see ctx)."""
+        return dict(self.ctx.op_totals)
 
     def process(self, port: int, pkt: Packet, now: float | None = None) -> PacketResult:
         return self.ctx.run(port, pkt, now=now)

@@ -1,0 +1,62 @@
+"""``repro.obs``: spans, counters, and structured trace export.
+
+The pipeline's unified instrumentation layer.  Zero dependencies beyond
+the stdlib (a lint-guard test enforces this), a no-op fast path when no
+collector is attached, and a JSONL schema shared by the live tracer, the
+exporter, and the ``python -m repro.obs report`` CLI.
+
+Typical use::
+
+    from repro import obs
+
+    with obs.JsonlCollector("trace.jsonl") as collector:
+        with obs.attached(collector):
+            result = Maestro().analyze(Firewall())
+
+    print(obs.render_trace("trace.jsonl"))
+
+Every :class:`repro.core.MaestroResult` also carries its own
+:class:`MemoryCollector` under ``result.trace`` — stage timings, symbex
+path counters, and RS3 key-search counters are recorded per run whether
+or not a global collector is attached.
+"""
+
+from repro.obs.collect import MemoryCollector, percentile
+from repro.obs.export import JsonlCollector, load_trace, read_events
+from repro.obs.report import render_collector, render_trace
+from repro.obs.trace import (
+    Collector,
+    SpanRecord,
+    Tracer,
+    active_collectors,
+    attach,
+    attached,
+    counter,
+    detach,
+    get_tracer,
+    histogram,
+    span,
+    traced,
+)
+
+__all__ = [
+    "Collector",
+    "SpanRecord",
+    "Tracer",
+    "MemoryCollector",
+    "JsonlCollector",
+    "span",
+    "counter",
+    "histogram",
+    "traced",
+    "attach",
+    "detach",
+    "attached",
+    "active_collectors",
+    "get_tracer",
+    "percentile",
+    "load_trace",
+    "read_events",
+    "render_collector",
+    "render_trace",
+]

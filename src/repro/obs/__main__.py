@@ -1,0 +1,35 @@
+"""CLI: ``python -m repro.obs report <trace.jsonl>``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.obs.report import render_trace
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect structured traces emitted by the Maestro pipeline.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    report = subparsers.add_parser(
+        "report", help="aggregate a JSONL trace into per-stage/per-NF tables"
+    )
+    report.add_argument("trace", help="path to a trace.jsonl file")
+    args = parser.parse_args(argv)
+
+    if args.command == "report":
+        try:
+            print(render_trace(args.trace))
+        except BrokenPipeError:  # e.g. `... report t.jsonl | head`
+            return 0
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,121 @@
+"""Render a human-readable report from a JSONL trace.
+
+Backs ``python -m repro.obs report <trace.jsonl>``: spans grouped per
+stage and per NF (the ``nf`` attribute, when present), then counter and
+histogram digests.  Table formatting is local — ``repro.obs`` must stay
+stdlib-only, so it cannot borrow ``repro.eval.runner.format_table``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.obs.collect import MemoryCollector, percentile
+from repro.obs.export import load_trace
+
+__all__ = ["format_table", "render_collector", "render_trace"]
+
+
+def format_table(header: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Plain-text aligned table (left-aligned names, right-aligned data)."""
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+
+    def line(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            text = str(cell)
+            parts.append(text.ljust(widths[i]) if i == 0 else text.rjust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    out = [line(header), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in rows)
+    return "\n".join(out)
+
+
+def _attrs_label(attrs: dict[str, Any], *, skip: tuple[str, ...] = ()) -> str:
+    parts = [f"{k}={v}" for k, v in sorted(attrs.items()) if k not in skip]
+    return ",".join(parts) if parts else "-"
+
+
+def _span_section(collector: MemoryCollector) -> str:
+    groups: dict[tuple[str, str], list[float]] = {}
+    for record in collector.spans:
+        key = (record.name, str(record.attrs.get("nf", "-")))
+        groups.setdefault(key, []).append(record.duration_s)
+    rows = []
+    for (name, nf), durations in sorted(groups.items()):
+        rows.append(
+            [
+                name,
+                nf,
+                str(len(durations)),
+                f"{sum(durations) * 1e3:.2f}",
+                f"{percentile(durations, 50) * 1e3:.2f}",
+                f"{percentile(durations, 95) * 1e3:.2f}",
+                f"{max(durations) * 1e3:.2f}",
+            ]
+        )
+    if not rows:
+        return "(no spans)"
+    header = ["span", "nf", "count", "total_ms", "p50_ms", "p95_ms", "max_ms"]
+    return format_table(header, rows)
+
+
+def _counter_section(collector: MemoryCollector) -> str:
+    rows = []
+    for name, attrs, total in sorted(
+        collector.counters(), key=lambda item: (item[0], sorted(item[1].items()))
+    ):
+        nf = str(attrs.get("nf", "-"))
+        rows.append([name, nf, _attrs_label(attrs, skip=("nf",)), str(total)])
+    if not rows:
+        return "(no counters)"
+    return format_table(["counter", "nf", "attrs", "total"], rows)
+
+
+def _histogram_section(collector: MemoryCollector) -> str:
+    rows = []
+    for name, attrs, values in sorted(
+        collector.histograms(), key=lambda item: (item[0], sorted(item[1].items()))
+    ):
+        nf = str(attrs.get("nf", "-"))
+        rows.append(
+            [
+                name,
+                nf,
+                _attrs_label(attrs, skip=("nf",)),
+                str(len(values)),
+                f"{sum(values) / len(values):.2f}",
+                f"{percentile(values, 50):.2f}",
+                f"{percentile(values, 95):.2f}",
+                f"{max(values):.2f}",
+            ]
+        )
+    if not rows:
+        return "(no histograms)"
+    header = ["histogram", "nf", "attrs", "count", "mean", "p50", "p95", "max"]
+    return format_table(header, rows)
+
+
+def render_collector(collector: MemoryCollector, *, title: str = "trace") -> str:
+    """Render the three report sections for an aggregated trace."""
+    return "\n".join(
+        [
+            f"== {title}: spans ==",
+            _span_section(collector),
+            "",
+            f"== {title}: counters ==",
+            _counter_section(collector),
+            "",
+            f"== {title}: histograms ==",
+            _histogram_section(collector),
+        ]
+    )
+
+
+def render_trace(path: str) -> str:
+    """Load a JSONL trace file and render the full report."""
+    return render_collector(load_trace(path), title=path)

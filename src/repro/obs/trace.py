@@ -1,0 +1,293 @@
+"""The tracer: nested spans, counters, and histograms.
+
+Zero-dependency by design (stdlib only — enforced by a lint-guard test):
+instrumentation lives inside hot pipeline code, so this module must never
+drag heavyweight imports into `repro.symbex` or `repro.nf.runtime`.
+
+The tracer is a process-wide singleton with a *collector stack*.  When no
+collector is attached every entry point returns immediately (``span``
+hands back a shared no-op context manager), so instrumentation is safe to
+leave enabled everywhere.  When one or more collectors are attached,
+events fan out to all of them:
+
+>>> from repro import obs
+>>> collector = obs.MemoryCollector()
+>>> with obs.attached(collector):
+...     with obs.span("stage", nf="fw") as sp:
+...         sp.set("paths", 12)
+...     obs.counter("symbex.paths", 12, nf="fw")
+>>> collector.summary()["spans"]["stage"]["count"]
+1
+
+Span parent/child links are tracked per thread (a thread-local stack), so
+concurrent pipelines don't corrupt each other's nesting.  Wall-clock start
+times come from ``time.time`` (for cross-process alignment); durations
+from the monotonic ``time.perf_counter`` (immune to clock steps).
+"""
+
+from __future__ import annotations
+
+import functools
+import itertools
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Protocol, TypeVar
+
+__all__ = [
+    "SpanRecord",
+    "Collector",
+    "Tracer",
+    "span",
+    "counter",
+    "histogram",
+    "traced",
+    "attach",
+    "detach",
+    "attached",
+    "active_collectors",
+    "get_tracer",
+]
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span, as delivered to collectors."""
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    depth: int
+    start_unix: float
+    duration_s: float
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+
+class Collector(Protocol):
+    """Anything that can receive trace events (memory buffer, JSONL file)."""
+
+    def on_span(self, record: SpanRecord) -> None: ...
+
+    def on_counter(self, name: str, value: int, attrs: dict[str, Any]) -> None: ...
+
+    def on_histogram(self, name: str, value: float, attrs: dict[str, Any]) -> None: ...
+
+
+class _NoopSpan:
+    """Shared, stateless stand-in when no collector is attached."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+    def set(self, key: str, value: Any) -> None:
+        pass
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class _SpanHandle:
+    """A live span: context manager that reports itself on exit."""
+
+    __slots__ = ("_tracer", "name", "span_id", "parent_id", "depth", "attrs",
+                 "_start_unix", "_start_mono")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        span_id: int,
+        parent_id: int | None,
+        depth: int,
+        attrs: dict[str, Any],
+    ):
+        self._tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.depth = depth
+        self.attrs = attrs
+        self._start_unix = 0.0
+        self._start_mono = 0.0
+
+    def set(self, key: str, value: Any) -> None:
+        """Attach/overwrite one attribute on the span."""
+        self.attrs[key] = value
+
+    def __enter__(self) -> "_SpanHandle":
+        self._tracer._push(self)
+        self._start_unix = time.time()
+        self._start_mono = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        duration = time.perf_counter() - self._start_mono
+        self._tracer._pop(self)
+        self._tracer._dispatch_span(
+            SpanRecord(
+                name=self.name,
+                span_id=self.span_id,
+                parent_id=self.parent_id,
+                depth=self.depth,
+                start_unix=self._start_unix,
+                duration_s=duration,
+                attrs=dict(self.attrs),
+            )
+        )
+        return False
+
+
+class Tracer:
+    """Process-wide event router with an attachable collector stack."""
+
+    def __init__(self) -> None:
+        self._collectors: list[Collector] = []
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self._tls = threading.local()
+
+    # ---------------------------------------------------------- #
+    # Collector management
+    # ---------------------------------------------------------- #
+    def attach(self, collector: Collector) -> None:
+        with self._lock:
+            self._collectors.append(collector)
+
+    def detach(self, collector: Collector) -> None:
+        with self._lock:
+            self._collectors.remove(collector)
+
+    @contextmanager
+    def attached(self, *collectors: Collector) -> Iterator[None]:
+        """Attach collectors for the duration of a ``with`` block."""
+        for collector in collectors:
+            self.attach(collector)
+        try:
+            yield
+        finally:
+            for collector in collectors:
+                self.detach(collector)
+
+    @property
+    def collectors(self) -> tuple[Collector, ...]:
+        return tuple(self._collectors)
+
+    # ---------------------------------------------------------- #
+    # Span stack (per thread)
+    # ---------------------------------------------------------- #
+    def _stack(self) -> list[_SpanHandle]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def _push(self, handle: _SpanHandle) -> None:
+        self._stack().append(handle)
+
+    def _pop(self, handle: _SpanHandle) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is handle:
+            stack.pop()
+        elif handle in stack:  # tolerate out-of-order exits
+            stack.remove(handle)
+
+    def current_span(self) -> _SpanHandle | None:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    # ---------------------------------------------------------- #
+    # Event entry points
+    # ---------------------------------------------------------- #
+    def span(self, name: str, **attrs: Any) -> "_SpanHandle | _NoopSpan":
+        if not self._collectors:
+            return _NOOP_SPAN
+        parent = self.current_span()
+        return _SpanHandle(
+            tracer=self,
+            name=name,
+            span_id=next(self._ids),
+            parent_id=None if parent is None else parent.span_id,
+            depth=0 if parent is None else parent.depth + 1,
+            attrs=attrs,
+        )
+
+    def counter(self, name: str, value: int = 1, **attrs: Any) -> None:
+        if not self._collectors:
+            return
+        for collector in self._collectors:
+            collector.on_counter(name, value, attrs)
+
+    def histogram(self, name: str, value: float, **attrs: Any) -> None:
+        if not self._collectors:
+            return
+        for collector in self._collectors:
+            collector.on_histogram(name, value, attrs)
+
+    def _dispatch_span(self, record: SpanRecord) -> None:
+        for collector in self._collectors:
+            collector.on_span(record)
+
+
+_DEFAULT = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer behind the module-level helpers."""
+    return _DEFAULT
+
+
+def span(name: str, **attrs: Any) -> "_SpanHandle | _NoopSpan":
+    """Open a span (use as ``with obs.span("stage", nf="fw") as sp:``)."""
+    return _DEFAULT.span(name, **attrs)
+
+
+def counter(name: str, value: int = 1, **attrs: Any) -> None:
+    """Add ``value`` to the counter ``name`` (attrs distinguish streams)."""
+    _DEFAULT.counter(name, value, **attrs)
+
+
+def histogram(name: str, value: float, **attrs: Any) -> None:
+    """Record one observation of ``name`` (aggregated to p50/p95/max)."""
+    _DEFAULT.histogram(name, value, **attrs)
+
+
+def traced(name: str | None = None, **attrs: Any) -> Callable[[F], F]:
+    """Decorator form of :func:`span`; defaults to the qualified name."""
+
+    def decorate(fn: F) -> F:
+        label = name or fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            with _DEFAULT.span(label, **attrs):
+                return fn(*args, **kwargs)
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate
+
+
+def attach(collector: Collector) -> None:
+    """Attach a collector until :func:`detach` (prefer :func:`attached`)."""
+    _DEFAULT.attach(collector)
+
+
+def detach(collector: Collector) -> None:
+    _DEFAULT.detach(collector)
+
+
+def attached(*collectors: Collector):
+    """``with obs.attached(collector):`` — scoped attach/detach."""
+    return _DEFAULT.attached(*collectors)
+
+
+def active_collectors() -> tuple[Collector, ...]:
+    return _DEFAULT.collectors

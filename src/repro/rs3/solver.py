@@ -18,10 +18,12 @@ of the nullspace with an identical acceptance loop.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.errors import RssUnsatisfiableError
 from repro.rs3.fields import FieldSetOption, NicModel, RssField
 from repro.rs3.indirection import IndirectionTable
@@ -94,12 +96,17 @@ class MapFields:
 
 @dataclass
 class KeySearchStats:
-    """Diagnostics from a key search (surfaced in Figure 6 timings)."""
+    """Diagnostics from a key search (surfaced in Figure 6 timings and in
+    ``MaestroResult.describe()``)."""
 
     attempts: int = 0
     constraint_rows: int = 0
     free_bits: int = 0
     rejected_quality: int = 0
+    #: GF(2) rank of the compiled constraint system.
+    gf2_rank: int = 0
+    #: Wall time of the whole search (matrix build through acceptance).
+    elapsed_s: float = 0.0
 
 
 class RssKeySolver:
@@ -269,9 +276,32 @@ class RssKeySolver:
 
         Mirrors the paper's randomized densification loop: sample a random
         element of the solution space, reject degenerate or badly
-        distributing keys, repeat.
+        distributing keys, repeat.  Diagnostics (attempts, GF(2) rank,
+        quality rejections, elapsed wall time) go into ``stats`` and are
+        mirrored as ``rs3.*`` observability counters.
         """
         rng = rng or np.random.default_rng()
+        stats = stats if stats is not None else KeySearchStats()
+        start = time.perf_counter()
+        with obs.span("rs3.key_search", ports=len(self.ports)) as sp:
+            try:
+                return self._solve(requirements, rng, max_attempts, stats)
+            finally:
+                stats.elapsed_s = time.perf_counter() - start
+                sp.set("attempts", stats.attempts)
+                obs.counter("rs3.attempts", stats.attempts)
+                obs.counter("rs3.constraint_rows", stats.constraint_rows)
+                obs.counter("rs3.gf2_rank", stats.gf2_rank)
+                obs.counter("rs3.free_bits", stats.free_bits)
+                obs.counter("rs3.rejected_quality", stats.rejected_quality)
+
+    def _solve(
+        self,
+        requirements: list["CancelField | CancelBits | MapFields"],
+        rng: np.random.Generator,
+        max_attempts: int,
+        stats: KeySearchStats,
+    ) -> dict[int, bytes]:
         for port in self.ports:
             cancelled = {
                 req.field
@@ -286,16 +316,15 @@ class RssKeySolver:
                 )
         matrix = self.build_system(requirements)
         basis = gf2.nullspace(matrix)
-        if stats is not None:
-            stats.constraint_rows = matrix.shape[0]
-            stats.free_bits = int(basis.shape[0])
+        stats.constraint_rows = matrix.shape[0]
+        stats.free_bits = int(basis.shape[0])
+        stats.gf2_rank = int(matrix.shape[1]) - int(basis.shape[0])
         if basis.shape[0] == 0:
             raise RssUnsatisfiableError(
                 "the sharding constraints admit only the all-zero key"
             )
         for attempt in range(1, max_attempts + 1):
-            if stats is not None:
-                stats.attempts = attempt
+            stats.attempts = attempt
             coeffs = rng.integers(0, 2, size=basis.shape[0], dtype=np.uint8)
             solution = (coeffs @ basis) & 1
             keys = self._keys_from_solution(solution)
@@ -306,8 +335,7 @@ class RssKeySolver:
                 continue
             if self._distribution_ok(keys, requirements, rng):
                 return keys
-            if stats is not None:
-                stats.rejected_quality += 1
+            stats.rejected_quality += 1
         raise RssUnsatisfiableError(
             f"no acceptable key found in {max_attempts} attempts "
             "(constraints admit keys, but none distributed traffic well)"

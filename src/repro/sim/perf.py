@@ -26,6 +26,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from repro import obs
 from repro.core.codegen import ParallelNF, Strategy
 from repro.hw import params
 from repro.hw.cache import CacheHierarchy
@@ -217,6 +218,26 @@ class PerformanceModel:
             bottleneck = Bottleneck.PCIE
         else:
             bottleneck = Bottleneck.LINE_RATE
+        # Bottleneck attribution per evaluated point: what limited the
+        # rate, and how much of the per-packet budget was coordination
+        # (lock/TM exclusive sections) rather than NF work.
+        obs.counter(
+            "perf.bottleneck",
+            1,
+            which=bottleneck.value,
+            strategy=strategy.value,
+            cores=n_cores,
+        )
+        obs.histogram(
+            "perf.packet_cycles", t_pkt, strategy=strategy.value, cores=n_cores
+        )
+        if t_excl > 0.0:
+            obs.histogram(
+                "perf.exclusive_cycles",
+                t_excl,
+                strategy=strategy.value,
+                cores=n_cores,
+            )
         return ThroughputResult(
             pps=pps,
             gbps=params.pps_to_gbps(pps, workload.pkt_size),

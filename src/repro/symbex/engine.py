@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
 
+from repro import obs
 from repro.errors import PathExplosionError, SymbolicError
 from repro.nf.api import NF, NfContext, PacketDone, StateDecl, StateKind
 from repro.solver import eqsmt
@@ -73,6 +74,7 @@ class _SymbolicContext(NfContext):
         self.origins: dict[str, tuple[int, str]] = {}
         self.forks: list[tuple[bool, ...]] = []
         self.mods: dict[str, E.Expr] = {}
+        self.pruned = 0
         self._op_counter = 0
 
     # -------------------------------------------------------------- #
@@ -106,6 +108,8 @@ class _SymbolicContext(NfContext):
         take = True if true_feasible else False
         if true_feasible and false_feasible:
             self.forks.append(tuple(self.decisions) + (not take,))
+        else:
+            self.pruned += 1  # exactly one side feasible: branch pruned
         self.pc.append(literal(take))
         self.decisions.append(take)
         return take
@@ -315,6 +319,10 @@ class SymbolicEngine:
         paths: list[Path] = []
         pending: list[tuple[bool, ...]] = [()]
         pkt = SymbolicPacket()
+        forks = 0
+        pruned = 0
+        infeasible = 0
+        max_depth = 0
         while pending:
             prefix = pending.pop()
             ctx = _SymbolicContext(nf, decls, prefix)
@@ -336,8 +344,13 @@ class SymbolicEngine:
                         origins=dict(ctx.origins),
                     )
                 )
+                forks += len(ctx.forks)
+                pruned += ctx.pruned
+                max_depth = max(max_depth, len(ctx.decisions))
                 pending.extend(ctx.forks)
             except _Infeasible:
+                infeasible += 1
+                pruned += ctx.pruned
                 continue
             else:
                 raise SymbolicError(
@@ -349,14 +362,22 @@ class SymbolicEngine:
                     f"{nf.name}: more than {self.max_paths} paths; are all "
                     "loops statically bounded?"
                 )
+        obs.counter("symbex.paths", len(paths), nf=nf.name, port=port)
+        obs.counter("symbex.forks", forks, nf=nf.name, port=port)
+        obs.counter("symbex.pruned", pruned, nf=nf.name, port=port)
+        obs.counter("symbex.infeasible", infeasible, nf=nf.name, port=port)
+        obs.histogram("symbex.max_depth", max_depth, nf=nf.name, port=port)
         return paths
 
     def explore(self, nf: NF) -> ExecutionTree:
         """Build the full execution tree of ``nf`` (§3.3)."""
-        return ExecutionTree(
-            nf_name=nf.name,
-            paths_by_port={port: self.explore_port(nf, port) for port in nf.port_ids()},
-        )
+        with obs.span("symbex.explore", nf=nf.name) as sp:
+            paths_by_port = {
+                port: self.explore_port(nf, port) for port in nf.port_ids()
+            }
+            sp.set("paths", sum(len(p) for p in paths_by_port.values()))
+            sp.set("ports", len(paths_by_port))
+        return ExecutionTree(nf_name=nf.name, paths_by_port=paths_by_port)
 
 
 def explore_nf(nf: NF, *, max_paths: int = 4096) -> ExecutionTree:

@@ -1,0 +1,133 @@
+"""JSONL export: round-trip fidelity, schema, and the report CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.__main__ import main as obs_main
+from repro.obs.export import SCHEMA_VERSION, read_events
+
+
+def _emit_sample_trace() -> tuple[obs.MemoryCollector, list]:
+    """Emit a representative event mix; return the live collector."""
+    mem = obs.MemoryCollector()
+    with obs.attached(mem):
+        with obs.span("maestro.analyze", nf="fw"):
+            with obs.span("symbolic_execution", nf="fw"):
+                obs.counter("symbex.paths", 12, nf="fw", port=0)
+                obs.counter("symbex.paths", 9, nf="fw", port=1)
+            obs.histogram("symbex.max_depth", 6.0, nf="fw", port=0)
+        obs.counter("rs3.attempts", 3)
+    return mem, mem.spans
+
+
+class TestJsonlRoundTrip:
+    def test_summary_survives_round_trip(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        with obs.JsonlCollector(path) as jsonl:
+            with obs.attached(jsonl):
+                mem, _ = _emit_sample_trace()
+        loaded = obs.load_trace(path)
+        # json round-trips Python floats exactly, so deep equality holds.
+        assert loaded.summary() == mem.summary()
+
+    def test_span_identity_preserved(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        with obs.JsonlCollector(path) as jsonl:
+            with obs.attached(jsonl):
+                _emit_sample_trace()
+        loaded = obs.load_trace(path)
+        by_name = {s.name: s for s in loaded.spans}
+        child = by_name["symbolic_execution"]
+        parent = by_name["maestro.analyze"]
+        assert child.parent_id == parent.span_id
+        assert child.attrs == {"nf": "fw"}
+        assert child.duration_s <= parent.duration_s
+
+    def test_counters_aggregate_per_stream(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        with obs.JsonlCollector(path) as jsonl:
+            with obs.attached(jsonl):
+                obs.counter("ops", 1, obj="a")
+                obs.counter("ops", 1, obj="a")
+                obs.counter("ops", 1, obj="b")
+        counter_lines = [
+            e for e in read_events(path) if e["kind"] == "counter"
+        ]
+        # Two streams, not three raw events: counters aggregate on flush.
+        assert len(counter_lines) == 2
+        loaded = obs.load_trace(path)
+        assert loaded.counter_total("ops", obj="a") == 2
+        assert loaded.counter_total("ops") == 3
+
+    def test_meta_line_first_with_schema(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        with obs.JsonlCollector(path):
+            pass
+        first = next(read_events(path))
+        assert first["kind"] == "meta"
+        assert first["schema"] == SCHEMA_VERSION
+
+    def test_every_line_is_valid_json(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        with obs.JsonlCollector(path) as jsonl:
+            with obs.attached(jsonl):
+                _emit_sample_trace()
+        with open(path, encoding="utf-8") as fh:
+            for line in fh:
+                event = json.loads(line)
+                assert "kind" in event
+
+    def test_non_scalar_attrs_coerced_to_str(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        with obs.JsonlCollector(path) as jsonl:
+            with obs.attached(jsonl):
+                with obs.span("stage", payload=(1, 2)):
+                    pass
+        record = obs.load_trace(path).spans[0]
+        assert record.attrs["payload"] == "(1, 2)"
+
+    def test_corrupt_line_raises_value_error(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind":"meta","schema":1}\nnot json\n')
+        with pytest.raises(ValueError, match="not valid JSONL"):
+            obs.load_trace(str(path))
+
+
+class TestReport:
+    def test_render_trace_tables(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        with obs.JsonlCollector(path) as jsonl:
+            with obs.attached(jsonl):
+                _emit_sample_trace()
+        text = obs.render_trace(path)
+        assert "spans ==" in text
+        assert "symbolic_execution" in text
+        assert "fw" in text
+        assert "symbex.paths" in text
+        assert "symbex.max_depth" in text
+
+    def test_render_empty_trace(self, tmp_path):
+        path = str(tmp_path / "empty.jsonl")
+        with obs.JsonlCollector(path):
+            pass
+        text = obs.render_trace(path)
+        assert "(no spans)" in text
+        assert "(no counters)" in text
+
+    def test_cli_report(self, tmp_path, capsys):
+        path = str(tmp_path / "trace.jsonl")
+        with obs.JsonlCollector(path) as jsonl:
+            with obs.attached(jsonl):
+                _emit_sample_trace()
+        assert obs_main(["report", path]) == 0
+        out = capsys.readouterr().out
+        assert "maestro.analyze" in out
+        assert "rs3.attempts" in out
+
+    def test_cli_report_missing_file(self, tmp_path, capsys):
+        assert obs_main(["report", str(tmp_path / "nope.jsonl")]) == 1
+        assert "error:" in capsys.readouterr().err

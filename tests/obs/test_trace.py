@@ -1,0 +1,180 @@
+"""Tracer semantics: span nesting, counters/histograms, the no-op path."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.trace import _NOOP_SPAN
+
+
+@pytest.fixture()
+def collector():
+    mem = obs.MemoryCollector()
+    with obs.attached(mem):
+        yield mem
+
+
+class TestSpans:
+    def test_nesting_parent_child_links(self, collector):
+        with obs.span("outer") as outer:
+            with obs.span("inner"):
+                pass
+        inner_rec, outer_rec = collector.spans
+        assert inner_rec.name == "inner" and outer_rec.name == "outer"
+        assert inner_rec.parent_id == outer_rec.span_id
+        assert outer_rec.parent_id is None
+        assert inner_rec.depth == outer_rec.depth + 1 == 1
+
+    def test_completion_ordering_children_first(self, collector):
+        with obs.span("a"):
+            with obs.span("b"):
+                with obs.span("c"):
+                    pass
+            with obs.span("d"):
+                pass
+        assert [s.name for s in collector.spans] == ["c", "b", "d", "a"]
+
+    def test_sibling_spans_share_parent(self, collector):
+        with obs.span("root") as root:
+            with obs.span("first"):
+                pass
+            with obs.span("second"):
+                pass
+        by_name = {s.name: s for s in collector.spans}
+        assert by_name["first"].parent_id == root.span_id
+        assert by_name["second"].parent_id == root.span_id
+
+    def test_duration_and_wall_time_recorded(self, collector):
+        with obs.span("timed"):
+            pass
+        record = collector.spans[0]
+        assert record.duration_s >= 0.0
+        assert record.start_unix > 0.0
+
+    def test_attrs_at_open_and_via_set(self, collector):
+        with obs.span("stage", nf="fw") as sp:
+            sp.set("paths", 7)
+        record = collector.spans[0]
+        assert record.attrs == {"nf": "fw", "paths": 7}
+
+    def test_exception_still_records_span(self, collector):
+        with pytest.raises(ValueError):
+            with obs.span("doomed"):
+                raise ValueError("boom")
+        assert [s.name for s in collector.spans] == ["doomed"]
+
+    def test_nesting_is_per_thread(self, collector):
+        records = {}
+
+        def worker():
+            with obs.span("thread-root"):
+                pass
+            records["done"] = True
+
+        with obs.span("main-root"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        by_name = {s.name: s for s in collector.spans}
+        # The other thread's root must not become a child of main's span.
+        assert by_name["thread-root"].parent_id is None
+        assert records["done"]
+
+
+class TestCountersAndHistograms:
+    def test_counter_aggregates_by_name_and_attrs(self, collector):
+        obs.counter("hits", 2, obj="a")
+        obs.counter("hits", 3, obj="a")
+        obs.counter("hits", 5, obj="b")
+        assert collector.counter_total("hits", obj="a") == 5
+        assert collector.counter_total("hits", obj="b") == 5
+        assert collector.counter_total("hits") == 10
+        assert collector.counter_total("misses") == 0
+
+    def test_histogram_summary_percentiles(self, collector):
+        for value in range(1, 101):
+            obs.histogram("latency", float(value))
+        stats = collector.summary()["histograms"]["latency"]
+        assert stats["count"] == 100
+        assert stats["p50"] == 50.0
+        assert stats["p95"] == 95.0
+        assert stats["max"] == 100.0
+
+    def test_span_summary_percentiles(self, collector):
+        for _ in range(10):
+            with obs.span("stage"):
+                pass
+        stats = collector.summary()["spans"]["stage"]
+        assert stats["count"] == 10
+        assert 0.0 <= stats["p50_s"] <= stats["p95_s"] <= stats["max_s"]
+        assert stats["total_s"] >= stats["max_s"]
+
+    def test_percentile_nearest_rank(self):
+        assert obs.percentile([], 50) == 0.0
+        assert obs.percentile([3.0, 1.0, 2.0], 50) == 2.0
+        assert obs.percentile([3.0, 1.0, 2.0], 100) == 3.0
+        assert obs.percentile([5.0], 95) == 5.0
+
+
+class TestNoOpPath:
+    def test_span_without_collector_is_shared_noop(self):
+        assert obs.span("anything") is _NOOP_SPAN
+        assert obs.span("other", nf="fw") is _NOOP_SPAN
+
+    def test_noop_span_supports_protocol(self):
+        with obs.span("anything") as sp:
+            sp.set("key", "value")  # silently dropped
+
+    def test_counter_histogram_without_collector(self):
+        obs.counter("free", 1)
+        obs.histogram("free", 1.0)  # must not raise
+
+    def test_events_inside_noop_window_are_dropped(self):
+        obs.counter("dropped", 1)
+        mem = obs.MemoryCollector()
+        with obs.attached(mem):
+            obs.counter("kept", 1)
+        obs.counter("dropped", 1)
+        assert mem.counter_total("kept") == 1
+        assert mem.counter_total("dropped") == 0
+
+
+class TestFanOut:
+    def test_events_reach_all_attached_collectors(self):
+        first, second = obs.MemoryCollector(), obs.MemoryCollector()
+        with obs.attached(first):
+            with obs.attached(second):
+                with obs.span("both"):
+                    obs.counter("n", 1)
+        assert [s.name for s in first.spans] == ["both"]
+        assert [s.name for s in second.spans] == ["both"]
+        assert first.counter_total("n") == second.counter_total("n") == 1
+
+
+class TestDecorator:
+    def test_traced_records_span(self):
+        mem = obs.MemoryCollector()
+
+        @obs.traced("my.op", layer="test")
+        def add(a, b):
+            return a + b
+
+        with obs.attached(mem):
+            assert add(2, 3) == 5
+        record = mem.spans[0]
+        assert record.name == "my.op"
+        assert record.attrs["layer"] == "test"
+
+    def test_traced_defaults_to_qualname(self):
+        mem = obs.MemoryCollector()
+
+        @obs.traced()
+        def helper():
+            return 1
+
+        with obs.attached(mem):
+            helper()
+        assert "helper" in mem.spans[0].name
