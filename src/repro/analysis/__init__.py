@@ -1,0 +1,43 @@
+"""repro.analysis — NF linter and parallelization-safety auditor.
+
+Two front ends feed one diagnostics core:
+
+* **AST passes** inspect the NF's Python source (``process``/``setup``
+  and helpers) for departures from the supported NF class: raw branches
+  on symbolic handles, nondeterminism sources, undeclared state names,
+  unbounded loops.
+* **Tree passes** audit the extracted model and the generated parallel
+  plan: an independent sharding audit of shared-nothing verdicts, lock
+  coverage/ordering checks for LOCKS code generation, and a determinism
+  check replaying each path's decision log.
+
+Findings carry stable ``MAE0xx`` codes (see
+:data:`repro.analysis.diagnostics.DIAGNOSTIC_CODES`) and render as text
+or JSON via ``python -m repro.analysis lint <nf-name|--all>``.
+"""
+
+from repro.analysis.diagnostics import (
+    DIAGNOSTIC_CODES,
+    Diagnostic,
+    Severity,
+    render_json,
+    render_text,
+)
+from repro.analysis.lint import default_passes, lint_nf
+from repro.analysis.passes import AnalysisPass, PassContext, PassManager
+from repro.analysis.source import NfSource, gather_sources
+
+__all__ = [
+    "DIAGNOSTIC_CODES",
+    "Diagnostic",
+    "Severity",
+    "render_json",
+    "render_text",
+    "default_passes",
+    "lint_nf",
+    "AnalysisPass",
+    "PassContext",
+    "PassManager",
+    "NfSource",
+    "gather_sources",
+]

@@ -1,0 +1,139 @@
+"""CLI: ``python -m repro.analysis lint <nf-name ...|--all> [--json]``.
+
+Exit codes are CI-friendly: 0 when no error-severity diagnostics were
+found (warnings alone don't fail a build), 1 when at least one error
+fired, 2 on usage mistakes (unknown NF name, no NFs selected).
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import sys
+from pathlib import Path
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    render_json,
+    render_text,
+)
+from repro.analysis.lint import lint_nf
+from repro.nf.api import NF
+from repro.nf.nfs import ALL_NFS
+from repro.nf.nfs.micro import (
+    DhcpGuard,
+    DualCounter,
+    FlowCounter,
+    GlobalCounter,
+    SrcStats,
+)
+
+_MICRO_NFS = {
+    "flow_counter": FlowCounter,
+    "src_stats": SrcStats,
+    "dual_counter": DualCounter,
+    "global_counter": GlobalCounter,
+    "dhcp_guard": DhcpGuard,
+}
+
+
+def _example_nfs() -> dict[str, type[NF]]:
+    """NF classes from ``examples/custom_nf.py``, when the file exists.
+
+    The examples directory ships alongside the repo root (two levels above
+    ``src/``); installed-package runs simply skip it.
+    """
+    candidates = [
+        Path(__file__).resolve().parents[3] / "examples" / "custom_nf.py",
+        Path.cwd() / "examples" / "custom_nf.py",
+    ]
+    path = next((p for p in candidates if p.is_file()), None)
+    if path is None:
+        return {}
+    spec = importlib.util.spec_from_file_location("repro_examples_custom_nf", path)
+    if spec is None or spec.loader is None:  # pragma: no cover
+        return {}
+    module = importlib.util.module_from_spec(spec)
+    try:
+        spec.loader.exec_module(module)
+    except Exception:  # pragma: no cover - examples must not break lint
+        return {}
+    out: dict[str, type[NF]] = {}
+    for value in vars(module).values():
+        if (
+            isinstance(value, type)
+            and issubclass(value, NF)
+            and value is not NF
+        ):
+            out[value.name] = value
+    return out
+
+
+def _registry(include_examples: bool) -> dict[str, type[NF]]:
+    registry: dict[str, type[NF]] = dict(ALL_NFS)
+    registry.update(_MICRO_NFS)
+    if include_examples:
+        registry.update(_example_nfs())
+    return registry
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static analysis for NFs: source lint + model audit.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    lint = sub.add_parser("lint", help="lint NFs and audit their models")
+    lint.add_argument(
+        "names",
+        nargs="*",
+        metavar="nf-name",
+        help=f"NFs to lint (bundled: {', '.join(sorted(_registry(False)))})",
+    )
+    lint.add_argument(
+        "--all",
+        action="store_true",
+        help="lint every bundled NF, micro-NF, and example NF",
+    )
+    lint.add_argument(
+        "--json", action="store_true", help="emit diagnostics as JSON"
+    )
+    lint.add_argument(
+        "--no-pipeline",
+        action="store_true",
+        help="AST phase only (skip symbolic execution and the model audit)",
+    )
+    args = parser.parse_args(argv)
+
+    registry = _registry(include_examples=args.all or bool(args.names))
+    if args.all:
+        selected = sorted(registry)
+    else:
+        selected = list(dict.fromkeys(args.names))
+    if not selected:
+        lint.print_usage(sys.stderr)
+        print("error: give at least one nf-name or --all", file=sys.stderr)
+        return 2
+    unknown = [name for name in selected if name not in registry]
+    if unknown:
+        print(
+            f"error: unknown NF(s) {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(registry))}",
+            file=sys.stderr,
+        )
+        return 2
+
+    diagnostics: list[Diagnostic] = []
+    for name in selected:
+        nf = registry[name]()
+        diagnostics.extend(lint_nf(nf, pipeline=not args.no_pipeline))
+
+    if args.json:
+        print(render_json(diagnostics))
+    else:
+        print(render_text(diagnostics))
+    return 1 if any(d.is_error for d in diagnostics) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,426 @@
+"""AST passes: lint the NF's *source* against the supported class (§5).
+
+The ESE engine is only sound for NFs that treat packet/state values as
+opaque handles: combine them with ``ctx.eq``/``ctx.add``/..., branch on
+them with ``ctx.cond``, touch only declared state, and keep loops
+statically bounded.  These passes enforce that contract with a small
+forward taint analysis over each method: *symbolic* values are packet
+fields (``pkt.*``) and the results of value-producing context
+operations; anything computed from them stays symbolic.
+
+The analysis is deliberately conservative and flow-insensitive (a name,
+once symbolic, stays symbolic): false positives are waivable inline, and
+a silent false negative would let an unsupported NF reach the pipeline.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.passes import AnalysisPass, PassContext
+from repro.analysis.source import MethodSource
+
+__all__ = [
+    "RawBranchPass",
+    "NondeterminismPass",
+    "DeclaredStatePass",
+    "BoundedLoopPass",
+]
+
+#: ctx methods whose result is a symbolic handle.
+_CTX_VALUE_METHODS = frozenset(
+    {
+        "const",
+        "eq",
+        "ne",
+        "lt",
+        "gt",
+        "add",
+        "sub",
+        "mul",
+        "extract",
+        "hash_value",
+        "lnot",
+        "land",
+        "lor",
+        "now",
+        "map_get",
+        "map_put",
+        "vector_borrow",
+        "dchain_allocate",
+        "dchain_is_allocated",
+        "sketch_fetch",
+    }
+)
+
+#: ctx methods taking a state-object name as their first argument(s).
+_STATE_OPS: dict[str, int] = {
+    "map_get": 1,
+    "map_put": 1,
+    "map_erase": 1,
+    "vector_borrow": 1,
+    "vector_put": 1,
+    "vector_fill": 1,
+    "dchain_allocate": 1,
+    "dchain_is_allocated": 1,
+    "dchain_rejuvenate": 1,
+    "sketch_fetch": 1,
+    "sketch_touch": 1,
+    "expire_flows": 2,  # (map_name, chain_name)
+}
+
+#: module roots whose calls are nondeterministic under re-execution.
+_NONDET_MODULES = frozenset({"random", "secrets", "uuid", "time", "datetime"})
+#: builtins that vary across runs/processes (hash is salted for str).
+_NONDET_BUILTINS = frozenset({"id", "hash"})
+#: attribute calls that are nondeterministic regardless of root module.
+_NONDET_ATTRS = frozenset({"urandom", "getrandbits", "token_bytes"})
+
+
+class _Taint:
+    """Forward may-be-symbolic analysis over one method body."""
+
+    def __init__(self, method: MethodSource):
+        self.method = method
+        self.names: set[str] = set()
+
+    # ------------------------------------------------------------------ #
+    def is_tainted(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in self.names
+        if isinstance(node, ast.Attribute):
+            root = node.value
+            if isinstance(root, ast.Name) and root.id == self.method.pkt_param:
+                return True  # pkt.<field> is a symbolic handle
+            return self.is_tainted(root)
+        if isinstance(node, ast.Subscript):
+            return self.is_tainted(node.value)
+        if isinstance(node, ast.Call):
+            return self._call_tainted(node)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            return any(self.is_tainted(el) for el in node.elts)
+        if isinstance(node, ast.Dict):
+            return any(
+                value is not None and self.is_tainted(value)
+                for value in node.values
+            )
+        if isinstance(node, ast.BinOp):
+            return self.is_tainted(node.left) or self.is_tainted(node.right)
+        if isinstance(node, ast.UnaryOp):
+            return self.is_tainted(node.operand)
+        if isinstance(node, ast.BoolOp):
+            return any(self.is_tainted(v) for v in node.values)
+        if isinstance(node, ast.Compare):
+            return self.is_tainted(node.left) or any(
+                self.is_tainted(c) for c in node.comparators
+            )
+        if isinstance(node, ast.IfExp):
+            return (
+                self.is_tainted(node.test)
+                or self.is_tainted(node.body)
+                or self.is_tainted(node.orelse)
+            )
+        if isinstance(node, ast.Starred):
+            return self.is_tainted(node.value)
+        return False
+
+    def _call_tainted(self, node: ast.Call) -> bool:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == self.method.ctx_param
+        ):
+            # ctx.cond() returns a concrete bool; value ops return handles.
+            return func.attr in _CTX_VALUE_METHODS
+        # Unknown callables over tainted arguments stay tainted.
+        return any(self.is_tainted(arg) for arg in node.args) or any(
+            kw.value is not None and self.is_tainted(kw.value)
+            for kw in node.keywords
+        )
+
+    # ------------------------------------------------------------------ #
+    def assign(self, target: ast.expr, tainted: bool) -> None:
+        if not tainted:
+            return
+        if isinstance(target, ast.Name):
+            self.names.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for el in target.elts:
+                self.assign(el, True)
+        elif isinstance(target, ast.Starred):
+            self.assign(target.value, True)
+        # Attribute/Subscript targets (self.x = sym) are left alone: self
+        # attributes are treated as concrete configuration.
+
+
+def _each_method(pctx: PassContext):
+    for method in pctx.source.methods:
+        yield method, _Taint(method)
+
+
+def _walk_with_taint(method: MethodSource, taint: _Taint):
+    """Yield every AST node in source order, updating taint at assigns."""
+    for node in ast.walk(method.tree):
+        if isinstance(node, ast.Assign):
+            tainted = taint.is_tainted(node.value)
+            for target in node.targets:
+                taint.assign(target, tainted)
+        elif isinstance(node, ast.AugAssign):
+            if taint.is_tainted(node.value) or taint.is_tainted(node.target):
+                taint.assign(node.target, True)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            taint.assign(node.target, taint.is_tainted(node.value))
+        elif isinstance(node, (ast.For, ast.comprehension)):
+            iterable = node.iter
+            if taint.is_tainted(iterable):
+                taint.assign(node.target, True)
+        elif isinstance(node, ast.withitem) and node.optional_vars is not None:
+            taint.assign(
+                node.optional_vars, taint.is_tainted(node.context_expr)
+            )
+        yield node
+
+
+class RawBranchPass(AnalysisPass):
+    """MAE001: raw Python branches/comparisons on symbolic handles.
+
+    ``if found:`` silently branches on the *truthiness of an expression
+    object* — always True — so ESE would only ever see one side;
+    ``pkt.src_port == 53`` compares structure, not value.  Both must go
+    through ``ctx.cond`` / ``ctx.eq``.
+    """
+
+    name = "raw-branch"
+    phase = "ast"
+
+    def run(self, pctx: PassContext) -> list[Diagnostic]:
+        out: list[Diagnostic] = []
+        for method, taint in _each_method(pctx):
+            for node in _walk_with_taint(method, taint):
+                if isinstance(node, ast.Compare) and taint.is_tainted(node):
+                    out.append(
+                        Diagnostic.of(
+                            "MAE001",
+                            f"{method.qualname}: raw comparison on a "
+                            "symbolic value; use ctx.eq/ctx.lt/...",
+                            nf=pctx.nf.name,
+                            file=method.file,
+                            line=method.line_of(node),
+                        )
+                    )
+                elif (
+                    isinstance(node, (ast.If, ast.While))
+                    and not isinstance(node.test, ast.Compare)
+                    and taint.is_tainted(node.test)
+                ):
+                    out.append(
+                        Diagnostic.of(
+                            "MAE001",
+                            f"{method.qualname}: branching on a symbolic "
+                            "value without ctx.cond(...)",
+                            nf=pctx.nf.name,
+                            file=method.file,
+                            line=method.line_of(node),
+                        )
+                    )
+                elif (
+                    isinstance(node, ast.IfExp)
+                    and not isinstance(node.test, ast.Compare)
+                    and taint.is_tainted(node.test)
+                ):
+                    out.append(
+                        Diagnostic.of(
+                            "MAE001",
+                            f"{method.qualname}: conditional expression on "
+                            "a symbolic value without ctx.cond(...)",
+                            nf=pctx.nf.name,
+                            file=method.file,
+                            line=method.line_of(node),
+                        )
+                    )
+        return out
+
+
+class NondeterminismPass(AnalysisPass):
+    """MAE002/MAE005: nondeterminism sources and iteration-order hazards.
+
+    ESE replays ``process`` many times and the parallel runtime replays
+    ``setup`` once per core; both replays must agree with the sequential
+    run.  ``ctx.now()`` is the only sanctioned time source.
+    """
+
+    name = "nondeterminism"
+    phase = "ast"
+
+    def run(self, pctx: PassContext) -> list[Diagnostic]:
+        out: list[Diagnostic] = []
+        for method, taint in _each_method(pctx):
+            for node in _walk_with_taint(method, taint):
+                if isinstance(node, ast.Call):
+                    culprit = self._nondet_call(node)
+                    if culprit is not None:
+                        out.append(
+                            Diagnostic.of(
+                                "MAE002",
+                                f"{method.qualname}: call to {culprit} is "
+                                "nondeterministic under re-execution; use "
+                                "ctx.now()/ctx.hash_value() instead",
+                                nf=pctx.nf.name,
+                                file=method.file,
+                                line=method.line_of(node),
+                            )
+                        )
+                elif isinstance(node, (ast.For, ast.comprehension)):
+                    if self._unordered_iterable(node.iter):
+                        out.append(
+                            Diagnostic.of(
+                                "MAE005",
+                                f"{method.qualname}: iterating a set; "
+                                "iteration order is unspecified",
+                                nf=pctx.nf.name,
+                                file=method.file,
+                                line=method.line_of(node.iter),
+                            )
+                        )
+        return out
+
+    @staticmethod
+    def _nondet_call(node: ast.Call) -> str | None:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in _NONDET_BUILTINS:
+            return f"{func.id}()"
+        if isinstance(func, ast.Attribute):
+            root = func.value
+            while isinstance(root, ast.Attribute):
+                root = root.value
+            if isinstance(root, ast.Name) and root.id in _NONDET_MODULES:
+                return f"{root.id}.{func.attr}()"
+            if func.attr in _NONDET_ATTRS:
+                return f"{func.attr}()"
+        return None
+
+    @staticmethod
+    def _unordered_iterable(node: ast.expr) -> bool:
+        if isinstance(node, ast.Set):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in {"set", "frozenset"}
+        return False
+
+
+class DeclaredStatePass(AnalysisPass):
+    """MAE003/MAE006: every state access names a declared object.
+
+    The symbolic engine happily traces ``map_get("tpyo", ...)`` — the
+    concrete runtime then KeyErrors at the first packet.  Catch it here,
+    statically, and flag dynamically-computed names we cannot check.
+    """
+
+    name = "declared-state"
+    phase = "ast"
+
+    def run(self, pctx: PassContext) -> list[Diagnostic]:
+        out: list[Diagnostic] = []
+        for method, taint in _each_method(pctx):
+            for node in _walk_with_taint(method, taint):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if not (
+                    isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == method.ctx_param
+                    and func.attr in _STATE_OPS
+                ):
+                    continue
+                n_names = _STATE_OPS[func.attr]
+                for arg in node.args[:n_names]:
+                    if isinstance(arg, ast.Constant) and isinstance(
+                        arg.value, str
+                    ):
+                        if arg.value not in pctx.declared:
+                            out.append(
+                                Diagnostic.of(
+                                    "MAE003",
+                                    f"{method.qualname}: {func.attr} on "
+                                    f"undeclared state object {arg.value!r} "
+                                    f"(declared: {sorted(pctx.declared)})",
+                                    nf=pctx.nf.name,
+                                    file=method.file,
+                                    line=method.line_of(node),
+                                )
+                            )
+                    else:
+                        out.append(
+                            Diagnostic.of(
+                                "MAE006",
+                                f"{method.qualname}: {func.attr} object "
+                                "name is not a string literal",
+                                nf=pctx.nf.name,
+                                file=method.file,
+                                line=method.line_of(node),
+                            )
+                        )
+        return out
+
+
+class BoundedLoopPass(AnalysisPass):
+    """MAE004: loops in the packet path must be statically bounded.
+
+    The paper's supported class (§5) requires bounded loops — unbounded
+    ones make exhaustive exploration diverge (PathExplosionError at best).
+    Allowed: ``for`` over a tuple/list literal (static unrolling) or over
+    ``range(...)`` with non-symbolic bounds tied to configuration (e.g. a
+    ``StateDecl`` capacity attribute).  ``setup`` is exempt: it runs once,
+    off the packet path, and commonly iterates configuration tables.
+    """
+
+    name = "bounded-loop"
+    phase = "ast"
+
+    def run(self, pctx: PassContext) -> list[Diagnostic]:
+        out: list[Diagnostic] = []
+        for method, taint in _each_method(pctx):
+            if method.name == "setup":
+                continue
+            for node in _walk_with_taint(method, taint):
+                if isinstance(node, ast.While):
+                    out.append(
+                        Diagnostic.of(
+                            "MAE004",
+                            f"{method.qualname}: while loop is not "
+                            "statically bounded",
+                            nf=pctx.nf.name,
+                            file=method.file,
+                            line=method.line_of(node),
+                        )
+                    )
+                elif isinstance(node, ast.For) and not self._bounded(
+                    node.iter, taint
+                ):
+                    out.append(
+                        Diagnostic.of(
+                            "MAE004",
+                            f"{method.qualname}: for loop over a "
+                            "non-static iterable; iterate a literal or "
+                            "range() with configuration bounds",
+                            nf=pctx.nf.name,
+                            file=method.file,
+                            line=method.line_of(node),
+                        )
+                    )
+        return out
+
+    @staticmethod
+    def _bounded(iterable: ast.expr, taint: _Taint) -> bool:
+        if isinstance(iterable, (ast.Tuple, ast.List, ast.Set)):
+            return True  # literal: bounded (sets still warn via MAE005)
+        if (
+            isinstance(iterable, ast.Call)
+            and isinstance(iterable.func, ast.Name)
+            and iterable.func.id in {"range", "enumerate", "zip", "reversed"}
+        ):
+            return not any(taint.is_tainted(arg) for arg in iterable.args)
+        return False

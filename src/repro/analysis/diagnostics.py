@@ -1,0 +1,174 @@
+"""Diagnostics core: stable codes, severities, rendering.
+
+Every analysis pass reports through :class:`Diagnostic`, identified by a
+stable ``MAE0xx`` code so CI gates, waivers, and docs can refer to a
+finding without parsing prose.  The registry below is the single source
+of truth; DESIGN.md renders it for humans and a test keeps the two in
+sync with the passes that emit each code.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+
+__all__ = ["Severity", "Diagnostic", "DIAGNOSTIC_CODES", "render_text", "render_json"]
+
+
+class Severity(enum.Enum):
+    """How a finding affects the lint exit code (errors gate CI)."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    NOTE = "note"
+
+
+#: code -> (default severity, one-line meaning).  Stable: codes are never
+#: reused; retired codes stay here marked retired.
+DIAGNOSTIC_CODES: dict[str, tuple[Severity, str]] = {
+    "MAE001": (
+        Severity.ERROR,
+        "raw Python branch/comparison on a symbolic handle "
+        "(use ctx.cond / ctx.eq / ctx.lt ...)",
+    ),
+    "MAE002": (
+        Severity.ERROR,
+        "call to a nondeterminism source (random, time, hash, ...) "
+        "inside process/setup",
+    ),
+    "MAE003": (
+        Severity.ERROR,
+        "access to a state object not declared in state()",
+    ),
+    "MAE004": (
+        Severity.ERROR,
+        "loop not statically bounded (while, or for over a non-static "
+        "iterable) — ESE requires bounded loops",
+    ),
+    "MAE005": (
+        Severity.WARNING,
+        "iteration over a set: order is unspecified across runs",
+    ),
+    "MAE006": (
+        Severity.WARNING,
+        "state object name is not a string literal; the linter cannot "
+        "check it against state()",
+    ),
+    "MAE010": (
+        Severity.ERROR,
+        "sharding audit: shared-nothing verdict, but a reachable state "
+        "write is not covered by the RSS sharding fields",
+    ),
+    "MAE011": (
+        Severity.ERROR,
+        "lock coverage: a conflicting state access has no lock in the "
+        "generated lock plan",
+    ),
+    "MAE012": (
+        Severity.ERROR,
+        "lock ordering: the acquisition order is not one global total "
+        "order over the locked objects",
+    ),
+    "MAE013": (
+        Severity.ERROR,
+        "determinism: replaying a path with the same decision log "
+        "diverged (decision log / trace / action differ)",
+    ),
+    "MAE014": (
+        Severity.ERROR,
+        "sharding audit: a forwarding path reads shared state neither "
+        "covered by the sharding fields nor guarded R5-style",
+    ),
+    "MAE020": (
+        Severity.ERROR,
+        "analysis failure: the pipeline could not analyze this NF",
+    ),
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: stable code, severity, location, and provenance."""
+
+    code: str
+    message: str
+    nf: str
+    severity: Severity = field(default=Severity.ERROR)
+    file: str | None = None
+    line: int | None = None
+    path_id: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.code not in DIAGNOSTIC_CODES:
+            raise ValueError(f"unknown diagnostic code {self.code!r}")
+
+    @classmethod
+    def of(
+        cls,
+        code: str,
+        message: str,
+        *,
+        nf: str,
+        file: str | None = None,
+        line: int | None = None,
+        path_id: str | None = None,
+    ) -> "Diagnostic":
+        """Build a diagnostic with the code's registered severity."""
+        severity, _ = DIAGNOSTIC_CODES[code]
+        return cls(
+            code=code,
+            message=message,
+            nf=nf,
+            severity=severity,
+            file=file,
+            line=line,
+            path_id=path_id,
+        )
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity is Severity.ERROR
+
+    def location(self) -> str:
+        if self.file is not None and self.line is not None:
+            return f"{self.file}:{self.line}"
+        if self.path_id is not None:
+            return f"path {self.path_id}"
+        return "-"
+
+    def render(self) -> str:
+        return (
+            f"{self.nf}: {self.location()}: "
+            f"{self.code} [{self.severity.value}] {self.message}"
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+            "nf": self.nf,
+            "file": self.file,
+            "line": self.line,
+            "path_id": self.path_id,
+        }
+
+
+def render_text(diagnostics: list[Diagnostic]) -> str:
+    """Human-readable report, errors first, with a summary line."""
+    ordering = {Severity.ERROR: 0, Severity.WARNING: 1, Severity.NOTE: 2}
+    lines = [
+        d.render()
+        for d in sorted(
+            diagnostics, key=lambda d: (ordering[d.severity], d.nf, d.code)
+        )
+    ]
+    errors = sum(1 for d in diagnostics if d.severity is Severity.ERROR)
+    warnings = sum(1 for d in diagnostics if d.severity is Severity.WARNING)
+    lines.append(f"{errors} error(s), {warnings} warning(s)")
+    return "\n".join(lines)
+
+
+def render_json(diagnostics: list[Diagnostic]) -> str:
+    return json.dumps([d.to_json() for d in diagnostics], indent=2)

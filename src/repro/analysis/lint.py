@@ -1,0 +1,150 @@
+"""Lint driver: run every analyzer pass over one NF.
+
+Two phases.  The **AST phase** needs only the NF's Python source and
+always runs.  The **model phase** needs an execution tree — built here
+via the same front half of the pipeline Maestro itself uses (ESE →
+stateful report → Constraints Generator → lock plan), skipping RS3 key
+search, which lint never needs.  It is skipped entirely when the AST
+phase found errors: symbolically executing source that branches raw on
+symbolic values would explore a fictional NF.
+
+Callers that already paid for an analysis (``Maestro.analyze``) pass
+their artifacts in and only the passes run.
+"""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.analysis.ast_passes import (
+    BoundedLoopPass,
+    DeclaredStatePass,
+    NondeterminismPass,
+    RawBranchPass,
+)
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.passes import AnalysisPass, PassContext, PassManager
+from repro.analysis.tree_passes import (
+    DeterminismPass,
+    LockCoveragePass,
+    LockOrderPass,
+    ShardingAuditPass,
+    TraceStatePass,
+)
+from repro.core.codegen import LockPlan, Strategy
+from repro.core.report import StatefulReport, build_report
+from repro.core.sharding import ConstraintsGenerator, ShardingSolution
+from repro.nf.api import NF
+from repro.symbex.engine import explore_nf
+from repro.symbex.tree import ExecutionTree
+
+__all__ = ["default_passes", "lint_nf"]
+
+
+def default_passes() -> list[AnalysisPass]:
+    """The standard pass pipeline, in execution order."""
+    return [
+        # AST phase
+        RawBranchPass(),
+        NondeterminismPass(),
+        DeclaredStatePass(),
+        BoundedLoopPass(),
+        # model phase
+        TraceStatePass(),
+        DeterminismPass(),
+        ShardingAuditPass(),
+        LockCoveragePass(),
+        LockOrderPass(),
+    ]
+
+
+def lint_nf(
+    nf: NF,
+    *,
+    pipeline: bool = True,
+    tree: ExecutionTree | None = None,
+    report: StatefulReport | None = None,
+    solution: ShardingSolution | None = None,
+    lock_plan: LockPlan | None = None,
+    strategy: Strategy | None = None,
+    passes: list[AnalysisPass] | None = None,
+) -> list[Diagnostic]:
+    """Run the full lint over ``nf`` and return its diagnostics.
+
+    ``pipeline=False`` restricts the run to the AST phase.  Passing
+    ``tree``/``solution``/... reuses existing artifacts instead of
+    re-running the analysis; missing ones are derived (``solution`` from
+    ``report``, ``lock_plan`` from the verdict's default strategy unless
+    ``strategy`` overrides it).
+    """
+    with obs.span("analysis.lint", nf=nf.name) as sp:
+        try:
+            pctx = PassContext.for_nf(nf)
+        except Exception as exc:  # noqa: BLE001 - surfaced as a finding
+            return [
+                Diagnostic.of(
+                    "MAE020",
+                    f"could not introspect the NF: {exc}",
+                    nf=getattr(nf, "name", type(nf).__name__),
+                )
+            ]
+        manager = PassManager(passes if passes is not None else default_passes())
+
+        ast_manager = PassManager([p for p in manager.passes if p.phase == "ast"])
+        diagnostics = ast_manager.run(pctx)
+        sp.set("ast_errors", sum(1 for d in diagnostics if d.is_error))
+
+        want_model = pipeline or tree is not None
+        if want_model and not PassManager.has_errors(diagnostics):
+            try:
+                _populate_model(
+                    pctx,
+                    tree=tree,
+                    report=report,
+                    solution=solution,
+                    lock_plan=lock_plan,
+                    strategy=strategy,
+                )
+            except Exception as exc:  # noqa: BLE001 - surfaced as a finding
+                diagnostics.append(
+                    Diagnostic.of(
+                        "MAE020",
+                        f"pipeline failed while building the model: "
+                        f"{type(exc).__name__}: {exc}",
+                        nf=nf.name,
+                    )
+                )
+            else:
+                tree_manager = PassManager(
+                    [p for p in manager.passes if p.phase == "tree"]
+                )
+                diagnostics.extend(tree_manager.run(pctx))
+        sp.set("diagnostics", len(diagnostics))
+        sp.set("errors", sum(1 for d in diagnostics if d.is_error))
+    return diagnostics
+
+
+def _populate_model(
+    pctx: PassContext,
+    *,
+    tree: ExecutionTree | None,
+    report: StatefulReport | None,
+    solution: ShardingSolution | None,
+    lock_plan: LockPlan | None,
+    strategy: Strategy | None,
+) -> None:
+    """Fill the model-side fields of ``pctx``, building what's missing."""
+    if tree is None:
+        with obs.span("analysis.symbex", nf=pctx.nf.name):
+            tree = explore_nf(pctx.nf)
+    if report is None:
+        report = build_report(pctx.nf, tree)
+    if solution is None:
+        with obs.span("analysis.solve", nf=pctx.nf.name):
+            solution = ConstraintsGenerator(report).solve()
+    if lock_plan is None:
+        chosen = strategy or Strategy.default_for(solution.verdict)
+        lock_plan = LockPlan.build(pctx.nf, chosen)
+    pctx.tree = tree
+    pctx.report = report
+    pctx.solution = solution
+    pctx.lock_plan = lock_plan

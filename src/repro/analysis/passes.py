@@ -1,0 +1,104 @@
+"""The pass manager driving both analyzer front ends.
+
+Passes are small, independent, and ordered: AST passes (source front end)
+run first; tree passes (model front end) run only when the AST phase
+produced no errors *and* the caller supplied (or asked the manager to
+build) an execution tree and sharding solution — linting broken source
+symbolically would chase ghosts.  Every pass runs inside a
+``repro.obs`` span, so lint runs show up in traces like any other
+pipeline stage.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro import obs
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.source import NfSource, gather_sources
+from repro.core.codegen import LockPlan
+from repro.core.report import StatefulReport
+from repro.core.sharding import ShardingSolution
+from repro.nf.api import NF, StateDecl, declared_state_names
+from repro.symbex.tree import ExecutionTree
+
+__all__ = ["PassContext", "AnalysisPass", "PassManager"]
+
+
+@dataclass
+class PassContext:
+    """Shared inputs for one NF's lint run.
+
+    The source-side fields are always present; the model-side fields
+    (``tree``/``report``/``solution``/``lock_plan``) are None until the
+    pipeline phase populates them.
+    """
+
+    nf: NF
+    source: NfSource
+    decls: dict[str, StateDecl]
+    declared: frozenset[str]
+    tree: ExecutionTree | None = None
+    report: StatefulReport | None = None
+    solution: ShardingSolution | None = None
+    lock_plan: LockPlan | None = None
+
+    @classmethod
+    def for_nf(cls, nf: NF) -> "PassContext":
+        return cls(
+            nf=nf,
+            source=gather_sources(nf),
+            decls={decl.name: decl for decl in nf.state()},
+            declared=declared_state_names(nf),
+        )
+
+
+class AnalysisPass(abc.ABC):
+    """One analysis pass: a name, a phase, and a diagnostics producer."""
+
+    #: stable pass identifier (span attribute, docs)
+    name: str = "pass"
+    #: "ast" passes need only source; "tree" passes need the model
+    phase: str = "ast"
+
+    @abc.abstractmethod
+    def run(self, pctx: PassContext) -> list[Diagnostic]:
+        """Analyze and return findings (empty list = clean)."""
+
+    def applicable(self, pctx: PassContext) -> bool:
+        if self.phase == "tree":
+            return pctx.tree is not None
+        return True
+
+
+@dataclass
+class PassManager:
+    """Run a pass pipeline over one NF, honoring waivers and spans."""
+
+    passes: list[AnalysisPass] = field(default_factory=list)
+
+    def run(self, pctx: PassContext) -> list[Diagnostic]:
+        out: list[Diagnostic] = []
+        for analysis_pass in self.passes:
+            if not analysis_pass.applicable(pctx):
+                continue
+            with obs.span(
+                "analysis.pass",
+                pass_name=analysis_pass.name,
+                nf=pctx.nf.name,
+            ) as sp:
+                found = analysis_pass.run(pctx)
+                kept = [
+                    d
+                    for d in found
+                    if not pctx.source.waived(d.code, d.file, d.line)
+                ]
+                sp.set("diagnostics", len(kept))
+                sp.set("waived", len(found) - len(kept))
+            out.extend(kept)
+        return out
+
+    @staticmethod
+    def has_errors(diagnostics: list[Diagnostic]) -> bool:
+        return any(d.severity is Severity.ERROR for d in diagnostics)

@@ -1,0 +1,484 @@
+"""Tree passes: audit the ESE model and the generated parallel plan.
+
+These passes deliberately *re-derive* their facts from the raw
+:class:`~repro.symbex.tree.ExecutionTree` instead of trusting the
+Constraints Generator's intermediate bookkeeping: the audit walks each
+path's :class:`TraceEntry`s itself, reconstructs read/write footprints,
+and then checks the sharding :class:`Verdict` against them.  Agreement
+between two independent derivations is the point — a bug in either one
+shows up as a diagnostic instead of a silently wrong parallel NF.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.passes import AnalysisPass, PassContext
+from repro.core.codegen import Strategy
+from repro.core.sharding import Verdict
+from repro.symbex import expr as E
+from repro.symbex.engine import SymbolicError, replay_path
+from repro.symbex.tree import ActionKind, Path, TraceEntry
+
+__all__ = [
+    "TraceStatePass",
+    "ShardingAuditPass",
+    "LockCoveragePass",
+    "LockOrderPass",
+    "DeterminismPass",
+]
+
+
+def _path_id(path: Path) -> str:
+    bits = "".join("1" if d else "0" for d in path.decisions)
+    return f"port{path.port}:[{bits or 'straight'}]"
+
+
+# ------------------------------------------------------------------ #
+# Footprint reconstruction
+# ------------------------------------------------------------------ #
+def _sym_footprint(
+    name: str, path: Path, depth: int = 4
+) -> frozenset[str] | None:
+    """Packet fields a symbol's value is a function of; None if unknown.
+
+    ``pkt.*`` symbols are their own field.  State-derived symbols are
+    chased through :attr:`Path.origins`: an allocator index is pinned by
+    the map that stored it on the same path; a ``map_get`` result is
+    pinned by the lookup key that fetched it.
+    """
+    if name.startswith("pkt."):
+        return frozenset({name[len("pkt.") :]})
+    if depth <= 0:
+        return None
+    origin = path.origins.get(name)
+    if origin is None:
+        return None
+    entry = path.trace[origin[0]]
+    if entry.op == "dchain_allocate":
+        owner_key = _owner_key_of_allocation(path, entry)
+        if owner_key is None:
+            return None
+        return _exprs_footprint(owner_key, path, depth - 1)
+    if entry.key is not None:
+        return _exprs_footprint(entry.key, path, depth - 1)
+    return None
+
+
+def _exprs_footprint(
+    exprs: tuple[E.Expr, ...], path: Path, depth: int = 4
+) -> frozenset[str] | None:
+    out: set[str] = set()
+    for expr in exprs:
+        for sym in E.free_symbols(expr):
+            fields = _sym_footprint(sym.name, path, depth)
+            if fields is None:
+                return None
+            out |= fields
+    return frozenset(out)
+
+
+def _owner_key_of_allocation(
+    path: Path, alloc: TraceEntry
+) -> tuple[E.Expr, ...] | None:
+    """Key of the same-path ``map_put`` that stored this allocator index."""
+    index_syms = {sym.name for _, sym in alloc.results}
+    for other in path.trace:
+        if other.op != "map_put" or other.key is None:
+            continue
+        value = dict(other.stored).get("value")
+        if isinstance(value, E.Sym) and value.name in index_syms:
+            return other.key
+    return None
+
+
+def _allocation_failed(path: Path, alloc: TraceEntry) -> bool:
+    """The path's constraints assert this allocation handed out nothing."""
+    ok_syms = {
+        sym.name for field_name, sym in alloc.results if field_name == "ok"
+    }
+    for literal in path.constraints:
+        polarity = True
+        while isinstance(literal, E.Not):
+            literal = literal.expr
+            polarity = not polarity
+        if not polarity and isinstance(literal, E.Sym) and literal.name in ok_syms:
+            return True
+    return False
+
+
+def _flatten_and(expr: E.Expr) -> list[E.Expr]:
+    if isinstance(expr, E.And):
+        return _flatten_and(expr.lhs) + _flatten_and(expr.rhs)
+    return [expr]
+
+
+def _guard_fields(path: Path) -> frozenset[str]:
+    """Packet fields equated against state-read results on this path.
+
+    These are the R5 guards: a path that only proceeds when
+    ``stored_field == pkt.f`` is, behaviourally, keyed by ``f``.
+    """
+    out: set[str] = set()
+    for literal in path.constraints:
+        while isinstance(literal, E.Not):
+            literal = literal.expr
+        for atom in _flatten_and(literal):
+            if not isinstance(atom, E.Eq):
+                continue
+            for lhs, rhs in ((atom.lhs, atom.rhs), (atom.rhs, atom.lhs)):
+                if not (isinstance(lhs, E.Sym) and lhs.name in path.origins):
+                    continue
+                fields = {
+                    s.name[len("pkt.") :]
+                    for s in E.free_symbols(rhs)
+                    if s.name.startswith("pkt.")
+                }
+                non_pkt = any(
+                    not s.name.startswith("pkt.")
+                    for s in E.free_symbols(rhs)
+                )
+                if len(fields) == 1 and not non_pkt:
+                    out |= fields
+    return frozenset(out)
+
+
+def _path_write_union(path: Path, skip_ro: frozenset[str]) -> frozenset[str] | None:
+    """Union of key + stored packet fields over every write on the path.
+
+    The cross-flow safety argument for a shard set not literally inside
+    one write's key: every flow that can *reach* this path's state is
+    pinned by some field combination written/guarded here; if the shard
+    fields all appear in that union, two conflicting flows still hash
+    identically.  Returns None when any write is unresolvable.
+    """
+    out: set[str] = set(_guard_fields(path))
+    for entry in path.stateful_entries():
+        if not entry.write or entry.obj in skip_ro:
+            continue
+        if entry.key is not None:
+            fields = _exprs_footprint(entry.key, path)
+            if fields is None:
+                return None
+            out |= fields
+        for _, expr in entry.stored:
+            for sym in E.free_symbols(expr):
+                if sym.name.startswith("pkt."):
+                    out.add(sym.name[len("pkt.") :])
+    return frozenset(out)
+
+
+# ------------------------------------------------------------------ #
+# Passes
+# ------------------------------------------------------------------ #
+class TraceStatePass(AnalysisPass):
+    """MAE003 (model side): every traced operation names a declared object.
+
+    Redundant with the AST check by design — the trace sees through
+    dynamically-computed names the source pass could only warn about.
+    """
+
+    name = "trace-state"
+    phase = "tree"
+
+    def run(self, pctx: PassContext) -> list[Diagnostic]:
+        assert pctx.tree is not None
+        out: list[Diagnostic] = []
+        seen: set[tuple[str, str]] = set()
+        for path, entry in pctx.tree.entries():
+            if entry.obj in pctx.declared:
+                continue
+            key = (entry.obj, entry.op)
+            if key in seen:
+                continue
+            seen.add(key)
+            out.append(
+                Diagnostic.of(
+                    "MAE003",
+                    f"{entry.op} traced on undeclared state object "
+                    f"{entry.obj!r}",
+                    nf=pctx.nf.name,
+                    path_id=_path_id(path),
+                )
+            )
+        return out
+
+
+class ShardingAuditPass(AnalysisPass):
+    """MAE010/MAE014: independently audit a shared-nothing verdict.
+
+    For every state access on every path, reconstruct the packet-field
+    footprint its key (or provenance) depends on and check it against the
+    RSS shard fields the solution promises for that ingress port:
+
+    * a **write** whose footprint does not cover the shard fields can be
+      touched by two flows on different cores → data race (MAE010);
+    * a **read** of written state that is neither covered nor guarded
+      R5-style on a forwarding path can observe another core's entry →
+      wrong output (MAE014).  Drop/miss paths are excused: behaviour is
+      then identical to a lookup miss, which sharding preserves.
+    """
+
+    name = "sharding-audit"
+    phase = "tree"
+
+    def applicable(self, pctx: PassContext) -> bool:
+        return (
+            pctx.tree is not None
+            and pctx.solution is not None
+            and pctx.solution.verdict is Verdict.SHARED_NOTHING
+        )
+
+    def run(self, pctx: PassContext) -> list[Diagnostic]:
+        assert pctx.tree is not None and pctx.solution is not None
+        solution = pctx.solution
+        skip = self._effective_read_only(pctx)
+        out: list[Diagnostic] = []
+        for path in pctx.tree.paths():
+            shard = frozenset(solution.per_port.get(path.port, ()))
+            union: frozenset[str] | None = None
+            union_computed = False
+            for entry in path.stateful_entries():
+                if entry.obj in skip or entry.obj not in pctx.declared:
+                    continue
+                if entry.write and self._excused_keyless(path, entry):
+                    continue  # failed allocation: stores nothing
+                footprint = self._entry_footprint(path, entry)
+                if entry.write:
+                    if not shard:
+                        out.append(
+                            Diagnostic.of(
+                                "MAE010",
+                                f"write {entry.op}({entry.obj}) on port "
+                                f"{path.port}, but the solution shards "
+                                "nothing on that port",
+                                nf=pctx.nf.name,
+                                path_id=_path_id(path),
+                            )
+                        )
+                        continue
+                    if footprint is not None and shard <= footprint:
+                        continue
+                    if not union_computed:
+                        union = _path_write_union(path, skip)
+                        union_computed = True
+                    if union is not None and shard <= union:
+                        continue  # R5-style: path-wide writes pin the flow
+                    out.append(
+                        Diagnostic.of(
+                            "MAE010",
+                            f"write {entry.op}({entry.obj}) depends on "
+                            f"{sorted(footprint) if footprint is not None else 'unresolved fields'}, "
+                            f"which does not pin the shard fields "
+                            f"{sorted(shard)} of port {path.port}",
+                            nf=pctx.nf.name,
+                            path_id=_path_id(path),
+                        )
+                    )
+                else:
+                    if not shard:
+                        continue  # no write reachable without shard: R1 vacuous
+                    if footprint is not None and shard <= footprint:
+                        continue
+                    if path.action.kind is not ActionKind.FORWARD:
+                        continue  # miss-equivalent behaviour (R5)
+                    if not union_computed:
+                        union = _path_write_union(path, skip)
+                        union_computed = True
+                    # The union folds in the path's guard equalities and,
+                    # on writer paths, the fields its own writes pin — the
+                    # R5 colocation argument in both directions.
+                    if union is not None and shard <= union:
+                        continue
+                    out.append(
+                        Diagnostic.of(
+                            "MAE014",
+                            f"read {entry.op}({entry.obj}) on a forwarding "
+                            f"path is neither keyed nor guarded by the "
+                            f"shard fields {sorted(shard)} of port "
+                            f"{path.port}",
+                            nf=pctx.nf.name,
+                            path_id=_path_id(path),
+                        )
+                    )
+        return out
+
+    # -------------------------------------------------------------- #
+    @staticmethod
+    def _effective_read_only(pctx: PassContext) -> frozenset[str]:
+        assert pctx.tree is not None
+        written = {
+            entry.obj for _, entry in pctx.tree.entries() if entry.write
+        }
+        return frozenset(
+            name
+            for name, decl in pctx.decls.items()
+            if decl.read_only or name not in written
+        )
+
+    @staticmethod
+    def _excused_keyless(path: Path, entry: TraceEntry) -> bool:
+        """A failed allocation hands out no index and stores nothing."""
+        return (
+            entry.key is None
+            and entry.op == "dchain_allocate"
+            and _owner_key_of_allocation(path, entry) is None
+            and _allocation_failed(path, entry)
+        )
+
+    @staticmethod
+    def _entry_footprint(
+        path: Path, entry: TraceEntry
+    ) -> frozenset[str] | None:
+        """Fields pinning the state slot this entry touches; None unknown.
+
+        Note a *constant* key resolves to the empty set — every packet
+        shares that slot, so it can never cover a non-empty shard set.
+        """
+        if entry.key is not None:
+            return _exprs_footprint(entry.key, path)
+        if entry.op == "dchain_allocate":
+            owner_key = _owner_key_of_allocation(path, entry)
+            if owner_key is not None:
+                return _exprs_footprint(owner_key, path)
+        return None
+
+
+class LockCoveragePass(AnalysisPass):
+    """MAE011: under LOCKS, every conflicting access must hold a lock."""
+
+    name = "lock-coverage"
+    phase = "tree"
+
+    def applicable(self, pctx: PassContext) -> bool:
+        return (
+            pctx.tree is not None
+            and pctx.lock_plan is not None
+            and pctx.lock_plan.strategy is Strategy.LOCKS
+        )
+
+    def run(self, pctx: PassContext) -> list[Diagnostic]:
+        assert pctx.tree is not None and pctx.lock_plan is not None
+        plan = pctx.lock_plan
+        written = {
+            entry.obj for _, entry in pctx.tree.entries() if entry.write
+        }
+        out: list[Diagnostic] = []
+        flagged: set[str] = set()
+        for path, entry in pctx.tree.entries():
+            obj = entry.obj
+            if obj in flagged or obj not in written:
+                continue
+            decl = pctx.decls.get(obj)
+            if decl is not None and decl.read_only:
+                continue
+            if not plan.covers(obj):
+                flagged.add(obj)
+                out.append(
+                    Diagnostic.of(
+                        "MAE011",
+                        f"{entry.op}({obj}) conflicts across cores but "
+                        f"{obj!r} is not in the lock plan "
+                        f"{sorted(plan.locked)}",
+                        nf=pctx.nf.name,
+                        path_id=_path_id(path),
+                    )
+                )
+        return out
+
+
+class LockOrderPass(AnalysisPass):
+    """MAE012: the acquisition order is one global total order.
+
+    Deadlock freedom for the generated code reduces to a permutation
+    check: every worker acquires along ``plan.order``, so it suffices
+    that ``order`` covers ``locked`` exactly once with no strays.
+    """
+
+    name = "lock-order"
+    phase = "tree"
+
+    def applicable(self, pctx: PassContext) -> bool:
+        return (
+            pctx.lock_plan is not None
+            and pctx.lock_plan.strategy is Strategy.LOCKS
+        )
+
+    def run(self, pctx: PassContext) -> list[Diagnostic]:
+        assert pctx.lock_plan is not None
+        plan = pctx.lock_plan
+        out: list[Diagnostic] = []
+        dupes = {
+            obj for obj in plan.order if plan.order.count(obj) > 1
+        }
+        for obj in sorted(dupes):
+            out.append(
+                Diagnostic.of(
+                    "MAE012",
+                    f"{obj!r} appears more than once in the acquisition "
+                    "order — the order is not total",
+                    nf=pctx.nf.name,
+                )
+            )
+        for obj in sorted(plan.locked - set(plan.order)):
+            out.append(
+                Diagnostic.of(
+                    "MAE012",
+                    f"locked object {obj!r} has no position in the "
+                    "acquisition order — workers could acquire it in "
+                    "different relative orders",
+                    nf=pctx.nf.name,
+                )
+            )
+        for obj in sorted(set(plan.order) - plan.locked):
+            out.append(
+                Diagnostic.of(
+                    "MAE012",
+                    f"acquisition order names {obj!r}, which is not a "
+                    "locked object",
+                    nf=pctx.nf.name,
+                )
+            )
+        return out
+
+
+class DeterminismPass(AnalysisPass):
+    """MAE013: replaying a path's decision log must be reproducible.
+
+    The ESE engine explores by re-execution: if two replays of the very
+    same decision log disagree (constraints, trace, or action), the NF
+    smuggles hidden mutable state or nondeterminism past the context API
+    and the whole model is untrustworthy.
+    """
+
+    name = "determinism"
+    phase = "tree"
+
+    def run(self, pctx: PassContext) -> list[Diagnostic]:
+        assert pctx.tree is not None
+        out: list[Diagnostic] = []
+        for path in pctx.tree.paths():
+            try:
+                first = replay_path(pctx.nf, path.port, path.decisions)
+                second = replay_path(pctx.nf, path.port, path.decisions)
+            except SymbolicError as exc:
+                out.append(
+                    Diagnostic.of(
+                        "MAE013",
+                        f"replaying the recorded decision log failed: {exc}",
+                        nf=pctx.nf.name,
+                        path_id=_path_id(path),
+                    )
+                )
+                continue
+            if first != second:
+                out.append(
+                    Diagnostic.of(
+                        "MAE013",
+                        "two replays of the same decision log diverged — "
+                        "the NF carries hidden mutable state or "
+                        "nondeterminism outside the context API",
+                        nf=pctx.nf.name,
+                        path_id=_path_id(path),
+                    )
+                )
+        return out

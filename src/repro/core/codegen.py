@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import Iterable
 
 import numpy as np
 
@@ -30,7 +31,7 @@ from repro.nf.packet import Packet
 from repro.nf.runtime import ConcreteContext, PacketResult, StateStore
 from repro.rs3.config import RssConfiguration
 
-__all__ = ["Strategy", "CoreInstance", "ParallelNF"]
+__all__ = ["Strategy", "LockPlan", "CoreInstance", "ParallelNF"]
 
 
 class Strategy(enum.Enum):
@@ -45,6 +46,46 @@ class Strategy(enum.Enum):
         if verdict is Verdict.LOCKS:
             return cls.LOCKS
         return cls.SHARED_NOTHING
+
+
+@dataclass(frozen=True)
+class LockPlan:
+    """The lock assignment a LOCKS/TM implementation commits to (§3.6).
+
+    ``locked`` names every stateful object guarded by a read/write lock
+    (TM uses the same set as its abort-fallback locks); ``order`` is the
+    single global acquisition order all cores follow, which is what makes
+    the generated code deadlock-free.  Shared-nothing plans are empty.
+    The parallelization-safety auditor (:mod:`repro.analysis`) checks both
+    properties against the execution tree independently of this builder.
+    """
+
+    strategy: Strategy
+    locked: frozenset[str]
+    order: tuple[str, ...]
+
+    @classmethod
+    def build(cls, nf: NF, strategy: Strategy) -> "LockPlan":
+        if strategy is Strategy.SHARED_NOTHING:
+            return cls(strategy=strategy, locked=frozenset(), order=())
+        # Read-only tables are replicated, never locked; everything else
+        # gets one lock, acquired in declaration order on every core.
+        names = tuple(
+            decl.name for decl in nf.state() if not decl.read_only
+        )
+        return cls(strategy=strategy, locked=frozenset(names), order=names)
+
+    def covers(self, obj: str) -> bool:
+        return obj in self.locked
+
+    def position(self, obj: str) -> int:
+        """Rank of ``obj`` in the global acquisition order."""
+        return self.order.index(obj)
+
+    def acquisition_sequence(self, objs: Iterable[str]) -> tuple[str, ...]:
+        """The order in which a packet touching ``objs`` takes its locks."""
+        needed = {obj for obj in objs if obj in self.locked}
+        return tuple(obj for obj in self.order if obj in needed)
 
 
 @dataclass
@@ -78,6 +119,11 @@ class ParallelNF:
     rss: RssConfiguration
     cores: list[CoreInstance] = field(default_factory=list)
     shared_store: StateStore | None = None
+    lock_plan: LockPlan = field(
+        default_factory=lambda: LockPlan(
+            strategy=Strategy.SHARED_NOTHING, locked=frozenset(), order=()
+        )
+    )
 
     @classmethod
     def generate(
@@ -126,6 +172,7 @@ class ParallelNF:
             rss=rss,
             cores=cores,
             shared_store=shared_store,
+            lock_plan=LockPlan.build(nf, strategy),
         )
 
     # -------------------------------------------------------------- #

@@ -55,6 +55,8 @@ class MaestroResult:
     keys: dict[int, bytes]
     key_stats: KeySearchStats
     trace: obs.MemoryCollector = field(default_factory=obs.MemoryCollector)
+    #: lint findings (populated by ``Maestro.analyze(..., lint=True)``)
+    diagnostics: list = field(default_factory=list)
 
     @property
     def timings(self) -> dict[str, float]:
@@ -107,13 +109,17 @@ class Maestro:
         self.n_queues = n_queues
         self._rng = np.random.default_rng(seed)
 
-    def analyze(self, nf: NF) -> MaestroResult:
+    def analyze(self, nf: NF, *, lint: bool = False) -> MaestroResult:
         """Run ESE, the Constraints Generator, and RS3 for ``nf``.
 
         The run is traced end to end: a per-result
         :class:`repro.obs.MemoryCollector` captures stage spans plus every
         counter the lower layers emit, alongside any globally attached
         collectors.
+
+        With ``lint=True`` the :mod:`repro.analysis` passes also run over
+        the freshly built artifacts (no extra symbolic execution) and
+        their findings land in :attr:`MaestroResult.diagnostics`.
         """
         trace = obs.MemoryCollector()
         with obs.attached(trace):
@@ -137,6 +143,16 @@ class Maestro:
                     )
                 root.set("verdict", solution.verdict.value)
 
+            diagnostics: list = []
+            if lint:
+                # Imported lazily: repro.analysis depends on this module's
+                # siblings, and linting is opt-in on the hot path.
+                from repro.analysis import lint_nf
+
+                diagnostics = lint_nf(
+                    nf, tree=tree, report=report, solution=solution
+                )
+
         return MaestroResult(
             nf=nf,
             tree=tree,
@@ -146,6 +162,7 @@ class Maestro:
             keys=keys,
             key_stats=stats,
             trace=trace,
+            diagnostics=diagnostics,
         )
 
     def parallelize(

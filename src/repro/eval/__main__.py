@@ -32,7 +32,24 @@ def main(argv: list[str] | None = None) -> int:
         help="write a JSONL observability trace of the run "
         "(inspect with `python -m repro.obs report PATH`)",
     )
+    parser.add_argument(
+        "--lint",
+        action="store_true",
+        help="lint every bundled NF first and refuse to run experiments "
+        "over NFs the analyzer rejects",
+    )
     args = parser.parse_args(argv)
+    if args.lint:
+        from repro.analysis import lint_nf, render_text
+        from repro.nf.nfs import ALL_NFS
+
+        findings = []
+        for nf_cls in ALL_NFS.values():
+            findings.extend(lint_nf(nf_cls()))
+        if any(d.is_error for d in findings):
+            print(render_text(findings), file=sys.stderr)
+            print("error: lint failed; not running experiments", file=sys.stderr)
+            return 1
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     try:
         with trace_to(args.trace):

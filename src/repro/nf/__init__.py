@@ -1,6 +1,14 @@
 """The NF substrate: packets, flows, stateful structures, API, runtime."""
 
-from repro.nf.api import NF, ActionKind, NfContext, PacketDone, StateDecl, StateKind
+from repro.nf.api import (
+    NF,
+    ActionKind,
+    NfContext,
+    PacketDone,
+    StateDecl,
+    StateKind,
+    declared_state_names,
+)
 from repro.nf.flow import FiveTuple
 from repro.nf.packet import PACKET_FIELDS, Packet, SymbolicPacket, field_symbol
 from repro.nf.runtime import (
@@ -19,6 +27,7 @@ __all__ = [
     "PacketDone",
     "StateDecl",
     "StateKind",
+    "declared_state_names",
     "FiveTuple",
     "PACKET_FIELDS",
     "Packet",

@@ -32,6 +32,7 @@ __all__ = [
     "PacketDone",
     "NfContext",
     "NF",
+    "declared_state_names",
 ]
 
 
@@ -68,6 +69,16 @@ class StateDecl:
     def __post_init__(self) -> None:
         if self.capacity <= 0:
             raise StateModelError(f"{self.name}: capacity must be positive")
+        if self.sketch_depth < 1:
+            raise StateModelError(
+                f"{self.name}: sketch_depth must be >= 1, got {self.sketch_depth}"
+            )
+        for field_name, width in self.value_layout:
+            if width <= 0:
+                raise StateModelError(
+                    f"{self.name}: value_layout field {field_name!r} must "
+                    f"have a positive bit width, got {width}"
+                )
 
 
 class ActionKind(enum.Enum):
@@ -296,3 +307,22 @@ class NF(abc.ABC):
         if len(ids) != 2:
             raise StateModelError(f"{self.name}: other_port needs exactly 2 ports")
         return ids[1] if port == ids[0] else ids[0]
+
+
+def declared_state_names(nf: NF) -> frozenset[str]:
+    """Names of every stateful object ``nf`` declares.
+
+    The introspection hook used by the static analyzer
+    (:mod:`repro.analysis`) to check that ``process``/``setup`` only touch
+    declared state.  Raises :class:`StateModelError` on duplicate names,
+    which would silently alias two objects in every runtime.
+    """
+    names: list[str] = [decl.name for decl in nf.state()]
+    seen: set[str] = set()
+    for name in names:
+        if name in seen:
+            raise StateModelError(
+                f"{nf.name}: state object {name!r} declared more than once"
+            )
+        seen.add(name)
+    return frozenset(names)

@@ -6,7 +6,7 @@ forking, producing the execution tree of §3.3.
 """
 
 from repro.symbex import expr
-from repro.symbex.engine import SymbolicEngine, explore_nf
+from repro.symbex.engine import SymbolicEngine, explore_nf, replay_path
 from repro.symbex.tree import (
     Action,
     ActionKind,
@@ -19,6 +19,7 @@ __all__ = [
     "expr",
     "SymbolicEngine",
     "explore_nf",
+    "replay_path",
     "Action",
     "ActionKind",
     "ExecutionTree",

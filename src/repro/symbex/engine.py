@@ -22,7 +22,7 @@ from repro.solver import eqsmt
 from repro.symbex import expr as E
 from repro.symbex.tree import Action, ExecutionTree, Path, TraceEntry
 
-__all__ = ["SymbolicEngine", "explore_nf"]
+__all__ = ["SymbolicEngine", "explore_nf", "replay_path"]
 
 #: Widths of the fresh symbols introduced by stateful operations.
 _FOUND_WIDTH = 1
@@ -56,7 +56,15 @@ def _as_expr(value: Any, width: int = _VALUE_WIDTH) -> E.Expr:
     if isinstance(value, bool):
         return E.Const(1, int(value))
     if isinstance(value, int):
-        return E.Const(max(width, value.bit_length() or 1), value)
+        # Exactly ``width`` bits, always: mixing widths for large constants
+        # (the old ``max(width, bit_length)``) made structurally-identical
+        # keys unequal and broke positional unification downstream.
+        if value.bit_length() > width:
+            raise SymbolicError(
+                f"constant {value:#x} does not fit in {width} bits; "
+                "lift it explicitly with ctx.const(value, width)"
+            )
+        return E.Const(width, value)
     raise SymbolicError(f"cannot lift {value!r} into a symbolic expression")
 
 
@@ -383,3 +391,42 @@ class SymbolicEngine:
 def explore_nf(nf: NF, *, max_paths: int = 4096) -> ExecutionTree:
     """Convenience wrapper around :class:`SymbolicEngine`."""
     return SymbolicEngine(max_paths=max_paths).explore(nf)
+
+
+def replay_path(nf: NF, port: int, decisions: Sequence[bool]) -> tuple:
+    """Re-execute ``process`` under a fixed decision log and fingerprint it.
+
+    ESE is only sound if ``process`` is deterministic given the branch
+    decisions: replaying the same decision prefix must reproduce the same
+    constraints, stateful trace, and terminal action.  The determinism
+    auditor (:mod:`repro.analysis`) replays every path twice and diffs the
+    fingerprints this function returns; any divergence means the NF
+    consults state outside the traced model (wall-clock time, ``random``,
+    mutable attributes, ...).
+    """
+    from repro.nf.packet import SymbolicPacket
+
+    decls = {decl.name: decl for decl in nf.state()}
+    ctx = _SymbolicContext(nf, decls, decisions)
+    try:
+        nf.process(ctx, port, SymbolicPacket())
+    except PacketDone as done:
+        action = (
+            done.kind.value,
+            repr(done.port),
+            tuple(sorted((name, repr(mod)) for name, mod in ctx.mods.items())),
+        )
+        return (
+            tuple(ctx.decisions),
+            tuple(repr(c) for c in ctx.pc),
+            tuple(
+                (e.obj, e.op, e.write, repr(e.key), e.maintenance)
+                for e in ctx.trace
+            ),
+            action,
+        )
+    except _Infeasible:
+        return ("infeasible", tuple(ctx.decisions))
+    raise SymbolicError(
+        f"{nf.name}.process(port={port}) returned without a packet operation"
+    )

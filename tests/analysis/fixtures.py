@@ -1,0 +1,167 @@
+"""Deliberately broken NFs, one per analyzer diagnostic.
+
+Each class departs from the supported NF class (§5) in exactly one way so
+the tests can assert that the matching pass fires — and *only* the
+matching pass.  ``CleanCounter`` is the control: a well-behaved per-flow
+counter no pass should flag.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Any
+
+from repro.nf.api import NF, NfContext, StateDecl, StateKind
+
+LAN, WAN = 0, 1
+
+
+class CleanCounter(NF):
+    """Control: per-source counter written exactly by the book."""
+
+    name = "clean_counter"
+    ports = {"lan": LAN, "wan": WAN}
+
+    def state(self) -> list[StateDecl]:
+        return [
+            StateDecl("cc_counts", StateKind.MAP, 1024),
+            StateDecl("cc_chain", StateKind.DCHAIN, 1024),
+        ]
+
+    def process(self, ctx: NfContext, port: int, pkt: Any) -> None:
+        found, _ = ctx.map_get("cc_counts", (pkt.src_ip,))
+        if ctx.cond(ctx.lnot(found)):
+            ok, index = ctx.dchain_allocate("cc_chain")
+            if ctx.cond(ok):
+                ctx.map_put("cc_counts", (pkt.src_ip,), index)
+        ctx.forward(self.other_port(port))
+
+
+class RawBranchNF(NF):
+    """MAE001: branches and compares raw on symbolic handles."""
+
+    name = "raw_branch"
+    ports = {"lan": LAN, "wan": WAN}
+
+    def state(self) -> list[StateDecl]:
+        return [
+            StateDecl("rb_counts", StateKind.MAP, 1024),
+            StateDecl("rb_chain", StateKind.DCHAIN, 1024),
+        ]
+
+    def process(self, ctx: NfContext, port: int, pkt: Any) -> None:
+        found, _ = ctx.map_get("rb_counts", (pkt.src_ip,))
+        if found:  # raw branch: an Expr is always truthy
+            ctx.drop()
+        if pkt.src_port == 53:  # raw comparison on a packet field
+            ctx.drop()
+        ctx.forward(self.other_port(port))
+
+
+class NondeterministicNF(NF):
+    """MAE002: consults random/time instead of the context API."""
+
+    name = "nondet"
+    ports = {"lan": LAN, "wan": WAN}
+
+    def state(self) -> list[StateDecl]:
+        return []
+
+    def setup(self, ctx: NfContext) -> None:
+        self.seed = time.time()
+
+    def process(self, ctx: NfContext, port: int, pkt: Any) -> None:
+        if random.random() < 0.5:
+            ctx.drop()
+        ctx.forward(self.other_port(port))
+
+
+class UndeclaredStateNF(NF):
+    """MAE003: touches a map that state() never declared."""
+
+    name = "undeclared"
+    ports = {"lan": LAN, "wan": WAN}
+
+    def state(self) -> list[StateDecl]:
+        return [StateDecl("real_map", StateKind.MAP, 64)]
+
+    def process(self, ctx: NfContext, port: int, pkt: Any) -> None:
+        found, _ = ctx.map_get("ghost_map", (pkt.src_ip,))
+        if ctx.cond(found):
+            ctx.drop()
+        ctx.forward(self.other_port(port))
+
+
+class UnboundedLoopNF(NF):
+    """MAE004: an unbounded while loop on the packet path."""
+
+    name = "unbounded"
+    ports = {"lan": LAN, "wan": WAN}
+
+    def state(self) -> list[StateDecl]:
+        return []
+
+    def process(self, ctx: NfContext, port: int, pkt: Any) -> None:
+        budget = 1
+        while budget > 0:
+            budget -= 1
+        for _ in self.ports.values():  # non-static iterable, too
+            pass
+        ctx.forward(self.other_port(port))
+
+
+class SetIterationNF(NF):
+    """MAE005: iterates a set — order unspecified across runs."""
+
+    name = "set_iter"
+    ports = {"lan": LAN, "wan": WAN}
+
+    def state(self) -> list[StateDecl]:
+        return []
+
+    def process(self, ctx: NfContext, port: int, pkt: Any) -> None:
+        for width in {16, 32}:
+            ctx.const(0, width)
+        ctx.forward(self.other_port(port))
+
+
+class FlakyNF(NF):
+    """MAE013: hidden mutable attribute steers the packet path.
+
+    The AST passes cannot see this (``self.calls`` is concrete), but two
+    replays of the same decision log produce different traces.
+    """
+
+    name = "flaky"
+    ports = {"lan": LAN, "wan": WAN}
+
+    def __init__(self) -> None:
+        self.calls = 0
+
+    def state(self) -> list[StateDecl]:
+        return [
+            StateDecl("fl_counts", StateKind.MAP, 64),
+            StateDecl("fl_chain", StateKind.DCHAIN, 64),
+        ]
+
+    def process(self, ctx: NfContext, port: int, pkt: Any) -> None:
+        self.calls += 1
+        if self.calls % 2 == 1:  # concrete value: invisible to taint
+            found, _ = ctx.map_get("fl_counts", (pkt.src_ip,))
+            if ctx.cond(found):
+                ctx.drop()
+        ctx.forward(self.other_port(port))
+
+
+class NoActionNF(NF):
+    """MAE020: falls off process without a packet operation."""
+
+    name = "no_action"
+    ports = {"lan": LAN, "wan": WAN}
+
+    def state(self) -> list[StateDecl]:
+        return []
+
+    def process(self, ctx: NfContext, port: int, pkt: Any) -> None:
+        return None

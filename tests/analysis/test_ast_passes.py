@@ -1,0 +1,130 @@
+"""AST front end: each source pass fires on its broken fixture and stays
+quiet on clean code."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.analysis import Diagnostic, Severity, lint_nf
+from repro.analysis.ast_passes import (
+    BoundedLoopPass,
+    DeclaredStatePass,
+    NondeterminismPass,
+    RawBranchPass,
+)
+from repro.analysis.passes import PassContext, PassManager
+from repro.nf.api import NF, NfContext, StateDecl, StateKind
+
+from tests.analysis import fixtures as fx
+
+
+def _ast_lint(nf: NF) -> list[Diagnostic]:
+    return lint_nf(nf, pipeline=False)
+
+
+def _codes(diags: list[Diagnostic]) -> set[str]:
+    return {d.code for d in diags}
+
+
+def test_clean_nf_is_quiet() -> None:
+    assert _ast_lint(fx.CleanCounter()) == []
+
+
+def test_raw_branch_fires_mae001() -> None:
+    diags = _ast_lint(fx.RawBranchNF())
+    assert _codes(diags) == {"MAE001"}
+    assert len(diags) == 2  # one raw branch, one raw comparison
+    assert all(d.severity is Severity.ERROR for d in diags)
+    # Locations point into the fixture source, at distinct lines.
+    assert all(d.file and d.file.endswith("fixtures.py") for d in diags)
+    assert len({d.line for d in diags}) == 2
+
+
+def test_nondeterminism_fires_mae002_in_process_and_setup() -> None:
+    diags = _ast_lint(fx.NondeterministicNF())
+    assert _codes(diags) == {"MAE002"}
+    messages = " ".join(d.message for d in diags)
+    assert "time.time()" in messages and "random.random()" in messages
+    assert any("setup" in d.message for d in diags)
+
+
+def test_undeclared_state_fires_mae003_and_names_it() -> None:
+    diags = _ast_lint(fx.UndeclaredStateNF())
+    assert _codes(diags) == {"MAE003"}
+    (diag,) = diags
+    assert "ghost_map" in diag.message and "real_map" in diag.message
+
+
+def test_unbounded_loops_fire_mae004() -> None:
+    diags = _ast_lint(fx.UnboundedLoopNF())
+    assert _codes(diags) == {"MAE004"}
+    assert len(diags) == 2  # the while loop and the dynamic for loop
+
+
+def test_set_iteration_warns_mae005_only() -> None:
+    diags = _ast_lint(fx.SetIterationNF())
+    assert _codes(diags) == {"MAE005"}
+    assert all(d.severity is Severity.WARNING for d in diags)
+
+
+class _DynamicName(NF):
+    name = "dynamic_name"
+    ports = {"lan": 0, "wan": 1}
+    table = "dn_map"
+
+    def state(self) -> list[StateDecl]:
+        return [StateDecl("dn_map", StateKind.MAP, 64)]
+
+    def process(self, ctx: NfContext, port: int, pkt: Any) -> None:
+        found, _ = ctx.map_get(self.table, (pkt.src_ip,))
+        if ctx.cond(found):
+            ctx.drop()
+        ctx.forward(self.other_port(port))
+
+
+class _DynamicNameWaived(NF):
+    # Standalone on purpose: the scanner walks the whole class hierarchy
+    # (``super().process`` delegation is common), so an unwaived base
+    # method would still fire.
+    name = "dynamic_name_waived"
+    ports = {"lan": 0, "wan": 1}
+    table = "dn_map"
+
+    def state(self) -> list[StateDecl]:
+        return [StateDecl("dn_map", StateKind.MAP, 64)]
+
+    def process(self, ctx: NfContext, port: int, pkt: Any) -> None:
+        found, _ = ctx.map_get(self.table, (pkt.src_ip,))  # maestro: waive[MAE006]
+        if ctx.cond(found):
+            ctx.drop()
+        ctx.forward(self.other_port(port))
+
+
+def test_dynamic_state_name_warns_mae006() -> None:
+    diags = _ast_lint(_DynamicName())
+    assert _codes(diags) == {"MAE006"}
+    assert all(not d.is_error for d in diags)
+
+
+def test_inline_waiver_suppresses_exactly_that_line() -> None:
+    assert _ast_lint(_DynamicNameWaived()) == []
+    # The waiver is line- and code-scoped: the unwaived variant still fires.
+    assert _codes(_ast_lint(_DynamicName())) == {"MAE006"}
+
+
+def test_corpus_setup_loops_are_exempt() -> None:
+    """StaticBridge.setup iterates its config table; setup is off the
+    packet path, so MAE004 must not fire."""
+    from repro.nf.nfs import StaticBridge
+
+    diags = _ast_lint(StaticBridge())
+    assert "MAE004" not in _codes(diags)
+
+
+def test_pass_manager_runs_only_applicable_phases() -> None:
+    pctx = PassContext.for_nf(fx.CleanCounter())
+    manager = PassManager(
+        [RawBranchPass(), NondeterminismPass(), DeclaredStatePass(), BoundedLoopPass()]
+    )
+    assert manager.run(pctx) == []
+    assert not PassManager.has_errors([])

@@ -1,0 +1,96 @@
+"""The ``python -m repro.analysis`` CLI: selection, rendering, exit codes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.__main__ import main
+from repro.analysis.diagnostics import (
+    DIAGNOSTIC_CODES,
+    Diagnostic,
+    Severity,
+    render_json,
+    render_text,
+)
+
+
+def test_lint_single_nf_exits_zero(capsys) -> None:
+    assert main(["lint", "flow_counter"]) == 0
+    out = capsys.readouterr().out
+    assert "0 error(s), 0 warning(s)" in out
+
+
+def test_lint_all_bundled_nfs_is_green(capsys) -> None:
+    """Satellite gate: the analyzer starts green over the whole corpus."""
+    assert main(["lint", "--all"]) == 0
+    assert "0 error(s)" in capsys.readouterr().out
+
+
+def test_unknown_nf_is_a_usage_error(capsys) -> None:
+    assert main(["lint", "definitely_not_an_nf"]) == 2
+    assert "unknown NF" in capsys.readouterr().err
+
+
+def test_no_selection_is_a_usage_error(capsys) -> None:
+    assert main(["lint"]) == 2
+    assert "at least one" in capsys.readouterr().err
+
+
+def test_json_rendering_round_trips(capsys) -> None:
+    assert main(["lint", "--json", "policer", "dhcp_guard"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload == []
+
+
+def test_no_pipeline_skips_model_phase(capsys) -> None:
+    # FlakyNF-style defects need the model phase; the bundled NFs are
+    # AST-clean, so --no-pipeline is green and much faster.
+    assert main(["lint", "--no-pipeline", "fw", "nat"]) == 0
+
+
+def test_example_nfs_are_linted_by_name(capsys) -> None:
+    assert main(["lint", "dns_guard", "dns_guard_stats"]) == 0
+
+
+# ------------------------------------------------------------------ #
+# Diagnostics core
+# ------------------------------------------------------------------ #
+def test_unknown_code_rejected() -> None:
+    with pytest.raises(ValueError):
+        Diagnostic(code="MAE999", message="nope", nf="x")
+
+
+def test_registered_codes_have_severity_and_meaning() -> None:
+    for code, (severity, meaning) in DIAGNOSTIC_CODES.items():
+        assert code.startswith("MAE") and len(code) == 6
+        assert isinstance(severity, Severity)
+        assert meaning
+
+
+def test_render_text_orders_errors_first() -> None:
+    warn = Diagnostic.of("MAE005", "warn", nf="a")
+    err = Diagnostic.of("MAE001", "err", nf="b", file="f.py", line=3)
+    text = render_text([warn, err])
+    lines = text.splitlines()
+    assert lines[0].startswith("b: f.py:3: MAE001 [error]")
+    assert lines[-1] == "1 error(s), 1 warning(s)"
+
+
+def test_design_doc_lists_every_code() -> None:
+    from pathlib import Path
+
+    design = Path(__file__).resolve().parents[2] / "DESIGN.md"
+    text = design.read_text()
+    for code in DIAGNOSTIC_CODES:
+        assert f"`{code}`" in text, f"{code} missing from DESIGN.md §8"
+
+
+def test_render_json_shape() -> None:
+    err = Diagnostic.of("MAE013", "diverged", nf="x", path_id="port0:[1]")
+    (payload,) = json.loads(render_json([err]))
+    assert payload["code"] == "MAE013"
+    assert payload["severity"] == "error"
+    assert payload["path_id"] == "port0:[1]"
+    assert err.location() == "path port0:[1]"

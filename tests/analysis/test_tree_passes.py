@@ -1,0 +1,219 @@
+"""Model front end: the audit agrees with the Constraints Generator on
+every bundled NF and catches forged solutions and lock plans."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import Diagnostic, lint_nf
+from repro.core.codegen import LockPlan, ParallelNF, Strategy
+from repro.core.report import build_report
+from repro.core.sharding import ConstraintsGenerator, ShardingSolution, Verdict
+from repro.nf.api import NF
+from repro.nf.nfs import ALL_NFS
+from repro.nf.nfs.micro import (
+    DhcpGuard,
+    DualCounter,
+    FlowCounter,
+    GlobalCounter,
+    SrcStats,
+)
+from repro.symbex.engine import explore_nf
+
+from tests.analysis import fixtures as fx
+
+_MICROS = [FlowCounter, SrcStats, DualCounter, GlobalCounter, DhcpGuard]
+
+
+def _codes(diags: list[Diagnostic]) -> set[str]:
+    return {d.code for d in diags}
+
+
+def _model(nf: NF):
+    tree = explore_nf(nf)
+    report = build_report(nf, tree)
+    solution = ConstraintsGenerator(report).solve()
+    return tree, report, solution
+
+
+# ------------------------------------------------------------------ #
+# Zero false positives: audit vs. ConstraintsGenerator agreement
+# ------------------------------------------------------------------ #
+@pytest.mark.parametrize("name", sorted(ALL_NFS))
+def test_audit_agrees_with_constraints_generator(name: str) -> None:
+    diags = lint_nf(ALL_NFS[name]())
+    assert not any(d.is_error for d in diags), [d.render() for d in diags]
+
+
+@pytest.mark.parametrize("cls", _MICROS, ids=lambda c: c.__name__)
+def test_audit_is_clean_on_micro_nfs(cls: type[NF]) -> None:
+    diags = lint_nf(cls())
+    assert not any(d.is_error for d in diags), [d.render() for d in diags]
+
+
+# ------------------------------------------------------------------ #
+# Forged sharding solutions (MAE010 / MAE014)
+# ------------------------------------------------------------------ #
+def test_forged_shard_fields_fire_mae010() -> None:
+    """Policer shards on dst_ip; claiming src_port must be rejected."""
+    nf = ALL_NFS["policer"]()
+    tree, report, solution = _model(nf)
+    assert solution.verdict is Verdict.SHARED_NOTHING
+    forged = ShardingSolution(
+        nf_name=solution.nf_name,
+        verdict=Verdict.SHARED_NOTHING,
+        per_port={port: ("src_port",) for port in solution.per_port},
+    )
+    diags = lint_nf(nf, tree=tree, report=report, solution=forged)
+    assert "MAE010" in _codes(diags)
+
+
+def test_forged_shared_nothing_on_global_state_fires_mae010() -> None:
+    """GlobalCounter's verdict is LOCKS; a forged shared-nothing solution
+    with no shard fields leaves every write racy."""
+    nf = GlobalCounter()
+    tree, report, solution = _model(nf)
+    assert solution.verdict is Verdict.LOCKS
+    forged = ShardingSolution(
+        nf_name=solution.nf_name, verdict=Verdict.SHARED_NOTHING
+    )
+    diags = lint_nf(nf, tree=tree, report=report, solution=forged)
+    assert "MAE010" in _codes(diags)
+    assert any("shards nothing" in d.message for d in diags)
+
+
+def test_forged_guard_fields_fire_mae014() -> None:
+    """DhcpGuard's R5 guard pins src_ip; sharding dst_ip leaves the
+    guarded forwarding read unprotected."""
+    nf = DhcpGuard()
+    tree, report, solution = _model(nf)
+    assert solution.verdict is Verdict.SHARED_NOTHING
+    assert solution.per_port.get(0) == ("src_ip",)
+    forged = ShardingSolution(
+        nf_name=solution.nf_name,
+        verdict=Verdict.SHARED_NOTHING,
+        per_port={0: ("dst_ip",)},
+    )
+    diags = lint_nf(nf, tree=tree, report=report, solution=forged)
+    assert "MAE014" in _codes(diags)
+
+
+def test_audit_reports_path_ids() -> None:
+    nf = GlobalCounter()
+    tree, report, _ = _model(nf)
+    forged = ShardingSolution(nf_name=nf.name, verdict=Verdict.SHARED_NOTHING)
+    diags = lint_nf(nf, tree=tree, report=report, solution=forged)
+    assert all(d.path_id and d.path_id.startswith("port") for d in diags)
+
+
+# ------------------------------------------------------------------ #
+# Lock plan checks (MAE011 / MAE012)
+# ------------------------------------------------------------------ #
+def test_generated_lock_plans_verify_clean() -> None:
+    """The real LOCKS codegen acquires every conflicting object in one
+    global total order — both lock passes must agree."""
+    for name in ("dbridge", "lb"):
+        nf = ALL_NFS[name]()
+        tree, report, solution = _model(nf)
+        assert solution.verdict is Verdict.LOCKS
+        plan = LockPlan.build(nf, Strategy.LOCKS)
+        diags = lint_nf(
+            nf, tree=tree, report=report, solution=solution, lock_plan=plan
+        )
+        assert not any(d.is_error for d in diags), [d.render() for d in diags]
+        assert plan.order == tuple(sorted(plan.locked, key=plan.position))
+
+
+def test_missing_lock_fires_mae011() -> None:
+    nf = ALL_NFS["dbridge"]()
+    tree, report, solution = _model(nf)
+    plan = LockPlan.build(nf, Strategy.LOCKS)
+    dropped = next(iter(sorted(plan.locked)))
+    forged = LockPlan(
+        strategy=Strategy.LOCKS,
+        locked=plan.locked - {dropped},
+        order=tuple(o for o in plan.order if o != dropped),
+    )
+    diags = lint_nf(
+        nf, tree=tree, report=report, solution=solution, lock_plan=forged
+    )
+    assert "MAE011" in _codes(diags)
+    assert any(dropped in d.message for d in diags)
+
+
+def test_broken_acquisition_order_fires_mae012() -> None:
+    nf = ALL_NFS["dbridge"]()
+    tree, report, solution = _model(nf)
+    plan = LockPlan.build(nf, Strategy.LOCKS)
+    first = plan.order[0]
+    duplicated = LockPlan(
+        strategy=Strategy.LOCKS,
+        locked=plan.locked,
+        order=plan.order + (first,),
+    )
+    diags = lint_nf(
+        nf, tree=tree, report=report, solution=solution, lock_plan=duplicated
+    )
+    assert "MAE012" in _codes(diags)
+
+    unordered = LockPlan(
+        strategy=Strategy.LOCKS, locked=plan.locked, order=plan.order[1:]
+    )
+    diags = lint_nf(
+        nf, tree=tree, report=report, solution=solution, lock_plan=unordered
+    )
+    assert "MAE012" in _codes(diags)
+    assert any("no position" in d.message for d in diags)
+
+
+def test_lock_plan_helpers() -> None:
+    nf = ALL_NFS["dbridge"]()
+    plan = LockPlan.build(nf, Strategy.LOCKS)
+    assert plan.locked == set(plan.order)
+    objs = list(plan.locked)[::-1]
+    assert plan.acquisition_sequence(objs) == tuple(
+        sorted(set(objs), key=plan.position)
+    )
+    empty = LockPlan.build(nf, Strategy.SHARED_NOTHING)
+    assert empty.locked == frozenset() and empty.order == ()
+
+
+def test_parallel_nf_carries_its_lock_plan(analyses) -> None:
+    result = analyses["dbridge"]
+    parallel = analyses.maestro.parallelize(
+        ALL_NFS["dbridge"](), n_cores=4, result=result
+    )
+    assert isinstance(parallel, ParallelNF)
+    assert parallel.strategy is Strategy.LOCKS
+    assert parallel.lock_plan.strategy is Strategy.LOCKS
+    assert parallel.lock_plan.locked
+    from repro.core.emit_c import emit_c
+
+    rendered = emit_c(parallel)
+    for obj in parallel.lock_plan.order:
+        assert f"rw_lock_read(&{obj}_lock" in rendered
+
+
+# ------------------------------------------------------------------ #
+# Determinism replay (MAE013) and pipeline failure (MAE020)
+# ------------------------------------------------------------------ #
+def test_hidden_mutable_state_fires_mae013() -> None:
+    diags = lint_nf(fx.FlakyNF())
+    assert "MAE013" in _codes(diags)
+
+
+def test_pipeline_failure_surfaces_as_mae020() -> None:
+    diags = lint_nf(fx.NoActionNF())
+    assert _codes(diags) == {"MAE020"}
+    (diag,) = diags
+    assert "SymbolicError" in diag.message
+
+
+def test_maestro_analyze_lint_hook() -> None:
+    from repro.core import Maestro
+
+    maestro = Maestro(seed=5)
+    result = maestro.analyze(FlowCounter(), lint=True)
+    assert result.diagnostics == []
+    plain = maestro.analyze(FlowCounter())
+    assert plain.diagnostics == []

@@ -1,0 +1,63 @@
+"""StatefulReport rendering and Strategy.default_for coverage."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.codegen import Strategy
+from repro.core.report import build_report
+from repro.core.sharding import Verdict
+from repro.nf.nfs import ALL_NFS
+from repro.symbex.engine import explore_nf
+
+
+def _report(name: str):
+    nf = ALL_NFS[name]()
+    return build_report(nf, explore_nf(nf))
+
+
+def test_describe_lists_every_entry_with_port_and_rw() -> None:
+    report = _report("policer")
+    text = report.describe()
+    lines = text.splitlines()
+    assert lines[0] == f"stateful report for {report.nf_name}:"
+    entry_lines = [l for l in lines if l.strip().startswith("[port")]
+    assert len(entry_lines) == len(report.entries)
+    assert any("[W]" in l for l in entry_lines)
+    assert any("[R]" in l for l in entry_lines)
+    for entry in report.entries:
+        assert entry.describe() in text
+
+
+def test_describe_names_filtered_read_only_objects() -> None:
+    report = _report("sbridge")
+    assert report.stateless  # only a read-only table remains
+    text = report.describe()
+    assert "filtered read-only objects:" in text
+    for obj in report.read_only_objects:
+        assert obj in text
+
+
+def test_describe_omits_filter_line_when_nothing_filtered() -> None:
+    report = _report("policer")
+    assert not report.read_only_objects
+    assert "filtered read-only objects" not in report.describe()
+
+
+@pytest.mark.parametrize(
+    ("verdict", "expected"),
+    [
+        (Verdict.SHARED_NOTHING, Strategy.SHARED_NOTHING),
+        (Verdict.LOAD_BALANCE, Strategy.SHARED_NOTHING),
+        (Verdict.LOCKS, Strategy.LOCKS),
+    ],
+)
+def test_strategy_default_for_every_verdict(
+    verdict: Verdict, expected: Strategy
+) -> None:
+    assert Strategy.default_for(verdict) is expected
+
+
+def test_default_for_is_total_over_the_enum() -> None:
+    for verdict in Verdict:
+        assert isinstance(Strategy.default_for(verdict), Strategy)

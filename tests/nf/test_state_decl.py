@@ -1,0 +1,73 @@
+"""StateDecl validation: bad declarations fail fast, naming the field."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StateModelError
+from repro.nf.api import NF, NfContext, StateDecl, StateKind, declared_state_names
+
+
+def test_valid_decl_accepts_defaults() -> None:
+    decl = StateDecl("ok_map", StateKind.MAP, 64)
+    assert decl.sketch_depth == 5
+    assert decl.value_layout == ()
+
+
+def test_nonpositive_capacity_rejected() -> None:
+    with pytest.raises(StateModelError, match="cap_map"):
+        StateDecl("cap_map", StateKind.MAP, 0)
+
+
+@pytest.mark.parametrize("depth", [0, -3])
+def test_sketch_depth_must_be_at_least_one(depth: int) -> None:
+    with pytest.raises(StateModelError, match="bad_sketch.*sketch_depth"):
+        StateDecl("bad_sketch", StateKind.SKETCH, 64, sketch_depth=depth)
+
+
+@pytest.mark.parametrize("width", [0, -8])
+def test_value_layout_widths_must_be_positive(width: int) -> None:
+    with pytest.raises(StateModelError, match="bad_vec.*'count'"):
+        StateDecl(
+            "bad_vec",
+            StateKind.VECTOR,
+            64,
+            value_layout=(("count", width),),
+        )
+
+
+def test_mixed_valid_layout_still_names_the_culprit() -> None:
+    with pytest.raises(StateModelError, match="'ttl'"):
+        StateDecl(
+            "mixed_vec",
+            StateKind.VECTOR,
+            64,
+            value_layout=(("ip", 32), ("ttl", 0)),
+        )
+
+
+class _Dup(NF):
+    name = "dup_state"
+    ports = {"lan": 0, "wan": 1}
+
+    def state(self) -> list[StateDecl]:
+        return [
+            StateDecl("twice", StateKind.MAP, 8),
+            StateDecl("twice", StateKind.MAP, 8),
+        ]
+
+    def process(self, ctx: NfContext, port: int, pkt) -> None:
+        ctx.drop()
+
+
+def test_declared_state_names_flags_duplicates() -> None:
+    with pytest.raises(StateModelError, match="twice"):
+        declared_state_names(_Dup())
+
+
+def test_declared_state_names_of_corpus_nf() -> None:
+    from repro.nf.nfs import Firewall
+
+    names = declared_state_names(Firewall())
+    assert isinstance(names, frozenset)
+    assert names  # the firewall certainly declares state

@@ -1,0 +1,54 @@
+"""Regression: plain-int lifting produces exactly ``width`` bits.
+
+The old behaviour widened large constants to their bit length, which made
+structurally identical keys compare unequal downstream (positional
+unification treats widths as part of the shape)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SymbolicError
+from repro.symbex import expr as E
+from repro.symbex.engine import _VALUE_WIDTH, _as_expr
+
+
+def test_int_lifts_to_exact_default_width() -> None:
+    lifted = _as_expr(5)
+    assert isinstance(lifted, E.Const)
+    assert lifted.width == _VALUE_WIDTH
+    assert lifted.value == 5
+
+
+@pytest.mark.parametrize("width", [8, 16, 32, 64])
+def test_int_lifts_to_requested_width(width: int) -> None:
+    lifted = _as_expr(3, width)
+    assert lifted.width == width
+    assert lifted.value == 3
+
+
+def test_max_value_for_width_still_fits() -> None:
+    lifted = _as_expr(0xFFFF, 16)
+    assert lifted.width == 16
+    assert lifted.value == 0xFFFF
+
+
+def test_overflowing_int_raises_instead_of_widening() -> None:
+    with pytest.raises(SymbolicError, match="does not fit in 16 bits"):
+        _as_expr(0x1_0000, 16)
+    with pytest.raises(SymbolicError, match="ctx.const"):
+        _as_expr(0xAABBCCDDEEFF, 16)  # a MAC address needs an explicit width
+
+
+def test_bool_and_expr_passthrough_unchanged() -> None:
+    assert _as_expr(True) == E.Const(1, 1)
+    assert _as_expr(False) == E.Const(1, 0)
+    sym = E.Sym("pkt.src_ip", 32)
+    assert _as_expr(sym) is sym
+
+
+def test_lifted_constants_unify_structurally() -> None:
+    # Two lifts of the same value at the same width are the same node —
+    # the property the sharding rules' positional unification relies on.
+    assert _as_expr(7, 32) == _as_expr(7, 32)
+    assert _as_expr(7, 32) != _as_expr(7, 16)
