@@ -54,20 +54,22 @@ _CTX_VALUE_METHODS = frozenset(
     }
 )
 
-#: ctx methods taking a state-object name as their first argument(s).
-_STATE_OPS: dict[str, int] = {
-    "map_get": 1,
-    "map_put": 1,
-    "map_erase": 1,
-    "vector_borrow": 1,
-    "vector_put": 1,
-    "vector_fill": 1,
-    "dchain_allocate": 1,
-    "dchain_is_allocated": 1,
-    "dchain_rejuvenate": 1,
-    "sketch_fetch": 1,
-    "sketch_touch": 1,
-    "expire_flows": 2,  # (map_name, chain_name)
+#: ctx methods taking state-object names, keyed by the parameter names of
+#: those leading arguments (see repro.nf.api.NfContext) so callers passing
+#: them by keyword are checked too.
+_STATE_OPS: dict[str, tuple[str, ...]] = {
+    "map_get": ("name",),
+    "map_put": ("name",),
+    "map_erase": ("name",),
+    "vector_borrow": ("name",),
+    "vector_put": ("name",),
+    "vector_fill": ("name",),
+    "dchain_allocate": ("name",),
+    "dchain_is_allocated": ("name",),
+    "dchain_rejuvenate": ("name",),
+    "sketch_fetch": ("name",),
+    "sketch_touch": ("name",),
+    "expire_flows": ("map_name", "chain_name"),
 }
 
 #: module roots whose calls are nondeterministic under re-execution.
@@ -160,27 +162,40 @@ def _each_method(pctx: PassContext):
         yield method, _Taint(method)
 
 
+def _update_taint(node: ast.AST, taint: _Taint) -> None:
+    if isinstance(node, ast.Assign):
+        tainted = taint.is_tainted(node.value)
+        for target in node.targets:
+            taint.assign(target, tainted)
+    elif isinstance(node, ast.AugAssign):
+        if taint.is_tainted(node.value) or taint.is_tainted(node.target):
+            taint.assign(node.target, True)
+    elif isinstance(node, ast.AnnAssign) and node.value is not None:
+        taint.assign(node.target, taint.is_tainted(node.value))
+    elif isinstance(node, (ast.For, ast.comprehension)):
+        if taint.is_tainted(node.iter):
+            taint.assign(node.target, True)
+    elif isinstance(node, ast.withitem) and node.optional_vars is not None:
+        taint.assign(node.optional_vars, taint.is_tainted(node.context_expr))
+
+
 def _walk_with_taint(method: MethodSource, taint: _Taint):
-    """Yield every AST node in source order, updating taint at assigns."""
-    for node in ast.walk(method.tree):
-        if isinstance(node, ast.Assign):
-            tainted = taint.is_tainted(node.value)
-            for target in node.targets:
-                taint.assign(target, tainted)
-        elif isinstance(node, ast.AugAssign):
-            if taint.is_tainted(node.value) or taint.is_tainted(node.target):
-                taint.assign(node.target, True)
-        elif isinstance(node, ast.AnnAssign) and node.value is not None:
-            taint.assign(node.target, taint.is_tainted(node.value))
-        elif isinstance(node, (ast.For, ast.comprehension)):
-            iterable = node.iter
-            if taint.is_tainted(iterable):
-                taint.assign(node.target, True)
-        elif isinstance(node, ast.withitem) and node.optional_vars is not None:
-            taint.assign(
-                node.optional_vars, taint.is_tainted(node.context_expr)
-            )
-        yield node
+    """Yield every AST node with taint fully resolved beforehand.
+
+    Taint assignments run to a fixpoint first: ``ast.walk`` is
+    breadth-first, so an assignment nested in a branch (``if ...: y =
+    pkt.x``) would otherwise be seen *after* a later top-level use of
+    ``y``.  Fixpointing makes the result independent of visit order and
+    also catches loop-carried flows (``y`` assigned at the bottom of a
+    loop, branched on at the top).
+    """
+    while True:
+        before = len(taint.names)
+        for node in ast.walk(method.tree):
+            _update_taint(node, taint)
+        if len(taint.names) == before:
+            break
+    yield from ast.walk(method.tree)
 
 
 class RawBranchPass(AnalysisPass):
@@ -335,8 +350,9 @@ class DeclaredStatePass(AnalysisPass):
                     and func.attr in _STATE_OPS
                 ):
                     continue
-                n_names = _STATE_OPS[func.attr]
-                for arg in node.args[:n_names]:
+                params = _STATE_OPS[func.attr]
+                for i, param in enumerate(params):
+                    arg = self._name_arg(node, i, param)
                     if isinstance(arg, ast.Constant) and isinstance(
                         arg.value, str
                     ):
@@ -364,6 +380,17 @@ class DeclaredStatePass(AnalysisPass):
                             )
                         )
         return out
+
+    @staticmethod
+    def _name_arg(node: ast.Call, index: int, param: str) -> ast.expr | None:
+        """The expression bound to the ``index``-th state-name parameter,
+        whether passed positionally or by keyword (None if absent)."""
+        if index < len(node.args):
+            return node.args[index]
+        for kw in node.keywords:
+            if kw.arg == param:
+                return kw.value
+        return None
 
 
 class BoundedLoopPass(AnalysisPass):

@@ -92,8 +92,10 @@ def gather_sources(nf: NF) -> NfSource:
     out = NfSource(nf_name=nf.name)
     seen: set[tuple[str, int]] = set()
     for cls in type(nf).__mro__:
-        if cls is NF or not issubclass(cls, NF):
-            break
+        if cls is NF:
+            break  # the abstract base and everything above it
+        if not issubclass(cls, NF):
+            continue  # mixins interleave with NF bases in the MRO
         for name, member in vars(cls).items():
             if name.startswith("__") or name in _SKIPPED_METHODS:
                 continue

@@ -112,6 +112,129 @@ def test_inline_waiver_suppresses_exactly_that_line() -> None:
     assert _codes(_ast_lint(_DynamicName())) == {"MAE006"}
 
 
+class _NestedAssignNF(NF):
+    # Regression: the taint assign sits inside a branch, the raw use after
+    # it at top level.  A breadth-first walk visits the outer `if y:`
+    # before the nested `y = pkt.src_port` and misses the MAE001.
+    name = "nested_assign"
+    ports = {"lan": 0, "wan": 1}
+
+    def state(self) -> list[StateDecl]:
+        return [StateDecl("na_map", StateKind.MAP, 64)]
+
+    def process(self, ctx: NfContext, port: int, pkt: Any) -> None:
+        y = 0
+        found, _ = ctx.map_get("na_map", (pkt.src_ip,))
+        if ctx.cond(found):
+            y = pkt.src_port
+        if y:  # raw branch on a symbolic value
+            ctx.drop()
+        ctx.forward(self.other_port(port))
+
+
+class _LoopCarriedNF(NF):
+    # Regression: y only becomes symbolic at the bottom of the loop, so
+    # the branch at the top is clean on iteration 1 but raw on iteration
+    # 2 — only a taint fixpoint sees it.
+    name = "loop_carried"
+    ports = {"lan": 0, "wan": 1}
+
+    def state(self) -> list[StateDecl]:
+        return []
+
+    def process(self, ctx: NfContext, port: int, pkt: Any) -> None:
+        y = 0
+        for _ in (0, 1):
+            if y:  # raw branch on a symbolic value (from iteration 1)
+                ctx.drop()
+            y = pkt.src_port
+        ctx.forward(self.other_port(port))
+
+
+def test_branch_on_value_assigned_in_nested_branch_fires_mae001() -> None:
+    diags = _ast_lint(_NestedAssignNF())
+    assert _codes(diags) == {"MAE001"}
+    (diag,) = diags
+    assert "branching on a symbolic value" in diag.message
+
+
+def test_loop_carried_taint_fires_mae001() -> None:
+    diags = _ast_lint(_LoopCarriedNF())
+    assert _codes(diags) == {"MAE001"}
+
+
+class _HelperMixin:
+    """Plain mixin — not an NF subclass, interleaves in the MRO."""
+
+    def helper_note(self) -> str:
+        return "mixin"
+
+
+class _RawBranchBase(NF):
+    name = "raw_branch_base"
+    ports = {"lan": 0, "wan": 1}
+
+    def state(self) -> list[StateDecl]:
+        return []
+
+    def process(self, ctx: NfContext, port: int, pkt: Any) -> None:
+        if pkt.src_port == 53:  # raw comparison on a packet field
+            ctx.drop()
+        ctx.forward(self.other_port(port))
+
+
+class _MixedChild(_HelperMixin, _RawBranchBase):
+    # Regression: the MRO is (_MixedChild, _HelperMixin, _RawBranchBase,
+    # NF, ...); the source walk must skip the mixin and still scan the
+    # NF base behind it.
+    name = "mixed_child"
+
+
+def test_mixin_does_not_hide_nf_base_methods() -> None:
+    from repro.analysis.source import gather_sources
+
+    source = gather_sources(_MixedChild())
+    assert any(m.qualname == "_RawBranchBase.process" for m in source.methods)
+    assert _codes(_ast_lint(_MixedChild())) == {"MAE001"}
+
+
+class _KeywordStateNF(NF):
+    # Regression: the state name goes by keyword, not positionally.
+    name = "kw_state"
+    ports = {"lan": 0, "wan": 1}
+
+    def state(self) -> list[StateDecl]:
+        return [StateDecl("kw_map", StateKind.MAP, 64)]
+
+    def process(self, ctx: NfContext, port: int, pkt: Any) -> None:
+        ctx.map_erase(name="typo_map", key=(pkt.src_ip,))
+        ctx.forward(self.other_port(port))
+
+
+class _KeywordDynamicNF(NF):
+    name = "kw_dynamic"
+    ports = {"lan": 0, "wan": 1}
+    table = "kw_map"
+
+    def state(self) -> list[StateDecl]:
+        return [StateDecl("kw_map", StateKind.MAP, 64)]
+
+    def process(self, ctx: NfContext, port: int, pkt: Any) -> None:
+        ctx.map_erase(name=self.table, key=(pkt.src_ip,))
+        ctx.forward(self.other_port(port))
+
+
+def test_keyword_state_name_fires_mae003() -> None:
+    diags = _ast_lint(_KeywordStateNF())
+    assert _codes(diags) == {"MAE003"}
+    (diag,) = diags
+    assert "typo_map" in diag.message
+
+
+def test_keyword_dynamic_state_name_fires_mae006() -> None:
+    assert _codes(_ast_lint(_KeywordDynamicNF())) == {"MAE006"}
+
+
 def test_corpus_setup_loops_are_exempt() -> None:
     """StaticBridge.setup iterates its config table; setup is off the
     packet path, so MAE004 must not fire."""
