@@ -1,0 +1,168 @@
+"""Fast-path performance gates (vectorized RSS + batched simulation).
+
+Two speedup floors, measured on the firewall (the flagship stateful NF):
+
+* batched Toeplitz hashing must be >= 20x the scalar reference on a
+  full trace's hash inputs (the byte-table gather path is ~2 orders of
+  magnitude faster in practice);
+* end-to-end ``run_functional`` (steering cache + grouped execution)
+  must be >= 5x the seed packet-at-a-time path.
+
+Both are gated on *best-of-rounds* minima — the standard noise-robust
+estimator for wall-clock micro-benchmarks — and both assert the fast
+results are bit-identical to the scalar oracle before timing means
+anything.
+
+Quick mode (``REPRO_BENCH_QUICK=1``, used by the CI smoke job) shrinks
+the trace and relaxes the end-to-end floor for noisy shared runners.
+Set ``REPRO_BENCH_JSON=path`` to export the measured numbers as JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import Maestro
+from repro.nf.nfs import Firewall
+from repro.rs3.toeplitz import (
+    hash_input_matrix,
+    toeplitz_hash,
+    toeplitz_hash_batch,
+)
+from repro.sim.functional import run_functional
+from repro.traffic import TrafficGenerator
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+
+N_PACKETS = 20_000 if QUICK else 100_000
+N_FLOWS = 600 if QUICK else 2_000
+#: Scalar hashing is ~22us/packet; cap the scalar sample so the baseline
+#: measurement stays fast (per-hash cost is constant, so the ratio holds).
+SCALAR_SAMPLE = 5_000
+ROUNDS = 3 if QUICK else 4
+
+HASH_SPEEDUP_FLOOR = 20.0
+E2E_SPEEDUP_FLOOR = 3.0 if QUICK else 5.0
+
+_RESULTS: dict[str, object] = {"quick": QUICK, "n_packets": N_PACKETS}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _export_json():
+    yield
+    path = os.environ.get("REPRO_BENCH_JSON")
+    if path:
+        with open(path, "w") as fh:
+            json.dump(_RESULTS, fh, indent=2, sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def parallel_factory():
+    def build():
+        return Maestro(seed=7).parallelize(Firewall(), n_cores=8)
+
+    return build
+
+
+@pytest.fixture(scope="module")
+def trace():
+    generator = TrafficGenerator(seed=3)
+    flows = generator.make_flows(N_FLOWS)
+    return generator.trace(N_PACKETS, flows, reply_port=1, reply_fraction=0.3)
+
+
+def test_batch_hash_speedup_and_exactness(parallel_factory, trace):
+    parallel = parallel_factory()
+    config = parallel.rss.ports[0]
+    packets = [pkt for _, pkt in trace]
+    matrix = hash_input_matrix(packets, config.option)
+
+    batch = toeplitz_hash_batch(config.key, matrix)
+    sample = min(SCALAR_SAMPLE, len(packets))
+    scalar = np.array(
+        [toeplitz_hash(config.key, matrix[i].tobytes()) for i in range(sample)],
+        dtype=np.uint32,
+    )
+    assert np.array_equal(batch[:sample], scalar), (
+        "batched Toeplitz differs from the scalar oracle"
+    )
+
+    t_batch = float("inf")
+    t_scalar = float("inf")
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        toeplitz_hash_batch(config.key, matrix)
+        t_batch = min(t_batch, (time.perf_counter() - start) / len(packets))
+        start = time.perf_counter()
+        for i in range(sample):
+            toeplitz_hash(config.key, matrix[i].tobytes())
+        t_scalar = min(t_scalar, (time.perf_counter() - start) / sample)
+
+    speedup = t_scalar / t_batch
+    _RESULTS["hash"] = {
+        "scalar_us_per_pkt": t_scalar * 1e6,
+        "batch_us_per_pkt": t_batch * 1e6,
+        "speedup": speedup,
+        "floor": HASH_SPEEDUP_FLOOR,
+    }
+    assert speedup >= HASH_SPEEDUP_FLOOR, (
+        f"batched hashing only {speedup:.1f}x scalar "
+        f"(scalar {t_scalar * 1e6:.2f}us, batch {t_batch * 1e6:.3f}us; "
+        f"floor {HASH_SPEEDUP_FLOOR:.0f}x)"
+    )
+
+
+def test_run_functional_speedup_and_exactness(parallel_factory, trace):
+    # Exactness first: one reference/fast pair compared in depth.
+    par_ref = parallel_factory()
+    par_fast = parallel_factory()
+    run_ref = run_functional(par_ref, trace, fastpath=False)
+    run_fast = run_functional(par_fast, trace)
+    assert list(run_ref.results) == list(run_fast.results)
+    assert np.array_equal(run_ref.core_ids, run_fast.core_ids)
+    assert run_ref.action_counts() == run_fast.action_counts()
+    assert run_ref.write_fraction() == run_fast.write_fraction()
+    for ref_core, fast_core in zip(par_ref.cores, par_fast.cores):
+        assert (
+            ref_core.packets,
+            ref_core.reads,
+            ref_core.writes,
+            ref_core.new_flows,
+        ) == (
+            fast_core.packets,
+            fast_core.reads,
+            fast_core.writes,
+            fast_core.new_flows,
+        )
+
+    # Then the wall-clock gate, interleaved rounds, best-of-rounds.
+    t_ref = float("inf")
+    t_fast = float("inf")
+    for _ in range(ROUNDS):
+        parallel = parallel_factory()
+        start = time.perf_counter()
+        run_functional(parallel, trace, fastpath=False)
+        t_ref = min(t_ref, time.perf_counter() - start)
+        parallel = parallel_factory()
+        start = time.perf_counter()
+        run_functional(parallel, trace)
+        t_fast = min(t_fast, time.perf_counter() - start)
+
+    speedup = t_ref / t_fast
+    _RESULTS["e2e"] = {
+        "reference_us_per_pkt": t_ref * 1e6 / len(trace),
+        "fastpath_us_per_pkt": t_fast * 1e6 / len(trace),
+        "speedup": speedup,
+        "floor": E2E_SPEEDUP_FLOOR,
+    }
+    assert speedup >= E2E_SPEEDUP_FLOOR, (
+        f"fast path only {speedup:.2f}x the seed path "
+        f"(ref {t_ref * 1e6 / len(trace):.1f}us/pkt, "
+        f"fast {t_fast * 1e6 / len(trace):.1f}us/pkt; "
+        f"floor {E2E_SPEEDUP_FLOOR:.0f}x)"
+    )

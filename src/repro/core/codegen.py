@@ -102,8 +102,13 @@ class CoreInstance:
     def run(self, port: int, pkt: Packet) -> PacketResult:
         result = self.ctx.run(port, pkt)
         self.packets += 1
-        self.reads += result.reads
-        self.writes += result.writes
+        # One pass over the ops instead of the two the reads/writes
+        # properties would make — this is the per-packet hot path.
+        writes = 0
+        for op in result.ops:
+            writes += op.write
+        self.writes += writes
+        self.reads += len(result.ops) - writes
         self.new_flows += int(result.new_flow)
         return result
 

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 
 from repro import obs
@@ -24,6 +25,14 @@ def main(argv: list[str] | None = None) -> int:
         "--fast",
         action="store_true",
         help="smaller sweeps for a quick pass",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan independent sweep cells over N worker processes "
+        "(figures 5/10/14; results are identical to a sequential run)",
     )
     parser.add_argument(
         "--trace",
@@ -54,8 +63,13 @@ def main(argv: list[str] | None = None) -> int:
     try:
         with trace_to(args.trace):
             for name in names:
+                run = EXPERIMENTS[name]
+                kwargs = {"fast": args.fast}
+                # Only the cell-parallel figures take a jobs parameter.
+                if "jobs" in inspect.signature(run).parameters:
+                    kwargs["jobs"] = args.jobs
                 with obs.span("eval.experiment", experiment=name):
-                    print(EXPERIMENTS[name](fast=args.fast).render())
+                    print(run(**kwargs).render())
                 print()
     except OSError as exc:
         print(f"error: cannot write trace: {exc}", file=sys.stderr)

@@ -7,16 +7,24 @@ over the keys.  Expected shape: uniform traffic scales cleanly; Zipfian
 skews cores and loses throughput; balancing the indirection table recovers
 much of the loss; with a single core Zipf is *faster* than uniform thanks
 to cache locality on the hot flows.
+
+The sweep is cell-parallel: one cell per (traffic config, RSS key), each
+regenerating its inputs from fixed seeds, so ``--jobs N`` changes only
+wall-clock time (see :class:`repro.eval.runner.ParallelSweepRunner`).
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
-
 import numpy as np
 
 from repro.core import Maestro, Strategy
-from repro.eval.runner import CORE_COUNTS, FAST_CORE_COUNTS, Experiment, Series
+from repro.eval.runner import (
+    CORE_COUNTS,
+    FAST_CORE_COUNTS,
+    Experiment,
+    ParallelSweepRunner,
+    Series,
+)
 from repro.eval.skew import flow_core_shares
 from repro.hw.cpu import profile_for
 from repro.nf.nfs import Firewall
@@ -28,50 +36,70 @@ __all__ = ["run"]
 N_FLOWS = 1000
 N_KEYS = 5
 
+#: (label, zipf traffic?, balanced tables?) — the three plotted series.
+CONFIGS: tuple[tuple[str, bool, bool], ...] = (
+    ("uniform", False, False),
+    ("zipf unbalanced", True, False),
+    ("zipf balanced", True, True),
+)
 
-def run(fast: bool = False) -> Experiment:
-    cores = list(FAST_CORE_COUNTS if fast else CORE_COUNTS)
-    n_keys = 2 if fast else N_KEYS
+
+def _sweep_cell(cell: tuple[str, bool, bool, int, tuple[int, ...]]) -> list[float]:
+    """Throughput row of one (config, RSS key) cell over the core sweep.
+
+    Pure function of its arguments: flows, weights, and the RSS key are
+    all regenerated from fixed seeds, so the cell computes identical
+    numbers in any process.
+    """
+    _, use_zipf, balanced, key_index, cores = cell
     profile = profile_for(Firewall())
     model = PerformanceModel()
-    generator = TrafficGenerator(seed=5)
-    flows = generator.make_flows(N_FLOWS)
+    flows = TrafficGenerator(seed=5).make_flows(N_FLOWS)
     zipf = paper_zipf_weights(N_FLOWS)
+    weights = zipf if use_zipf else None
+
+    maestro = Maestro(seed=100 + key_index)
+    result = maestro.analyze(Firewall())
+    key = result.keys[0]
+    option = result.compilation.port_options[0]
+    row: list[float] = []
+    for n_cores in cores:
+        shares = flow_core_shares(
+            key, option, flows, weights, n_cores, balanced=balanced
+        )
+        workload = Workload(
+            pkt_size=64,
+            n_flows=N_FLOWS,
+            zipf_weights=zipf if use_zipf else None,
+            core_shares=shares,
+        )
+        throughput = model.throughput(
+            profile, Strategy.SHARED_NOTHING, n_cores, workload
+        )
+        row.append(throughput.mpps)
+    return row
+
+
+def run(fast: bool = False, jobs: int = 1) -> Experiment:
+    cores = tuple(FAST_CORE_COUNTS if fast else CORE_COUNTS)
+    n_keys = 2 if fast else N_KEYS
 
     experiment = Experiment(
         name="fig5",
         title="Shared-nothing FW under uniform and Zipfian traffic",
         x_label="cores",
-        x_values=cores,
+        x_values=list(cores),
         y_label="throughput [Mpps]",
     )
 
-    configs = [
-        ("uniform", None, False),
-        ("zipf unbalanced", zipf, False),
-        ("zipf balanced", zipf, True),
+    cells = [
+        (label, use_zipf, balanced, key_index, cores)
+        for label, use_zipf, balanced in CONFIGS
+        for key_index in range(n_keys)
     ]
-    for label, weights, balanced in configs:
-        per_key = np.zeros((n_keys, len(cores)))
-        for key_index in range(n_keys):
-            maestro = Maestro(seed=100 + key_index)
-            result = maestro.analyze(Firewall())
-            key = result.keys[0]
-            option = result.compilation.port_options[0]
-            for col, n_cores in enumerate(cores):
-                shares = flow_core_shares(
-                    key, option, flows, weights, n_cores, balanced=balanced
-                )
-                workload = Workload(
-                    pkt_size=64,
-                    n_flows=N_FLOWS,
-                    zipf_weights=zipf if weights is not None else None,
-                    core_shares=shares,
-                )
-                throughput = model.throughput(
-                    profile, Strategy.SHARED_NOTHING, n_cores, workload
-                )
-                per_key[key_index, col] = throughput.mpps
+    rows = ParallelSweepRunner(jobs).map(_sweep_cell, cells)
+    for c, (label, _, _) in enumerate(CONFIGS):
+        per_key = np.array(rows[c * n_keys : (c + 1) * n_keys])
         experiment.add(
             Series(
                 label=label,

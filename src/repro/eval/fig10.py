@@ -11,7 +11,13 @@ ones; PSD gains ~19x at 16 cores from the compound cache effect.
 from __future__ import annotations
 
 from repro.core import Maestro, Strategy, Verdict
-from repro.eval.runner import CORE_COUNTS, FAST_CORE_COUNTS, Experiment, Series
+from repro.eval.runner import (
+    CORE_COUNTS,
+    FAST_CORE_COUNTS,
+    Experiment,
+    ParallelSweepRunner,
+    Series,
+)
 from repro.hw.cpu import profile_for
 from repro.nf.nfs import ALL_NFS
 from repro.sim.perf import PerformanceModel, Workload
@@ -47,20 +53,26 @@ def scalability_series(
     return series
 
 
-def run(fast: bool = False) -> Experiment:
-    cores = list(FAST_CORE_COUNTS if fast else CORE_COUNTS)
+def _sweep_cell(cell: tuple[str, tuple[int, ...]]) -> list[Series]:
+    """All strategy series of one NF — one sweep cell per NF."""
+    name, cores = cell
+    workload = Workload(pkt_size=64, n_flows=N_FLOWS)
+    return scalability_series(name, list(cores), workload)
+
+
+def run(fast: bool = False, jobs: int = 1) -> Experiment:
+    cores = tuple(FAST_CORE_COUNTS if fast else CORE_COUNTS)
     experiment = Experiment(
         name="fig10",
         title="Parallel NF scalability, uniform read-heavy 64B packets",
         x_label="cores",
-        x_values=cores,
+        x_values=list(cores),
         y_label="throughput [Mpps]",
     )
-    workload = Workload(pkt_size=64, n_flows=N_FLOWS)
-    model = PerformanceModel()
     names = [n for n in ALL_NFS if n != "sbridge"] if fast else list(ALL_NFS)
-    for name in names:
-        for series in scalability_series(name, cores, workload, model=model):
+    cells = [(name, cores) for name in names]
+    for series_group in ParallelSweepRunner(jobs).map(_sweep_cell, cells):
+        for series in series_group:
             experiment.add(series)
     experiment.notes.append(
         "no shared-nothing series for dbridge/lb: Maestro's analysis "

@@ -9,10 +9,14 @@ their uniform-traffic results.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.core import Maestro, Strategy, Verdict
-from repro.eval.runner import CORE_COUNTS, FAST_CORE_COUNTS, Experiment, Series
+from repro.eval.runner import (
+    CORE_COUNTS,
+    FAST_CORE_COUNTS,
+    Experiment,
+    ParallelSweepRunner,
+    Series,
+)
 from repro.eval.skew import flow_core_shares
 from repro.hw.cpu import profile_for
 from repro.nf.nfs import ALL_NFS
@@ -24,51 +28,64 @@ __all__ = ["run"]
 N_FLOWS = 1000
 
 
-def run(fast: bool = False) -> Experiment:
-    cores = list(FAST_CORE_COUNTS if fast else CORE_COUNTS)
+def _sweep_cell(cell: tuple[str, tuple[int, ...]]) -> list[Series]:
+    """All strategy series of one NF under Zipf — one cell per NF.
+
+    Pure function of its arguments: flows and weights come from
+    ``TrafficGenerator(seed=14)``/``paper_zipf_weights`` and the RSS keys
+    from ``Maestro(seed=14)``, so the cell is process-independent.
+    """
+    name, cores = cell
+    model = PerformanceModel()
+    flows = TrafficGenerator(seed=14).make_flows(N_FLOWS)
+    zipf = paper_zipf_weights(N_FLOWS)
+    nf = ALL_NFS[name]()
+    profile = profile_for(nf)
+    maestro = Maestro(seed=14)
+    result = maestro.analyze(nf)
+    strategies = [Strategy.LOCKS, Strategy.TM]
+    if result.solution.verdict is not Verdict.LOCKS:
+        strategies.insert(0, Strategy.SHARED_NOTHING)
+    # Measure skewed per-core shares through the actual generated key
+    # on the NF's benchmark ingress port, with a balanced table (§4).
+    port = nf.benchmark_traffic.get("forward_port", 0)
+    key = result.keys[port]
+    option = result.compilation.port_options[port]
+    series_group: list[Series] = []
+    for strategy in strategies:
+        values = []
+        for n_cores in cores:
+            shares = flow_core_shares(
+                key, option, flows, zipf, n_cores, balanced=True
+            )
+            workload = Workload(
+                pkt_size=64,
+                n_flows=N_FLOWS,
+                zipf_weights=zipf,
+                core_shares=shares,
+            )
+            values.append(
+                model.throughput(profile, strategy, n_cores, workload).mpps
+            )
+        series_group.append(Series(label=f"{name}/{strategy.value}", values=values))
+    return series_group
+
+
+def run(fast: bool = False, jobs: int = 1) -> Experiment:
+    cores = tuple(FAST_CORE_COUNTS if fast else CORE_COUNTS)
     experiment = Experiment(
         name="fig14",
         title="Parallel NF scalability, Zipfian read-heavy 64B packets "
         "(balanced tables)",
         x_label="cores",
-        x_values=cores,
+        x_values=list(cores),
         y_label="throughput [Mpps]",
     )
-    model = PerformanceModel()
-    generator = TrafficGenerator(seed=14)
-    flows = generator.make_flows(N_FLOWS)
-    zipf = paper_zipf_weights(N_FLOWS)
     names = ["fw", "nat", "cl", "lb"] if fast else list(ALL_NFS)
-
-    for name in names:
-        nf = ALL_NFS[name]()
-        profile = profile_for(nf)
-        maestro = Maestro(seed=14)
-        result = maestro.analyze(nf)
-        strategies = [Strategy.LOCKS, Strategy.TM]
-        if result.solution.verdict is not Verdict.LOCKS:
-            strategies.insert(0, Strategy.SHARED_NOTHING)
-        # Measure skewed per-core shares through the actual generated key
-        # on the NF's benchmark ingress port, with a balanced table (§4).
-        port = nf.benchmark_traffic.get("forward_port", 0)
-        key = result.keys[port]
-        option = result.compilation.port_options[port]
-        for strategy in strategies:
-            values = []
-            for n_cores in cores:
-                shares = flow_core_shares(
-                    key, option, flows, zipf, n_cores, balanced=True
-                )
-                workload = Workload(
-                    pkt_size=64,
-                    n_flows=N_FLOWS,
-                    zipf_weights=zipf,
-                    core_shares=shares,
-                )
-                values.append(
-                    model.throughput(profile, strategy, n_cores, workload).mpps
-                )
-            experiment.add(Series(label=f"{name}/{strategy.value}", values=values))
+    cells = [(name, cores) for name in names]
+    for series_group in ParallelSweepRunner(jobs).map(_sweep_cell, cells):
+        for series in series_group:
+            experiment.add(series)
     experiment.notes.append(
         "Zipf (top-48 flows = 80% of packets); indirection tables "
         "statically balanced; elephant flows bound the max per-core share"

@@ -7,9 +7,10 @@ exactly the rows/series the corresponding paper figure plots.
 
 from __future__ import annotations
 
+import multiprocessing
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterator, Sequence
+from typing import Callable, Iterator, Sequence, TypeVar
 
 from repro import obs
 
@@ -17,9 +18,13 @@ __all__ = [
     "Series",
     "Experiment",
     "CORE_COUNTS",
+    "ParallelSweepRunner",
     "format_table",
     "trace_to",
 ]
+
+_Cell = TypeVar("_Cell")
+_Result = TypeVar("_Result")
 
 #: Core counts swept in the scalability studies (§6.2: 1..16 cores).
 CORE_COUNTS: tuple[int, ...] = (1, 2, 4, 8, 12, 16)
@@ -82,6 +87,48 @@ def format_table(header: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
     out = [line(header), line(["-" * w for w in widths])]
     out.extend(line(row) for row in rows)
     return "\n".join(out)
+
+
+class ParallelSweepRunner:
+    """Fan independent figure-sweep cells over worker processes.
+
+    A *cell* is one independent unit of a figure sweep (one RSS key of
+    Figure 5, one NF of Figures 10/14) expressed as a picklable argument
+    to a module-level function.  Cell functions must be pure functions of
+    their arguments: every figure regenerates its inputs inside the cell
+    from fixed seeds (``TrafficGenerator(seed=...)``, ``Maestro(seed=...)``),
+    so a cell computes the same numbers in any process and the merged
+    figure is identical to a sequential run — ``--jobs N`` is purely a
+    wall-clock knob.
+
+    Results come back in submission order (``Pool.map`` semantics), which
+    is what makes the merge deterministic.  With ``jobs <= 1`` (the
+    default) everything runs in-process — no pool, no pickling — so the
+    sequential path stays exactly the seed behaviour.
+
+    Observability: the parent emits ``sweep.workers`` and ``sweep.cells``
+    counters; spans/counters emitted *inside* worker processes stay in
+    those processes (collectors are not shared across forks).
+    """
+
+    def __init__(self, jobs: int | None = None) -> None:
+        self.jobs = max(1, int(jobs or 1))
+
+    def map(
+        self, fn: Callable[[_Cell], _Result], cells: Sequence[_Cell]
+    ) -> list[_Result]:
+        """``[fn(cell) for cell in cells]``, possibly across processes."""
+        cells = list(cells)
+        n_workers = min(self.jobs, len(cells))
+        with obs.span(
+            "eval.sweep", n_cells=len(cells), n_workers=max(n_workers, 1)
+        ):
+            obs.counter("sweep.cells", len(cells))
+            if n_workers <= 1:
+                return [fn(cell) for cell in cells]
+            obs.counter("sweep.workers", n_workers)
+            with multiprocessing.get_context().Pool(processes=n_workers) as pool:
+                return pool.map(fn, cells)
 
 
 @contextmanager

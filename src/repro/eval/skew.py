@@ -14,7 +14,7 @@ import numpy as np
 from repro.nf.flow import FiveTuple
 from repro.rs3.fields import FieldSetOption
 from repro.rs3.indirection import IndirectionTable
-from repro.rs3.toeplitz import hash_packet
+from repro.rs3.toeplitz import hash_packets_batch
 
 __all__ = ["flow_core_shares"]
 
@@ -36,9 +36,12 @@ def flow_core_shares(
     if weights is None:
         weights = np.full(len(flows), 1.0 / len(flows))
     entry_loads = np.zeros(reta_size, dtype=np.float64)
-    for flow, weight in zip(flows, weights):
-        hashed = hash_packet(key, flow.packet(), option)
-        entry_loads[hashed & (reta_size - 1)] += float(weight)
+    if flows:
+        # One batched Toeplitz pass over every flow's representative
+        # packet, scattered onto table entries by popularity weight.
+        hashes = hash_packets_batch(key, [flow.packet() for flow in flows], option)
+        slots = hashes.astype(np.int64) & (reta_size - 1)
+        np.add.at(entry_loads, slots, np.asarray(weights, dtype=np.float64))
     table = IndirectionTable(n_cores, size=reta_size)
     if balanced:
         table.balance(entry_loads)

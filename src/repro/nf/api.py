@@ -93,7 +93,9 @@ class PacketDone(Exception):
     """Raised by packet operations to terminate processing of a packet."""
 
     def __init__(self, kind: ActionKind, port: Any = None):
-        super().__init__(kind.value)
+        # No super().__init__ call: BaseException.__new__ already stored
+        # the constructor args, and skipping the enum .value lookup plus
+        # the extra frame matters on the one-exception-per-packet path.
         self.kind = kind
         self.port = port
 

@@ -13,8 +13,7 @@ packet from exactly those counts.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
-from typing import Any, Mapping, Sequence
+from typing import Any, Mapping, NamedTuple, Sequence
 
 from repro import obs
 from repro.errors import SimulationError, StateModelError
@@ -25,24 +24,60 @@ from repro.nf.state import DChain, Map, Sketch, Vector
 __all__ = ["OpRecord", "PacketResult", "StateStore", "ConcreteContext", "SequentialRunner"]
 
 
-@dataclass(frozen=True)
-class OpRecord:
-    """One stateful operation performed while processing a packet."""
+class OpRecord(NamedTuple):
+    """One stateful operation performed while processing a packet.
+
+    A ``NamedTuple`` rather than a frozen dataclass: the functional
+    simulator creates one per stateful op on every packet, and tuple
+    construction is several times cheaper on that hot path.
+    """
 
     obj: str
     op: str
     write: bool
 
 
-@dataclass
 class PacketResult:
-    """The observable outcome of processing one packet."""
+    """The observable outcome of processing one packet.
 
-    kind: ActionKind
-    port: int | None = None
-    mods: dict[str, int] = field(default_factory=dict)
-    ops: list[OpRecord] = field(default_factory=list)
-    new_flow: bool = False
+    A ``__slots__`` class with a hand-written ``__init__`` rather than a
+    dataclass: one is created per packet, and on the batched fast path
+    the construction cost is a measurable slice of the whole per-packet
+    budget.
+    """
+
+    __slots__ = ("kind", "port", "mods", "ops", "new_flow")
+
+    def __init__(
+        self,
+        kind: ActionKind,
+        port: int | None = None,
+        mods: dict[str, int] | None = None,
+        ops: list[OpRecord] | None = None,
+        new_flow: bool = False,
+    ) -> None:
+        self.kind = kind
+        self.port = port
+        self.mods = {} if mods is None else mods
+        self.ops = [] if ops is None else ops
+        self.new_flow = new_flow
+
+    def __repr__(self) -> str:
+        return (
+            f"PacketResult(kind={self.kind!r}, port={self.port!r}, "
+            f"mods={self.mods!r}, ops={self.ops!r}, new_flow={self.new_flow!r})"
+        )
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, PacketResult):
+            return NotImplemented
+        return (
+            self.kind == other.kind
+            and self.port == other.port
+            and self.mods == other.mods
+            and self.ops == other.ops
+            and self.new_flow == other.new_flow
+        )
 
     @property
     def reads(self) -> int:
@@ -130,8 +165,26 @@ class ConcreteContext(NfContext):
         self._ops: list[OpRecord] = []
         self._new_flow = False
         self._last_expiry: float = float("-inf")
-        #: Lifetime stateful-op totals: ``(obj, "read"|"write") -> count``.
-        self.op_totals: dict[tuple[str, str], int] = {}
+        #: Lifetime count of packets that created a flow (at most one per
+        #: packet, matching ``PacketResult.new_flow``); the batched
+        #: simulator reconciles per-core new-flow counters from deltas of
+        #: this instead of re-walking every packet result.
+        self.new_flow_total: int = 0
+        # Hot-path plumbing: op records are immutable and drawn from a
+        # tiny set of (obj, op) pairs, so intern them instead of
+        # constructing one per stateful operation.  Each entry is
+        # ``[record, (obj, kind), count]``; the count cell accumulates the
+        # lifetime total for that op (cheaper than a dict update per op),
+        # and :attr:`op_totals` aggregates the cells on demand.
+        self._op_intern: dict[tuple[str, str, bool], list] = {}
+        self._tracer = obs.get_tracer()
+        self._trace_on = self._tracer.enabled()
+        self._objects = store.objects
+        # One reusable terminator exception per context: the packet ops
+        # below re-arm and re-raise it instead of constructing a fresh
+        # PacketDone per packet (exception allocation is a measurable
+        # slice of the per-packet budget).
+        self._done = PacketDone(ActionKind.DROP)
 
     # -------------------------------------------------------------- #
     # Control flow & value algebra: plain Python semantics.
@@ -180,67 +233,99 @@ class ConcreteContext(NfContext):
     # -------------------------------------------------------------- #
     # Stateful operations
     # -------------------------------------------------------------- #
-    def _record(self, obj: str, op: str, write: bool) -> None:
-        self._ops.append(OpRecord(obj, op, write))
-        kind = "write" if write else "read"
-        key = (obj, kind)
-        self.op_totals[key] = self.op_totals.get(key, 0) + 1
-        obs.counter("nf.state_op", 1, nf=self.nf.name, obj=obj, kind=kind)
+    @property
+    def op_totals(self) -> dict[tuple[str, str], int]:
+        """Lifetime stateful-op totals: ``(obj, "read"|"write") -> count``."""
+        totals: dict[tuple[str, str], int] = {}
+        for _, totals_key, count in self._op_intern.values():
+            totals[totals_key] = totals.get(totals_key, 0) + count
+        return totals
 
+    def _record(self, obj: str, op: str, write: bool) -> None:
+        entry = self._op_intern.get((obj, op, write))
+        if entry is None:
+            kind = "write" if write else "read"
+            entry = [OpRecord(obj, op, write), (obj, kind), 0]
+            self._op_intern[(obj, op, write)] = entry
+        self._ops.append(entry[0])
+        entry[2] += 1
+        # Guard on the tracer so the (dominant) untraced case never pays
+        # for assembling the counter's attribute kwargs.  The flag is
+        # refreshed once per packet in run().
+        if self._trace_on:
+            obs.counter(
+                "nf.state_op", 1, nf=self.nf.name, obj=obj, kind=entry[1][1]
+            )
+
+    # In every wrapper below, ``self._objects.get(name) or self.store[name]``
+    # is the inlined fast path of ``self.store[name]``: one dict probe,
+    # falling back to the raising lookup for undeclared names.  (State
+    # objects are always truthy: they are plain container instances.)
     def map_get(self, name: str, key: Sequence[Any]) -> tuple[bool, int]:
-        self._record(name, "map_get", write=False)
-        return self.store[name].get(tuple(key))
+        self._record(name, "map_get", False)
+        obj = self._objects.get(name) or self.store[name]
+        return obj.get(tuple(key))
 
     def map_put(self, name: str, key: Sequence[Any], value: Any) -> bool:
-        self._record(name, "map_put", write=True)
+        self._record(name, "map_put", True)
         key_t = tuple(key)
-        ok = self.store[name].put(key_t, int(value))
+        obj = self._objects.get(name) or self.store[name]
+        ok = obj.put(key_t, int(value))
         if ok:
             self.store.note_put(name, key_t, int(value))
         return ok
 
     def map_erase(self, name: str, key: Sequence[Any]) -> None:
-        self._record(name, "map_erase", write=True)
+        self._record(name, "map_erase", True)
         key_t = tuple(key)
         self.store.note_erase(name, key_t)
-        self.store[name].erase(key_t)
+        obj = self._objects.get(name) or self.store[name]
+        obj.erase(key_t)
 
     def vector_borrow(self, name: str, index: Any) -> Mapping[str, Any]:
-        self._record(name, "vector_borrow", write=False)
-        return self.store[name].borrow(int(index))
+        self._record(name, "vector_borrow", False)
+        obj = self._objects.get(name) or self.store[name]
+        return obj.borrow(int(index))
 
     def vector_put(self, name: str, index: Any, record: Mapping[str, Any]) -> None:
-        self._record(name, "vector_put", write=True)
-        self.store[name].put(int(index), dict(record))
+        self._record(name, "vector_put", True)
+        obj = self._objects.get(name) or self.store[name]
+        obj.put(int(index), dict(record))
 
     def vector_fill(self, name: str, records: Sequence[Mapping[str, Any]]) -> None:
-        self._record(name, "vector_fill", write=True)
+        self._record(name, "vector_fill", True)
         vector: Vector = self.store[name]
         for i in range(len(vector)):
             vector.put(i, dict(records[i % len(records)]) if records else {})
 
     def dchain_allocate(self, name: str) -> tuple[bool, int]:
-        self._record(name, "dchain_allocate", write=True)
-        ok, index = self.store[name].allocate(self._now)
-        if ok:
+        self._record(name, "dchain_allocate", True)
+        obj = self._objects.get(name) or self.store[name]
+        ok, index = obj.allocate(self._now)
+        if ok and not self._new_flow:
             self._new_flow = True
+            self.new_flow_total += 1
         return ok, index
 
     def dchain_is_allocated(self, name: str, index: Any) -> bool:
-        self._record(name, "dchain_is_allocated", write=False)
-        return self.store[name].is_allocated(int(index))
+        self._record(name, "dchain_is_allocated", False)
+        obj = self._objects.get(name) or self.store[name]
+        return obj.is_allocated(int(index))
 
     def dchain_rejuvenate(self, name: str, index: Any) -> None:
-        self._record(name, "dchain_rejuvenate", write=True)
-        self.store[name].rejuvenate(int(index), self._now)
+        self._record(name, "dchain_rejuvenate", True)
+        obj = self._objects.get(name) or self.store[name]
+        obj.rejuvenate(int(index), self._now)
 
     def sketch_fetch(self, name: str, key: Sequence[Any]) -> int:
-        self._record(name, "sketch_fetch", write=False)
-        return self.store[name].fetch(tuple(key))
+        self._record(name, "sketch_fetch", False)
+        obj = self._objects.get(name) or self.store[name]
+        return obj.fetch(tuple(key))
 
     def sketch_touch(self, name: str, key: Sequence[Any]) -> None:
-        self._record(name, "sketch_touch", write=True)
-        self.store[name].touch(tuple(key))
+        self._record(name, "sketch_touch", True)
+        obj = self._objects.get(name) or self.store[name]
+        obj.touch(tuple(key))
 
     def expire_flows(self, map_name: str, chain_name: str) -> None:
         horizon = self.nf.expiration_time
@@ -267,6 +352,26 @@ class ConcreteContext(NfContext):
             raise StateModelError(f"cannot rewrite unknown packet field {name!r}")
         self._mods[name] = int(value)
 
+    # Re-arm the per-context PacketDone instead of allocating one per
+    # packet (the base-class implementations construct a fresh exception).
+    def forward(self, port: Any) -> None:
+        done = self._done
+        done.kind = ActionKind.FORWARD
+        done.port = port
+        raise done
+
+    def drop(self) -> None:
+        done = self._done
+        done.kind = ActionKind.DROP
+        done.port = None
+        raise done
+
+    def flood(self) -> None:
+        done = self._done
+        done.kind = ActionKind.FLOOD
+        done.port = None
+        raise done
+
     # -------------------------------------------------------------- #
     # Driver
     # -------------------------------------------------------------- #
@@ -276,15 +381,24 @@ class ConcreteContext(NfContext):
         self._mods = {}
         self._ops = []
         self._new_flow = False
+        self._trace_on = self._tracer.enabled()
         try:
             self.nf.process(self, port, pkt)
         except PacketDone as done:
+            # The reusable exception must not retain its traceback between
+            # packets: it lives on the context, so a lingering traceback
+            # would pin every frame of this call (and its locals) until
+            # the next packet — measurable GC pressure at trace scale.
+            done.__traceback__ = None
+            # Hand the working mods/ops containers to the result instead
+            # of copying them: run() rebinds fresh ones on the next call,
+            # so the result keeps sole ownership.
             return PacketResult(
-                kind=done.kind,
-                port=None if done.port is None else int(done.port),
-                mods=dict(self._mods),
-                ops=list(self._ops),
-                new_flow=self._new_flow,
+                done.kind,
+                None if done.port is None else int(done.port),
+                self._mods,
+                self._ops,
+                self._new_flow,
             )
         raise SimulationError(
             f"{self.nf.name}.process returned without a packet operation"

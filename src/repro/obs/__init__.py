@@ -33,6 +33,7 @@ from repro.obs.trace import (
     attached,
     counter,
     detach,
+    enabled,
     get_tracer,
     histogram,
     span,
@@ -53,6 +54,7 @@ __all__ = [
     "detach",
     "attached",
     "active_collectors",
+    "enabled",
     "get_tracer",
     "percentile",
     "load_trace",

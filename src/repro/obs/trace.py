@@ -47,6 +47,7 @@ __all__ = [
     "detach",
     "attached",
     "active_collectors",
+    "enabled",
     "get_tracer",
 ]
 
@@ -180,6 +181,16 @@ class Tracer:
     def collectors(self) -> tuple[Collector, ...]:
         return tuple(self._collectors)
 
+    def enabled(self) -> bool:
+        """True when at least one collector is attached.
+
+        The cheapest possible guard for per-packet hot paths: callers can
+        skip building counter attribute dicts entirely when nothing is
+        listening, instead of paying for the kwargs just to have
+        :meth:`counter` drop them.
+        """
+        return bool(self._collectors)
+
     # ---------------------------------------------------------- #
     # Span stack (per thread)
     # ---------------------------------------------------------- #
@@ -291,3 +302,8 @@ def attached(*collectors: Collector):
 
 def active_collectors() -> tuple[Collector, ...]:
     return _DEFAULT.collectors
+
+
+def enabled() -> bool:
+    """True when any collector is attached to the process-wide tracer."""
+    return _DEFAULT.enabled()

@@ -8,6 +8,7 @@ functional simulator uses to steer every packet to a core.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -15,7 +16,7 @@ from repro.errors import SimulationError
 from repro.nf.packet import Packet
 from repro.rs3.fields import FieldSetOption
 from repro.rs3.indirection import IndirectionTable
-from repro.rs3.toeplitz import hash_packet
+from repro.rs3.toeplitz import hash_input_matrix, hash_packet, toeplitz_hash_batch
 
 __all__ = ["PortRssConfig", "RssConfiguration"]
 
@@ -32,8 +33,22 @@ class PortRssConfig:
     def hash(self, pkt: Packet) -> int:
         return hash_packet(self.key, pkt, self.option)
 
+    def hash_batch(self, packets: Sequence[Packet]) -> np.ndarray:
+        """Vectorized RSS hashes of many packets arriving on this port."""
+        return toeplitz_hash_batch(
+            self.key, hash_input_matrix(packets, self.option)
+        )
+
+    def hash_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Vectorized hashes of pre-extracted ``(n, input_bytes)`` rows."""
+        return toeplitz_hash_batch(self.key, rows)
+
     def queue_for(self, pkt: Packet) -> int:
         return self.table.lookup(self.hash(pkt))
+
+    def steer_batch(self, packets: Sequence[Packet]) -> np.ndarray:
+        """Cores for many packets: batch hash, then batch table lookup."""
+        return self.table.steer_batch(self.hash_batch(packets))
 
     def key_hex(self) -> str:
         return self.key.hex(":")
@@ -73,11 +88,41 @@ class RssConfiguration:
 
     def core_for(self, port: int, pkt: Packet) -> int:
         """The core that will process ``pkt`` arriving on ``port``."""
+        return self.port_config(port).queue_for(pkt)
+
+    def port_config(self, port: int) -> PortRssConfig:
         try:
-            config = self.ports[port]
+            return self.ports[port]
         except KeyError:
             raise SimulationError(f"no RSS configuration for port {port}") from None
-        return config.queue_for(pkt)
+
+    def steer_trace(self, trace: Sequence[tuple[int, Packet]]) -> np.ndarray:
+        """Core of every ``(port, packet)`` in ``trace``, fully batched.
+
+        Packets are grouped per ingress port, hashed through the
+        vectorized Toeplitz path, and steered through each port's
+        indirection table in bulk; results come back in trace order.
+        """
+        cores = np.zeros(len(trace), dtype=np.int64)
+        by_port: dict[int, list[int]] = {}
+        for i, (port, _) in enumerate(trace):
+            by_port.setdefault(port, []).append(i)
+        for port, indices in by_port.items():
+            config = self.port_config(port)
+            packets = [trace[i][1] for i in indices]
+            cores[indices] = config.steer_batch(packets)
+        return cores
+
+    @property
+    def steering_generation(self) -> int:
+        """Monotonic counter over every table mutation.
+
+        Flow-steering caches (:class:`repro.sim.functional.FlowSteeringCache`)
+        snapshot this value and drop their entries whenever it moves —
+        rebalancing an indirection table silently remaps flows to other
+        cores, so any cached dispatch decision may be stale.
+        """
+        return sum(config.table.generation for config in self.ports.values())
 
     def balance_tables(
         self, sample: list[tuple[int, Packet]]
@@ -85,8 +130,10 @@ class RssConfiguration:
         """Statically rebalance every port's indirection table from a
         traffic sample (the RSS++ mechanism used in Figures 5/14)."""
         for port, config in self.ports.items():
+            packets = [pkt for in_port, pkt in sample if in_port == port]
             loads = np.zeros(config.table.size, dtype=np.float64)
-            for in_port, pkt in sample:
-                if in_port == port:
-                    loads[config.hash(pkt) & (config.table.size - 1)] += 1.0
+            if packets:
+                hashes = config.hash_batch(packets)
+                slots = hashes.astype(np.int64) & (config.table.size - 1)
+                np.add.at(loads, slots, 1.0)
             config.table.balance(loads)

@@ -33,13 +33,25 @@ class IndirectionTable:
         if self.size <= 0 or self.size & (self.size - 1):
             raise SimulationError("table size must be a power of two")
         self.entries = np.arange(self.size, dtype=np.int64) % self.n_queues
+        #: Bumped on every entry reassignment; steering caches key on it
+        #: so a rebalance invalidates previously cached flow->core maps.
+        self.generation = 0
 
     def lookup(self, hash_value: int) -> int:
         """Queue id for a 32-bit RSS hash."""
         return int(self.entries[hash_value & (self.size - 1)])
 
     def lookup_many(self, hashes: np.ndarray) -> np.ndarray:
-        return self.entries[hashes & (self.size - 1)]
+        return self.entries[np.asarray(hashes) & (self.size - 1)]
+
+    def steer_batch(self, hashes: np.ndarray) -> np.ndarray:
+        """Vectorized hashes -> table slots -> queues for a whole trace.
+
+        The batched twin of :meth:`lookup`: masks every 32-bit hash down
+        to its table slot and gathers the queue ids in one shot.  Returns
+        an int64 array the same length as ``hashes``.
+        """
+        return self.entries[np.asarray(hashes, dtype=np.int64) & (self.size - 1)]
 
     def queue_loads(self, entry_loads: np.ndarray) -> np.ndarray:
         """Per-queue load given per-entry load (e.g. packet counts)."""
@@ -89,6 +101,8 @@ class IndirectionTable:
                     break
             if not moved:
                 break
+        if moves:
+            self.generation += 1
         return moves
 
     def balance(self, entry_loads: np.ndarray) -> None:
@@ -103,6 +117,7 @@ class IndirectionTable:
             raise SimulationError(
                 f"entry_loads must have shape ({self.size},)"
             )
+        self.generation += 1
         order = np.argsort(entry_loads)[::-1]
         loads = np.zeros(self.n_queues, dtype=np.float64)
         counts = np.zeros(self.n_queues, dtype=np.int64)

@@ -5,38 +5,300 @@ generated parallel NF packet-by-packet: every packet is hashed by the
 actual Toeplitz keys, steered through the actual indirection table, and
 processed against the core's actual state shard.  It is the substrate for
 semantic-equivalence checking and for measuring per-core load under skew.
+
+Two execution paths produce bit-identical results:
+
+* the **fast path** (default) steers the whole trace at once — vectorized
+  field extraction, batched Toeplitz hashing of the *unique* flows only
+  (a per-flow dispatch cache skips re-hashing repeated flows), batched
+  indirection lookups — then runs the per-packet NF code grouped by core
+  where state shards are independent;
+* the **reference path** (``fastpath=False``) is the original
+  packet-at-a-time loop through :meth:`ParallelNF.process`, kept as the
+  oracle the fast path is benchmarked and property-tested against
+  (``benchmarks/bench_fastpath.py``, ``tests/sim/test_fastpath.py``).
 """
 
 from __future__ import annotations
 
+import gc
 from dataclasses import dataclass, field
+from itertools import starmap
+from typing import Iterator, Sequence
 
 import numpy as np
 
-from repro.core.codegen import ParallelNF
+from repro import obs
+from repro.core.codegen import ParallelNF, Strategy
 from repro.nf.api import ActionKind
 from repro.nf.runtime import PacketResult
+from repro.rs3.toeplitz import hash_input_matrix
 from repro.traffic.generator import Trace
 
-__all__ = ["FunctionalRun", "run_functional"]
+__all__ = ["FlowSteeringCache", "FunctionalRun", "run_functional"]
+
+#: Stable small-int code per action, backing FunctionalRun's action array.
+ACTION_CODES: dict[ActionKind, int] = {
+    kind: code for code, kind in enumerate(ActionKind)
+}
+_KIND_FOR_CODE: tuple[ActionKind, ...] = tuple(ActionKind)
+
+#: Ops that touch state without being a "hard" write (see write_fraction).
+_SOFT_WRITE_OPS = frozenset({"dchain_rejuvenate", "expire"})
+
+
+class FlowSteeringCache:
+    """Per-flow dispatch cache: RSS hash input ⟶ core, across traces.
+
+    RSS steering is a pure function of the packet's hash-input bytes and
+    the ingress port, so the first packet of a flow fixes the core for
+    every later packet of that flow.  The cache works at *unique-flow*
+    granularity: a trace is reduced with ``np.unique`` first, only the
+    rows never seen before are Toeplitz-hashed, and the per-packet fan-out
+    back is a single vectorized gather.
+
+    The one way a cached decision can go stale is the indirection table
+    being rebalanced underneath it (RSS++ moves entries between queues),
+    so the cache snapshots :attr:`RssConfiguration.steering_generation`
+    and flushes itself whenever the tables change.
+
+    Counters: ``fastpath.hits`` counts packets dispatched from the cache,
+    ``fastpath.misses`` counts unique flows that had to be hashed.
+    """
+
+    def __init__(self, rss) -> None:
+        self.rss = rss
+        self._cores: dict[tuple[int, bytes], int] = {}
+        self._generation = rss.steering_generation
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._cores)
+
+    def invalidate(self) -> None:
+        """Drop every cached dispatch decision."""
+        self._cores.clear()
+        self._generation = self.rss.steering_generation
+
+    def _check_generation(self) -> None:
+        if self._generation != self.rss.steering_generation:
+            self.invalidate()
+
+    def steer(self, trace: Sequence[tuple[int, "object"]]) -> np.ndarray:
+        """Core ids for every packet of ``trace``, in trace order."""
+        self._check_generation()
+        cores = np.zeros(len(trace), dtype=np.int64)
+        by_port: dict[int, list[int]] = {}
+        for i, (port, _) in enumerate(trace):
+            by_port.setdefault(port, []).append(i)
+        for port, indices in by_port.items():
+            cores[indices] = self._steer_port(
+                port, [trace[i][1] for i in indices]
+            )
+        return cores
+
+    def _steer_port(self, port: int, packets: list) -> np.ndarray:
+        config = self.rss.port_config(port)
+        matrix = hash_input_matrix(packets, config.option)
+        if matrix.shape[1] == 0:
+            # Degenerate empty field option: every packet hashes alike.
+            core = config.table.lookup(0)
+            return np.full(len(packets), core, dtype=np.int64)
+        # Collapse the trace to its unique flows: one void view per row
+        # lets np.unique treat each hash input as an opaque scalar.
+        rows = np.ascontiguousarray(matrix).view(
+            np.dtype((np.void, matrix.shape[1]))
+        ).ravel()
+        unique_rows, inverse = np.unique(rows, return_inverse=True)
+        unique_cores = np.zeros(len(unique_rows), dtype=np.int64)
+        missing: list[int] = []
+        cache = self._cores
+        for u, row in enumerate(unique_rows):
+            cached = cache.get((port, row.tobytes()))
+            if cached is None:
+                missing.append(u)
+            else:
+                unique_cores[u] = cached
+        if missing:
+            missing_rows = unique_rows[missing].view(np.uint8).reshape(
+                len(missing), matrix.shape[1]
+            )
+            steered = config.table.steer_batch(config.hash_rows(missing_rows))
+            for u, core in zip(missing, steered):
+                unique_cores[u] = core
+                cache[(port, unique_rows[u].tobytes())] = int(core)
+        counts = np.bincount(inverse, minlength=len(unique_rows))
+        miss_packets = int(counts[missing].sum()) if missing else 0
+        self.misses += len(missing)
+        self.hits += len(packets) - miss_packets
+        if obs.enabled():
+            obs.counter("fastpath.misses", len(missing), port=port)
+            obs.counter("fastpath.hits", len(packets) - miss_packets, port=port)
+        return unique_cores[inverse]
+
+
+class _ResultsView(Sequence):
+    """The classic ``[(core_id, PacketResult), ...]`` list, as a view.
+
+    FunctionalRun stores core ids in a NumPy array and the PacketResults
+    in a flat list; this view zips them on demand so existing callers
+    (tests, examples, the equivalence checker) keep their list API
+    without the run paying for tuple materialization per packet.
+    """
+
+    __slots__ = ("_run",)
+
+    def __init__(self, run: "FunctionalRun") -> None:
+        self._run = run
+
+    def __len__(self) -> int:
+        return self._run.n_packets
+
+    def __getitem__(self, index):
+        run = self._run
+        if isinstance(index, slice):
+            indices = range(*index.indices(run.n_packets))
+            return [
+                (int(run._core_ids[i]), run._packet_results[i])
+                for i in indices
+            ]
+        if index < 0:
+            index += run.n_packets
+        if not 0 <= index < run.n_packets:
+            raise IndexError("results index out of range")
+        return (int(run._core_ids[index]), run._packet_results[index])
+
+    def __iter__(self) -> Iterator[tuple[int, PacketResult]]:
+        run = self._run
+        core_ids = run._core_ids
+        for i, result in enumerate(run._packet_results):
+            yield (int(core_ids[i]), result)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, (_ResultsView, list, tuple)):
+            return len(self) == len(other) and all(
+                a == b for a, b in zip(self, other)
+            )
+        return NotImplemented
+
+    def append(self, item: tuple[int, PacketResult]) -> None:
+        """List-compatible append: record one ``(core_id, result)``."""
+        core_id, result = item
+        self._run.add(core_id, result)
 
 
 @dataclass
 class FunctionalRun:
-    """Results of pushing one trace through a parallel NF."""
+    """Results of pushing one trace through a parallel NF.
+
+    Storage is array-backed: core ids and action codes live in
+    preallocated NumPy arrays (grown geometrically when a run outlives
+    its initial capacity) and the per-packet :class:`PacketResult`
+    objects in a flat list.  ``results`` exposes the familiar
+    ``[(core_id, result), ...]`` sequence as a zero-copy view, and the
+    aggregate metrics are vectorized (``np.bincount``) and cached rather
+    than re-looping over the results on every property access.
+    """
 
     parallel: ParallelNF
-    results: list[tuple[int, PacketResult]] = field(default_factory=list)
+    capacity: int = 0
+
+    def __post_init__(self) -> None:
+        capacity = max(int(self.capacity), 0)
+        self._core_ids = np.zeros(capacity, dtype=np.int64)
+        self._action_codes = np.zeros(capacity, dtype=np.int8)
+        #: Prefix of ``_action_codes`` filled so far; bulk installs defer
+        #: the per-result enum lookup until a metric actually needs it.
+        self._codes_filled = 0
+        self._packet_results: list[PacketResult] = []
+        self._n = 0
+        self._cache: dict[str, object] = {}
+
+    # -------------------------------------------------------------- #
+    # Storage
+    # -------------------------------------------------------------- #
+    def _ensure_capacity(self, n: int) -> None:
+        if n <= len(self._core_ids):
+            return
+        new_size = max(n, 2 * len(self._core_ids), 1024)
+        self._core_ids = np.resize(self._core_ids, new_size)
+        self._action_codes = np.resize(self._action_codes, new_size)
+
+    def add(self, core_id: int, result: PacketResult) -> None:
+        """Record one processed packet."""
+        i = self._n
+        self._ensure_capacity(i + 1)
+        self._core_ids[i] = core_id
+        self._action_codes[i] = ACTION_CODES[result.kind]
+        if self._codes_filled == i:
+            self._codes_filled = i + 1
+        self._packet_results.append(result)
+        self._n = i + 1
+        self._cache.clear()
+
+    def _bulk_install(
+        self, core_ids: np.ndarray, results: list[PacketResult]
+    ) -> None:
+        """Fast-path fill: all packets of a trace at once.
+
+        Action codes are *not* materialized here — ``_fill_codes`` does it
+        lazily on the first metric access, keeping the per-result enum
+        lookup out of the simulation's timed path.
+        """
+        n = len(results)
+        self._ensure_capacity(self._n + n)
+        start = self._n
+        self._core_ids[start : start + n] = core_ids
+        self._packet_results.extend(results)
+        self._n = start + n
+        self._cache.clear()
+
+    def _fill_codes(self) -> None:
+        if self._codes_filled < self._n:
+            start = self._codes_filled
+            codes = ACTION_CODES
+            self._action_codes[start : self._n] = np.fromiter(
+                (codes[r.kind] for r in self._packet_results[start : self._n]),
+                dtype=np.int8,
+                count=self._n - start,
+            )
+            self._codes_filled = self._n
+
+    @property
+    def results(self) -> _ResultsView:
+        return _ResultsView(self)
+
+    @property
+    def core_ids(self) -> np.ndarray:
+        """Core of each packet, in trace order (read-only array view)."""
+        view = self._core_ids[: self._n]
+        view.flags.writeable = False
+        return view
+
+    @property
+    def action_codes(self) -> np.ndarray:
+        """Per-packet :data:`ACTION_CODES` value (read-only array view)."""
+        self._fill_codes()
+        view = self._action_codes[: self._n]
+        view.flags.writeable = False
+        return view
 
     @property
     def n_packets(self) -> int:
-        return len(self.results)
+        return self._n
 
+    # -------------------------------------------------------------- #
+    # Metrics (vectorized, cached until the next add)
+    # -------------------------------------------------------------- #
     def core_counts(self) -> np.ndarray:
-        counts = np.zeros(self.parallel.n_cores, dtype=np.int64)
-        for core_id, _ in self.results:
-            counts[core_id] += 1
-        return counts
+        cached = self._cache.get("core_counts")
+        if cached is None:
+            cached = np.bincount(
+                self._core_ids[: self._n], minlength=self.parallel.n_cores
+            ).astype(np.int64)
+            self._cache["core_counts"] = cached
+        return cached.copy()
 
     def core_shares(self) -> np.ndarray:
         counts = self.core_counts().astype(np.float64)
@@ -49,22 +311,136 @@ class FunctionalRun:
         return float(shares.max() * self.parallel.n_cores)
 
     def action_counts(self) -> dict[ActionKind, int]:
-        out: dict[ActionKind, int] = {}
-        for _, result in self.results:
-            out[result.kind] = out.get(result.kind, 0) + 1
-        return out
+        cached = self._cache.get("action_counts")
+        if cached is None:
+            self._fill_codes()
+            counts = np.bincount(
+                self._action_codes[: self._n], minlength=len(_KIND_FOR_CODE)
+            )
+            cached = {
+                _KIND_FOR_CODE[code]: int(count)
+                for code, count in enumerate(counts)
+                if count
+            }
+            self._cache["action_counts"] = cached
+        return dict(cached)
+
+    def hard_write_flags(self) -> np.ndarray:
+        """Per-packet flag: performed a hard (non-aging) state write.
+
+        Computed once per run state (single pass over the op records) and
+        cached; ``write_fraction`` is a vectorized mean over it.
+        """
+        cached = self._cache.get("hard_writes")
+        if cached is None:
+            soft = _SOFT_WRITE_OPS
+            cached = np.fromiter(
+                (
+                    any(op.write and op.op not in soft for op in result.ops)
+                    for result in self._packet_results
+                ),
+                dtype=bool,
+                count=self._n,
+            )
+            cached.flags.writeable = False
+            self._cache["hard_writes"] = cached
+        return cached
 
     def write_fraction(self) -> float:
         """Fraction of packets performing a hard (non-aging) state write."""
-        writers = 0
-        for _, result in self.results:
-            hard = [
-                op
-                for op in result.ops
-                if op.write and op.op not in ("dchain_rejuvenate", "expire")
-            ]
-            writers += bool(hard)
-        return writers / max(1, len(self.results))
+        if not self._n:
+            return 0.0
+        return float(self.hard_write_flags().sum()) / self._n
+
+
+def _run_reference(
+    parallel: ParallelNF, trace: Trace, run: FunctionalRun
+) -> FunctionalRun:
+    """The seed packet-at-a-time path: scalar RSS per packet (the oracle)."""
+    for port, pkt in trace:
+        run.add(*parallel.process(port, pkt))
+    return run
+
+
+def _run_fastpath(
+    parallel: ParallelNF,
+    trace: Trace,
+    run: FunctionalRun,
+    flow_cache: FlowSteeringCache | None,
+) -> FunctionalRun:
+    """Batched steering + grouped execution, bit-identical to the oracle."""
+    cache = flow_cache if flow_cache is not None else FlowSteeringCache(parallel.rss)
+    core_ids = cache.steer(trace)
+    n = len(trace)
+    results: list[PacketResult | None] = [None] * n
+    stats_before = [_ctx_stat_snapshot(core.ctx) for core in parallel.cores]
+    # Pause the cyclic GC for the batch: the loop allocates one result
+    # (plus its mods/ops containers) per packet and frees nothing, so
+    # generational collections triggered mid-batch only re-scan live
+    # objects — worth ~15% of the whole per-packet budget at trace scale.
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
+    try:
+        if parallel.strategy is Strategy.SHARED_NOTHING:
+            # State shards are per-core and traces are timestamp-ordered,
+            # so each core's packets can run as one tight batch: same
+            # per-core arrival order, identical per-packet results,
+            # better locality.  starmap keeps the dispatch loop in C.
+            for core_id, core in enumerate(parallel.cores):
+                idx = np.flatnonzero(core_ids == core_id).tolist()
+                if not idx:
+                    continue
+                outs = starmap(core.ctx.run, [trace[i] for i in idx])
+                for i, result in zip(idx, outs):
+                    results[i] = result
+        else:
+            # Shared state store: cross-core interleaving is observable,
+            # keep strict trace order.
+            ctxs = [core.ctx for core in parallel.cores]
+            for i in range(n):
+                port, pkt = trace[i]
+                results[i] = ctxs[core_ids[i]].run(port, pkt)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    _reconcile_core_stats(parallel, core_ids, stats_before)
+    run._bulk_install(core_ids, results)
+    return run
+
+
+def _ctx_stat_snapshot(ctx) -> tuple[int, int, int]:
+    """``(reads, writes, new_flow_packets)`` lifetime totals of one ctx."""
+    reads = writes = 0
+    for (_, kind), count in ctx.op_totals.items():
+        if kind == "write":
+            writes += count
+        else:
+            reads += count
+    return reads, writes, ctx.new_flow_total
+
+
+def _reconcile_core_stats(
+    parallel: ParallelNF,
+    core_ids: np.ndarray,
+    stats_before: list[tuple[int, int, int]],
+) -> None:
+    """Bring CoreInstance counters to exactly the reference path's state.
+
+    The fast path bypasses :meth:`CoreInstance.run`, so the per-core
+    packet/read/write/new-flow totals are reconciled from the contexts'
+    lifetime counters (``op_totals``/``new_flow_total``) instead: one
+    snapshot delta per core — O(cores * state objects) — rather than a
+    Python loop over every packet's op records.
+    """
+    per_core_packets = np.bincount(core_ids, minlength=parallel.n_cores)
+    for core_id, core in enumerate(parallel.cores):
+        reads0, writes0, new0 = stats_before[core_id]
+        reads1, writes1, new1 = _ctx_stat_snapshot(core.ctx)
+        core.packets += int(per_core_packets[core_id])
+        core.reads += reads1 - reads0
+        core.writes += writes1 - writes0
+        core.new_flows += new1 - new0
 
 
 def run_functional(
@@ -72,16 +448,29 @@ def run_functional(
     trace: Trace,
     *,
     balance_tables_with: Trace | None = None,
+    fastpath: bool = True,
+    flow_cache: FlowSteeringCache | None = None,
 ) -> FunctionalRun:
     """Execute ``trace`` on the parallel NF.
 
     ``balance_tables_with`` applies the static RSS++ rebalancing (§4)
     using a sample trace before the measured run — the "balanced" series
     of Figures 5 and 14.
+
+    ``fastpath=False`` selects the packet-at-a-time reference path;
+    ``flow_cache`` carries a :class:`FlowSteeringCache` across runs so a
+    warm cache keeps paying off (it self-invalidates if the indirection
+    tables are rebalanced in between).
     """
     if balance_tables_with is not None:
         parallel.rss.balance_tables(balance_tables_with)
-    run = FunctionalRun(parallel=parallel)
-    for port, pkt in trace:
-        run.results.append(parallel.process(port, pkt))
-    return run
+    run = FunctionalRun(parallel=parallel, capacity=len(trace))
+    with obs.span(
+        "sim.run_functional",
+        nf=parallel.nf.name,
+        n_packets=len(trace),
+        fastpath=fastpath,
+    ):
+        if not fastpath or not trace:
+            return _run_reference(parallel, trace, run)
+        return _run_fastpath(parallel, trace, run, flow_cache)

@@ -1,0 +1,71 @@
+"""ParallelSweepRunner: --jobs is a wall-clock knob, never a results knob."""
+
+import pytest
+
+from repro import obs
+from repro.eval import fig05, fig10
+from repro.eval.runner import ParallelSweepRunner
+from repro.obs.collect import MemoryCollector
+
+
+def square_cell(cell: int) -> int:
+    """Module-level so it pickles into pool workers."""
+    return cell * cell
+
+
+class TestRunner:
+    def test_sequential_matches_parallel_in_order(self):
+        cells = list(range(20))
+        sequential = ParallelSweepRunner(jobs=1).map(square_cell, cells)
+        parallel = ParallelSweepRunner(jobs=4).map(square_cell, cells)
+        assert sequential == parallel == [c * c for c in cells]
+
+    def test_jobs_default_and_clamping(self):
+        assert ParallelSweepRunner().jobs == 1
+        assert ParallelSweepRunner(jobs=0).jobs == 1
+        assert ParallelSweepRunner(jobs=-3).jobs == 1
+        assert ParallelSweepRunner(jobs=6).jobs == 6
+
+    def test_empty_cells(self):
+        assert ParallelSweepRunner(jobs=4).map(square_cell, []) == []
+
+    def test_workers_capped_by_cells(self):
+        mem = MemoryCollector()
+        with obs.attached(mem):
+            ParallelSweepRunner(jobs=8).map(square_cell, [1, 2])
+        assert mem.counter_total("sweep.workers") == 2
+
+    def test_counters_sequential(self):
+        mem = MemoryCollector()
+        with obs.attached(mem):
+            ParallelSweepRunner(jobs=1).map(square_cell, [1, 2, 3])
+        assert mem.counter_total("sweep.cells") == 3
+        assert mem.counter_total("sweep.workers") == 0  # no pool spawned
+
+    def test_sweep_span_emitted(self):
+        mem = MemoryCollector()
+        with obs.attached(mem):
+            ParallelSweepRunner(jobs=2).map(square_cell, [1, 2, 3, 4])
+        spans = mem.spans_named("eval.sweep")
+        assert len(spans) == 1
+        assert spans[0].attrs["n_cells"] == 4
+        assert spans[0].attrs["n_workers"] == 2
+
+
+class TestFigureParity:
+    """Parallel figure sweeps must render byte-identically to sequential."""
+
+    @pytest.mark.parametrize("module", [fig05, fig10], ids=["fig05", "fig10"])
+    def test_fast_figures_identical_across_jobs(self, module):
+        sequential = module.run(fast=True, jobs=1).render()
+        parallel = module.run(fast=True, jobs=2).render()
+        assert parallel == sequential
+
+    def test_cli_jobs_flag(self, capsys):
+        from repro.eval.__main__ import main
+
+        assert main(["fig10", "--fast", "--jobs", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert main(["fig10", "--fast"]) == 0
+        sequential_out = capsys.readouterr().out
+        assert parallel_out == sequential_out

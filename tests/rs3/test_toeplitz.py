@@ -1,17 +1,21 @@
 """Toeplitz hash: bit-exactness and algebraic properties."""
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.nf.packet import Packet
-from repro.rs3.fields import IPV4_ONLY, IPV4_TCP
+from repro.rs3.fields import IPV4_ONLY, IPV4_TCP, IPV4_UDP
 from repro.rs3.toeplitz import (
     MICROSOFT_TEST_KEY,
     hash_input,
+    hash_input_matrix,
     hash_packet,
+    hash_packets_batch,
     key_bit,
     toeplitz_hash,
+    toeplitz_hash_batch,
 )
 
 
@@ -96,3 +100,104 @@ class TestHashInput:
     def test_ip_only_is_8_bytes(self):
         pkt = Packet(1, 2, 3, 4)
         assert len(hash_input(pkt, IPV4_ONLY)) == 8
+
+
+def random_packets(seed: int, n: int) -> list[Packet]:
+    rng = np.random.default_rng(seed)
+    return [
+        Packet(
+            src_ip=int(rng.integers(0, 2**32)),
+            dst_ip=int(rng.integers(0, 2**32)),
+            src_port=int(rng.integers(0, 2**16)),
+            dst_port=int(rng.integers(0, 2**16)),
+        )
+        for _ in range(n)
+    ]
+
+
+class TestWindowBounds:
+    """The key must provide a full 32-bit window for every input bit."""
+
+    def test_exact_boundary_accepted(self):
+        # len(key)*8 == len(data)*8 + 32: the last input bit's window ends
+        # exactly on the key's last bit.
+        key, data = bytes(range(8)), bytes(range(4))
+        assert len(key) * 8 == len(data) * 8 + 32
+        assert toeplitz_hash(key, data) == toeplitz_hash_batch(
+            key, np.frombuffer(data, dtype=np.uint8).reshape(1, -1)
+        )[0]
+
+    def test_one_byte_over_rejected_with_clear_error(self):
+        key, data = bytes(range(8)), bytes(range(5))
+        with pytest.raises(ValueError, match="key too short"):
+            toeplitz_hash(key, data)
+        with pytest.raises(ValueError, match="need len\\(key\\)\\*8"):
+            toeplitz_hash_batch(
+                key, np.frombuffer(data, dtype=np.uint8).reshape(1, -1)
+            )
+
+    def test_batch_requires_2d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            toeplitz_hash_batch(MICROSOFT_TEST_KEY, np.zeros(12, dtype=np.uint8))
+
+    def test_batch_empty_rows_and_columns(self):
+        empty_rows = toeplitz_hash_batch(
+            MICROSOFT_TEST_KEY, np.zeros((0, 12), dtype=np.uint8)
+        )
+        assert empty_rows.shape == (0,)
+        zero_width = toeplitz_hash_batch(
+            MICROSOFT_TEST_KEY, np.zeros((3, 0), dtype=np.uint8)
+        )
+        assert zero_width.tolist() == [0, 0, 0]
+
+
+class TestBatchMatchesScalar:
+    """The vectorized path must be bit-identical to the scalar oracle."""
+
+    @pytest.mark.parametrize("dst,dport,src,sport,h_ip,h_tcp", MS_VECTORS)
+    def test_microsoft_vectors_batched(self, dst, dport, src, sport, h_ip, h_tcp):
+        pkt = Packet(src_ip=ip(src), dst_ip=ip(dst), src_port=sport, dst_port=dport)
+        assert hash_packets_batch(MICROSOFT_TEST_KEY, [pkt], IPV4_TCP)[0] == h_tcp
+        assert hash_packets_batch(MICROSOFT_TEST_KEY, [pkt], IPV4_ONLY)[0] == h_ip
+
+    @pytest.mark.parametrize("option", [IPV4_TCP, IPV4_UDP, IPV4_ONLY])
+    @pytest.mark.parametrize("seed", [0, 7, 1234])
+    def test_thousand_packets_bit_for_bit(self, option, seed):
+        rng = np.random.default_rng(1000 + seed)
+        key = bytes(rng.integers(0, 256, size=52, dtype=np.uint8))
+        packets = random_packets(seed, 1000)
+        batch = hash_packets_batch(key, packets, option)
+        assert batch.dtype == np.uint32
+        scalar = [hash_packet(key, pkt, option) for pkt in packets]
+        assert batch.tolist() == scalar
+
+    @given(
+        key=st.binary(min_size=40, max_size=52),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_keys_and_inputs(self, key, seed):
+        packets = random_packets(seed, 64)
+        for option in (IPV4_TCP, IPV4_ONLY):
+            batch = hash_packets_batch(key, packets, option)
+            assert batch.tolist() == [
+                hash_packet(key, pkt, option) for pkt in packets
+            ]
+
+    def test_matrix_rows_equal_scalar_inputs(self):
+        packets = random_packets(5, 100)
+        matrix = hash_input_matrix(packets, IPV4_TCP)
+        assert matrix.shape == (100, 12)
+        for i, pkt in enumerate(packets):
+            assert matrix[i].tobytes() == hash_input(pkt, IPV4_TCP)
+
+    def test_unknown_field_rejected(self):
+        class Bogus:
+            packet_field = "no_such_field"
+            width = 32
+
+        class BogusOption:
+            fields = (Bogus(),)
+
+        with pytest.raises(KeyError, match="no_such_field"):
+            hash_input_matrix(random_packets(0, 2), BogusOption())

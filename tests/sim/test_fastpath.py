@@ -1,0 +1,212 @@
+"""Fast-path equivalence: batched steering must match the oracle exactly.
+
+``run_functional``'s fast path (vectorized hashing, flow steering cache,
+grouped execution) is only admissible because it is bit-identical to the
+seed packet-at-a-time reference path.  These tests pin that contract for
+both execution strategies, across flow churn, warm caches, and table
+rebalancing, plus the array-backed ``FunctionalRun`` storage itself.
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.codegen import Strategy
+from repro.nf.api import ActionKind
+from repro.nf.nfs import ALL_NFS
+from repro.nf.runtime import PacketResult
+from repro.obs.collect import MemoryCollector
+from repro.sim.functional import FlowSteeringCache, FunctionalRun, run_functional
+
+
+@pytest.fixture()
+def make_fw(analyses):
+    def build(n_cores=8):
+        return analyses.maestro.parallelize(
+            ALL_NFS["fw"](), n_cores=n_cores, result=analyses["fw"]
+        )
+
+    return build
+
+
+@pytest.fixture()
+def make_lb(analyses):
+    def build(n_cores=8):
+        return analyses.maestro.parallelize(
+            ALL_NFS["lb"](), n_cores=n_cores, result=analyses["lb"]
+        )
+
+    return build
+
+
+def assert_runs_identical(run_ref, run_fast, par_ref, par_fast):
+    assert list(run_ref.results) == list(run_fast.results)
+    assert run_ref.results == run_fast.results
+    assert np.array_equal(run_ref.core_ids, run_fast.core_ids)
+    assert np.array_equal(run_ref.action_codes, run_fast.action_codes)
+    assert run_ref.action_counts() == run_fast.action_counts()
+    assert run_ref.write_fraction() == run_fast.write_fraction()
+    assert np.array_equal(run_ref.core_counts(), run_fast.core_counts())
+    for ref_core, fast_core in zip(par_ref.cores, par_fast.cores):
+        assert ref_core.packets == fast_core.packets
+        assert ref_core.reads == fast_core.reads
+        assert ref_core.writes == fast_core.writes
+        assert ref_core.new_flows == fast_core.new_flows
+
+
+class TestEquivalence:
+    def test_shared_nothing_matches_reference(self, make_fw, generator):
+        trace, _ = generator.uniform_trace(
+            1500, 120, in_port=0, reply_port=1, reply_fraction=0.4
+        )
+        par_ref, par_fast = make_fw(), make_fw()
+        assert par_fast.strategy is Strategy.SHARED_NOTHING
+        run_ref = run_functional(par_ref, trace, fastpath=False)
+        run_fast = run_functional(par_fast, trace)
+        assert_runs_identical(run_ref, run_fast, par_ref, par_fast)
+
+    def test_locks_strategy_matches_reference(self, make_lb, generator):
+        """The LB's shared backend map forces the strict-order path."""
+        trace, _ = generator.uniform_trace(800, 60, in_port=0)
+        par_ref, par_fast = make_lb(), make_lb()
+        assert par_fast.strategy is Strategy.LOCKS
+        run_ref = run_functional(par_ref, trace, fastpath=False)
+        run_fast = run_functional(par_fast, trace)
+        assert_runs_identical(run_ref, run_fast, par_ref, par_fast)
+
+    def test_churn_trace_every_packet_a_new_flow(self, make_fw, generator):
+        """All-unique flows: the steering cache never gets a hit."""
+        flows = generator.make_flows(500)
+        trace = [(0, flow.packet()) for flow in flows]
+        par_ref, par_fast = make_fw(), make_fw()
+        cache = FlowSteeringCache(par_fast.rss)
+        run_ref = run_functional(par_ref, trace, fastpath=False)
+        run_fast = run_functional(par_fast, trace, flow_cache=cache)
+        assert_runs_identical(run_ref, run_fast, par_ref, par_fast)
+        assert run_ref.write_fraction() > 0.9  # churn: every flow allocates
+        assert cache.misses == 500
+        assert cache.hits == 0
+
+    def test_empty_trace(self, make_fw):
+        run = run_functional(make_fw(), [])
+        assert run.n_packets == 0
+        assert list(run.results) == []
+        assert run.action_counts() == {}
+        assert run.write_fraction() == 0.0
+
+    def test_balanced_tables_still_identical(self, make_fw, generator):
+        trace, _ = generator.zipf_trace(1200, 300, in_port=0)
+        par_ref, par_fast = make_fw(), make_fw()
+        run_ref = run_functional(
+            par_ref, trace, balance_tables_with=trace, fastpath=False
+        )
+        run_fast = run_functional(par_fast, trace, balance_tables_with=trace)
+        assert_runs_identical(run_ref, run_fast, par_ref, par_fast)
+
+
+class TestFlowSteeringCache:
+    def test_warm_cache_reuse_is_identical(self, make_fw, generator):
+        trace, _ = generator.uniform_trace(600, 50, in_port=0)
+        par_warm, par_ref = make_fw(), make_fw()
+        cache = FlowSteeringCache(par_warm.rss)
+        first = run_functional(par_warm, trace, flow_cache=cache)
+        misses_after_first = cache.misses
+        assert misses_after_first == 50  # one hash per unique flow
+        assert len(cache) == 50
+        second = run_functional(par_warm, trace, flow_cache=cache)
+        # Second pass over the same flows: pure cache hits, no new misses.
+        # (A packet counts as a hit only if its flow was cached before the
+        # batch started, so the first pass contributes none.)
+        assert cache.misses == misses_after_first
+        assert cache.hits == len(trace)
+        assert np.array_equal(first.core_ids, second.core_ids)
+        # A warm cache changes nothing observable: both passes match the
+        # oracle run packet-for-packet on the same state evolution.
+        ref1 = run_functional(par_ref, trace, fastpath=False)
+        ref2 = run_functional(par_ref, trace, fastpath=False)
+        assert list(first.results) == list(ref1.results)
+        assert list(second.results) == list(ref2.results)
+
+    def test_rebalance_invalidates_cache(self, make_fw, generator):
+        trace, _ = generator.zipf_trace(800, 200, in_port=0)
+        parallel = make_fw()
+        cache = FlowSteeringCache(parallel.rss)
+        run_functional(parallel, trace, flow_cache=cache)
+        n_unique = len(cache)  # Zipf: far fewer unique flows than packets
+        assert 0 < n_unique <= 200
+        generation = parallel.rss.steering_generation
+        parallel.rss.balance_tables(trace)
+        assert parallel.rss.steering_generation > generation
+        # The next steer must flush and re-steer against the new tables.
+        fresh = run_functional(make_fw(), trace, balance_tables_with=trace)
+        stale = run_functional(parallel, trace, flow_cache=cache)
+        assert np.array_equal(stale.core_ids, fresh.core_ids)
+        assert cache.misses == 2 * n_unique  # every flow re-hashed once
+
+    def test_explicit_invalidate(self, make_fw, generator):
+        trace, _ = generator.uniform_trace(100, 10, in_port=0)
+        parallel = make_fw()
+        cache = FlowSteeringCache(parallel.rss)
+        cache.steer(trace)
+        assert len(cache) == 10
+        cache.invalidate()
+        assert len(cache) == 0
+
+    def test_hit_miss_counters_exported(self, make_fw, generator):
+        trace, _ = generator.uniform_trace(400, 40, in_port=0)
+        parallel = make_fw()
+        cache = FlowSteeringCache(parallel.rss)
+        mem = MemoryCollector()
+        with obs.attached(mem):
+            run_functional(parallel, trace, flow_cache=cache)
+            run_functional(parallel, trace, flow_cache=cache)
+        assert mem.counter_total("fastpath.misses") == 40
+        # First run: every packet belongs to a just-missed flow; second
+        # run: every packet is a cache hit.
+        assert mem.counter_total("fastpath.hits") == 400
+
+
+class TestFunctionalRunStorage:
+    def test_grows_from_zero_capacity(self, make_fw, generator):
+        trace, _ = generator.uniform_trace(50, 5, in_port=0)
+        parallel = make_fw()
+        run = FunctionalRun(parallel=parallel, capacity=0)
+        for port, pkt in trace:
+            run.add(*parallel.process(port, pkt))
+        assert run.n_packets == 50
+        assert run.action_counts()[ActionKind.FORWARD] == 50
+        assert len(run.core_ids) == 50
+
+    def test_results_view_list_api(self, make_fw, generator):
+        trace, _ = generator.uniform_trace(20, 4, in_port=0)
+        parallel = make_fw()
+        run = run_functional(parallel, trace)
+        view = run.results
+        assert len(view) == 20
+        first = view[0]
+        assert isinstance(first, tuple) and isinstance(first[1], PacketResult)
+        assert view[-1] == view[19]
+        assert view[5:8] == list(view)[5:8]
+        with pytest.raises(IndexError):
+            view[20]
+        with pytest.raises(IndexError):
+            view[-21]
+        assert view == list(view)
+        assert not (view == list(view)[:-1])
+
+    def test_results_view_append(self, make_fw, generator):
+        trace, _ = generator.uniform_trace(10, 2, in_port=0)
+        parallel = make_fw()
+        run = run_functional(parallel, trace)
+        extra = parallel.process(*trace[0])
+        run.results.append(extra)
+        assert run.n_packets == 11
+        assert run.results[-1] == extra
+
+    def test_array_views_read_only(self, make_fw, generator):
+        trace, _ = generator.uniform_trace(10, 2, in_port=0)
+        run = run_functional(make_fw(), trace)
+        with pytest.raises(ValueError):
+            run.core_ids[0] = 7
+        with pytest.raises(ValueError):
+            run.action_codes[0] = 3
