@@ -11,7 +11,13 @@ Two front ends feed one diagnostics core:
   coverage/ordering checks for LOCKS code generation, and a determinism
   check replaying each path's decision log.
 
-Findings carry stable ``MAE0xx`` codes (see
+A third front end is dynamic: the **race sanitizer**
+(:mod:`repro.analysis.race`) replays a trace through the *generated*
+parallel NF and checks the event log against the plan — lockset,
+lock-order, shard-ownership, and footprint cross-validation
+(``MAE101``–``MAE104``), via ``python -m repro.analysis race``.
+
+Findings carry stable ``MAE`` codes (see
 :data:`repro.analysis.diagnostics.DIAGNOSTIC_CODES`) and render as text
 or JSON via ``python -m repro.analysis lint <nf-name|--all>``.
 """
@@ -25,6 +31,12 @@ from repro.analysis.diagnostics import (
 )
 from repro.analysis.lint import default_passes, lint_nf
 from repro.analysis.passes import AnalysisPass, PassContext, PassManager
+from repro.analysis.race import (
+    RaceMonitor,
+    RaceReport,
+    sanitize_nf,
+    sanitize_parallel,
+)
 from repro.analysis.source import NfSource, gather_sources
 
 __all__ = [
@@ -40,4 +52,8 @@ __all__ = [
     "PassManager",
     "NfSource",
     "gather_sources",
+    "RaceMonitor",
+    "RaceReport",
+    "sanitize_nf",
+    "sanitize_parallel",
 ]

@@ -1,4 +1,8 @@
-"""CLI: ``python -m repro.analysis lint <nf-name ...|--all> [--json]``.
+"""CLI: ``python -m repro.analysis {lint,race} <nf-name ...|--all>``.
+
+``lint`` runs the static passes (source + model audit); ``race`` runs
+the dynamic sanitizer — full pipeline, generated parallel NF, benchmark
+trace replayed under the lockset/ownership checkers.
 
 Exit codes are CI-friendly: 0 when no error-severity diagnostics were
 found (warnings alone don't fail a build), 1 when at least one error
@@ -9,6 +13,7 @@ from __future__ import annotations
 
 import argparse
 import importlib.util
+import json
 import sys
 from pathlib import Path
 
@@ -18,6 +23,7 @@ from repro.analysis.diagnostics import (
     render_text,
 )
 from repro.analysis.lint import lint_nf
+from repro.core.codegen import Strategy
 from repro.nf.api import NF
 from repro.nf.nfs import ALL_NFS
 from repro.nf.nfs.micro import (
@@ -77,41 +83,31 @@ def _registry(include_examples: bool) -> dict[str, type[NF]]:
     return registry
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.analysis",
-        description="Static analysis for NFs: source lint + model audit.",
-    )
-    sub = parser.add_subparsers(dest="command", required=True)
-    lint = sub.add_parser("lint", help="lint NFs and audit their models")
-    lint.add_argument(
+def _add_selection_args(cmd: argparse.ArgumentParser, verb: str) -> None:
+    cmd.add_argument(
         "names",
         nargs="*",
         metavar="nf-name",
-        help=f"NFs to lint (bundled: {', '.join(sorted(_registry(False)))})",
+        help=f"NFs to {verb} (bundled: {', '.join(sorted(_registry(False)))})",
     )
-    lint.add_argument(
+    cmd.add_argument(
         "--all",
         action="store_true",
-        help="lint every bundled NF, micro-NF, and example NF",
+        help=f"{verb} every bundled NF, micro-NF, and example NF",
     )
-    lint.add_argument(
+    cmd.add_argument(
         "--json", action="store_true", help="emit diagnostics as JSON"
     )
-    lint.add_argument(
-        "--no-pipeline",
-        action="store_true",
-        help="AST phase only (skip symbolic execution and the model audit)",
-    )
-    args = parser.parse_args(argv)
 
+
+def _select(cmd: argparse.ArgumentParser, args) -> list[str] | int:
     registry = _registry(include_examples=args.all or bool(args.names))
     if args.all:
         selected = sorted(registry)
     else:
         selected = list(dict.fromkeys(args.names))
     if not selected:
-        lint.print_usage(sys.stderr)
+        cmd.print_usage(sys.stderr)
         print("error: give at least one nf-name or --all", file=sys.stderr)
         return 2
     unknown = [name for name in selected if name not in registry]
@@ -122,7 +118,14 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 2
+    return selected
 
+
+def _run_lint(lint: argparse.ArgumentParser, args) -> int:
+    selected = _select(lint, args)
+    if isinstance(selected, int):
+        return selected
+    registry = _registry(include_examples=True)
     diagnostics: list[Diagnostic] = []
     for name in selected:
         nf = registry[name]()
@@ -133,6 +136,97 @@ def main(argv: list[str] | None = None) -> int:
     else:
         print(render_text(diagnostics))
     return 1 if any(d.is_error for d in diagnostics) else 0
+
+
+def _run_race(race: argparse.ArgumentParser, args) -> int:
+    from repro.analysis.race import sanitize_nf
+
+    selected = _select(race, args)
+    if isinstance(selected, int):
+        return selected
+    registry = _registry(include_examples=True)
+    strategy = Strategy(args.strategy) if args.strategy else None
+    reports = []
+    for name in selected:
+        nf = registry[name]()
+        reports.append(
+            sanitize_nf(
+                nf,
+                n_cores=args.cores,
+                packets=args.packets,
+                n_flows=args.flows,
+                seed=args.seed,
+                strategy=strategy,
+            )
+        )
+
+    payload = [report.to_json() for report in reports]
+    if args.out:
+        Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        for report in reports:
+            print(report.describe())
+            for diag in report.diagnostics:
+                print(f"  {diag.render()}")
+            for diag in report.waived:
+                print(f"  [waived] {diag.render()}")
+        bad = sum(1 for report in reports if not report.clean)
+        print(f"{len(reports)} NF(s) sanitized, {bad} with violations")
+    return 1 if any(not report.clean for report in reports) else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="NF analysis: static lint + dynamic race sanitizer.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    lint = sub.add_parser("lint", help="lint NFs and audit their models")
+    _add_selection_args(lint, "lint")
+    lint.add_argument(
+        "--no-pipeline",
+        action="store_true",
+        help="AST phase only (skip symbolic execution and the model audit)",
+    )
+    race = sub.add_parser(
+        "race",
+        help="replay a trace through the generated parallel NF under the "
+        "lockset/ownership race sanitizer",
+    )
+    _add_selection_args(race, "sanitize")
+    race.add_argument(
+        "--cores", type=int, default=4, help="worker cores (default 4)"
+    )
+    race.add_argument(
+        "--packets",
+        type=int,
+        default=1024,
+        help="benchmark-trace length (default 1024)",
+    )
+    race.add_argument(
+        "--flows", type=int, default=256, help="distinct flows (default 256)"
+    )
+    race.add_argument(
+        "--seed", type=int, default=12345, help="pipeline + trace seed"
+    )
+    race.add_argument(
+        "--strategy",
+        choices=[s.value for s in Strategy],
+        default=None,
+        help="force a coordination strategy (default: the verdict's)",
+    )
+    race.add_argument(
+        "--out",
+        metavar="PATH",
+        help="also write the JSON report to PATH (CI artifact)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.command == "race":
+        return _run_race(race, args)
+    return _run_lint(lint, args)
 
 
 if __name__ == "__main__":

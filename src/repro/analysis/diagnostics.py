@@ -84,6 +84,27 @@ DIAGNOSTIC_CODES: dict[str, tuple[Severity, str]] = {
         Severity.ERROR,
         "analysis failure: the pipeline could not analyze this NF",
     ),
+    "MAE101": (
+        Severity.ERROR,
+        "race sanitizer: a dynamic access to shared written state is not "
+        "covered by the lock plan (lockset violation)",
+    ),
+    "MAE102": (
+        Severity.ERROR,
+        "race sanitizer: a packet's lock acquisition sequence breaks the "
+        "plan's global order (deadlock potential)",
+    ),
+    "MAE103": (
+        Severity.ERROR,
+        "race sanitizer: under shared-nothing, the same state entry was "
+        "touched by two different cores (shard-ownership violation)",
+    ),
+    "MAE104": (
+        Severity.ERROR,
+        "race sanitizer: a packet's dynamic access set is not a subset of "
+        "any symbex path footprint for its port (static model unsound "
+        "for this trace)",
+    ),
 }
 
 

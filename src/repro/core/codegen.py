@@ -80,12 +80,25 @@ class LockPlan:
 
     def position(self, obj: str) -> int:
         """Rank of ``obj`` in the global acquisition order."""
-        return self.order.index(obj)
+        try:
+            return self.order.index(obj)
+        except ValueError:
+            raise SimulationError(
+                f"{obj!r} has no position in the lock acquisition order "
+                f"(order covers: {', '.join(self.order) or 'nothing'})"
+            ) from None
 
     def acquisition_sequence(self, objs: Iterable[str]) -> tuple[str, ...]:
-        """The order in which a packet touching ``objs`` takes its locks."""
+        """The order in which a packet touching ``objs`` takes its locks.
+
+        Each lock appears at most once (at its first position), even if a
+        corrupted ``order`` names an object repeatedly — re-acquiring a
+        held lock would self-deadlock.
+        """
         needed = {obj for obj in objs if obj in self.locked}
-        return tuple(obj for obj in self.order if obj in needed)
+        return tuple(
+            obj for obj in dict.fromkeys(self.order) if obj in needed
+        )
 
 
 @dataclass

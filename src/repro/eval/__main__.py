@@ -47,6 +47,12 @@ def main(argv: list[str] | None = None) -> int:
         help="lint every bundled NF first and refuse to run experiments "
         "over NFs the analyzer rejects",
     )
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run the race sanitizer over every bundled NF first and "
+        "refuse to run experiments if any parallel plan races",
+    )
     args = parser.parse_args(argv)
     if args.lint:
         from repro.analysis import lint_nf, render_text
@@ -58,6 +64,23 @@ def main(argv: list[str] | None = None) -> int:
         if any(d.is_error for d in findings):
             print(render_text(findings), file=sys.stderr)
             print("error: lint failed; not running experiments", file=sys.stderr)
+            return 1
+    if args.sanitize:
+        from repro.analysis import render_text, sanitize_nf
+        from repro.nf.nfs import ALL_NFS
+
+        racy = []
+        for nf_cls in ALL_NFS.values():
+            report = sanitize_nf(nf_cls())
+            print(report.describe(), file=sys.stderr)
+            if not report.clean:
+                racy.extend(report.diagnostics)
+        if racy:
+            print(render_text(racy), file=sys.stderr)
+            print(
+                "error: race sanitizer failed; not running experiments",
+                file=sys.stderr,
+            )
             return 1
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     try:

@@ -180,6 +180,13 @@ class ConcreteContext(NfContext):
         self._tracer = obs.get_tracer()
         self._trace_on = self._tracer.enabled()
         self._objects = store.objects
+        #: Optional state-access probe (the race sanitizer's event tap,
+        #: :mod:`repro.analysis.race`).  When set it must expose
+        #: ``begin(port)`` — called once per packet before processing —
+        #: and ``access(obj, op, write, key)`` — called per stateful op
+        #: with the concrete key/index (None for key-less ops).  The
+        #: disabled case pays one attribute load and a None test per op.
+        self.access_probe = None
         # One reusable terminator exception per context: the packet ops
         # below re-arm and re-raise it instead of constructing a fresh
         # PacketDone per packet (exception allocation is a measurable
@@ -241,7 +248,7 @@ class ConcreteContext(NfContext):
             totals[totals_key] = totals.get(totals_key, 0) + count
         return totals
 
-    def _record(self, obj: str, op: str, write: bool) -> None:
+    def _record(self, obj: str, op: str, write: bool, key: Any = None) -> None:
         entry = self._op_intern.get((obj, op, write))
         if entry is None:
             kind = "write" if write else "read"
@@ -249,6 +256,9 @@ class ConcreteContext(NfContext):
             self._op_intern[(obj, op, write)] = entry
         self._ops.append(entry[0])
         entry[2] += 1
+        probe = self.access_probe
+        if probe is not None:
+            probe.access(obj, op, write, key)
         # Guard on the tracer so the (dominant) untraced case never pays
         # for assembling the counter's attribute kwargs.  The flag is
         # refreshed once per packet in run().
@@ -262,13 +272,14 @@ class ConcreteContext(NfContext):
     # falling back to the raising lookup for undeclared names.  (State
     # objects are always truthy: they are plain container instances.)
     def map_get(self, name: str, key: Sequence[Any]) -> tuple[bool, int]:
-        self._record(name, "map_get", False)
+        key_t = tuple(key)
+        self._record(name, "map_get", False, key_t)
         obj = self._objects.get(name) or self.store[name]
-        return obj.get(tuple(key))
+        return obj.get(key_t)
 
     def map_put(self, name: str, key: Sequence[Any], value: Any) -> bool:
-        self._record(name, "map_put", True)
         key_t = tuple(key)
+        self._record(name, "map_put", True, key_t)
         obj = self._objects.get(name) or self.store[name]
         ok = obj.put(key_t, int(value))
         if ok:
@@ -276,21 +287,23 @@ class ConcreteContext(NfContext):
         return ok
 
     def map_erase(self, name: str, key: Sequence[Any]) -> None:
-        self._record(name, "map_erase", True)
         key_t = tuple(key)
+        self._record(name, "map_erase", True, key_t)
         self.store.note_erase(name, key_t)
         obj = self._objects.get(name) or self.store[name]
         obj.erase(key_t)
 
     def vector_borrow(self, name: str, index: Any) -> Mapping[str, Any]:
-        self._record(name, "vector_borrow", False)
+        idx = int(index)
+        self._record(name, "vector_borrow", False, idx)
         obj = self._objects.get(name) or self.store[name]
-        return obj.borrow(int(index))
+        return obj.borrow(idx)
 
     def vector_put(self, name: str, index: Any, record: Mapping[str, Any]) -> None:
-        self._record(name, "vector_put", True)
+        idx = int(index)
+        self._record(name, "vector_put", True, idx)
         obj = self._objects.get(name) or self.store[name]
-        obj.put(int(index), dict(record))
+        obj.put(idx, dict(record))
 
     def vector_fill(self, name: str, records: Sequence[Mapping[str, Any]]) -> None:
         self._record(name, "vector_fill", True)
@@ -308,24 +321,28 @@ class ConcreteContext(NfContext):
         return ok, index
 
     def dchain_is_allocated(self, name: str, index: Any) -> bool:
-        self._record(name, "dchain_is_allocated", False)
+        idx = int(index)
+        self._record(name, "dchain_is_allocated", False, idx)
         obj = self._objects.get(name) or self.store[name]
-        return obj.is_allocated(int(index))
+        return obj.is_allocated(idx)
 
     def dchain_rejuvenate(self, name: str, index: Any) -> None:
-        self._record(name, "dchain_rejuvenate", True)
+        idx = int(index)
+        self._record(name, "dchain_rejuvenate", True, idx)
         obj = self._objects.get(name) or self.store[name]
-        obj.rejuvenate(int(index), self._now)
+        obj.rejuvenate(idx, self._now)
 
     def sketch_fetch(self, name: str, key: Sequence[Any]) -> int:
-        self._record(name, "sketch_fetch", False)
+        key_t = tuple(key)
+        self._record(name, "sketch_fetch", False, key_t)
         obj = self._objects.get(name) or self.store[name]
-        return obj.fetch(tuple(key))
+        return obj.fetch(key_t)
 
     def sketch_touch(self, name: str, key: Sequence[Any]) -> None:
-        self._record(name, "sketch_touch", True)
+        key_t = tuple(key)
+        self._record(name, "sketch_touch", True, key_t)
         obj = self._objects.get(name) or self.store[name]
-        obj.touch(tuple(key))
+        obj.touch(key_t)
 
     def expire_flows(self, map_name: str, chain_name: str) -> None:
         horizon = self.nf.expiration_time
@@ -382,6 +399,9 @@ class ConcreteContext(NfContext):
         self._ops = []
         self._new_flow = False
         self._trace_on = self._tracer.enabled()
+        probe = self.access_probe
+        if probe is not None:
+            probe.begin(port)
         try:
             self.nf.process(self, port, pkt)
         except PacketDone as done:

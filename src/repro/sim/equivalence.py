@@ -13,7 +13,13 @@ Two documented divergences are permitted, matching the paper:
   exclude those fields via ``ignore_mods``.
 * **Capacity exhaustion** (§4, *State sharding*): a per-core shard can
   fill before the global table would; when a capacity divergence is
-  detected it is reported separately, not as a violation.
+  detected it is reported separately, not as a violation — attributed to
+  the state object (allocator chain / table) that refused the insert.
+
+``sanitize=True`` additionally runs the replay under the race sanitizer
+(:mod:`repro.analysis.race`): single-threaded replay cannot observe
+ordering hazards directly, so the sanitizer's lockset/ownership checks
+are the way a racy-but-lucky plan gets caught here.
 """
 
 from __future__ import annotations
@@ -27,6 +33,13 @@ from repro.nf.runtime import PacketResult, SequentialRunner
 from repro.traffic.generator import Trace
 
 __all__ = ["Mismatch", "EquivalenceReport", "check_equivalence"]
+
+#: ``describe()`` lists at most this many mismatches before summarizing.
+MISMATCH_DISPLAY_CAP = 5
+
+#: Ops that can refuse an insert when a shard fills, in the order the
+#: attribution prefers them (the allocator is usually the root cause).
+_CAPACITY_OPS = ("dchain_allocate", "map_put", "sketch_touch")
 
 
 @dataclass(frozen=True)
@@ -47,25 +60,44 @@ class EquivalenceReport:
     n_packets: int
     mismatches: list[Mismatch] = field(default_factory=list)
     capacity_divergences: int = 0
+    #: state object blamed for each capacity divergence -> count
+    capacity_by_object: dict[str, int] = field(default_factory=dict)
+    #: active race-sanitizer findings (``check_equivalence(sanitize=True)``)
+    race_diagnostics: list = field(default_factory=list)
 
     @property
     def equivalent(self) -> bool:
         return not self.mismatches
 
     def describe(self) -> str:
-        if self.equivalent:
-            extra = (
-                f" ({self.capacity_divergences} capacity divergences allowed)"
-                if self.capacity_divergences
-                else ""
-            )
-            return f"equivalent over {self.n_packets} packets{extra}"
-        first = self.mismatches[0]
-        return (
-            f"{len(self.mismatches)}/{self.n_packets} packets diverge; "
-            f"first at #{first.index}: sequential={first.sequential} "
-            f"parallel={first.parallel}"
+        race = (
+            f"; race sanitizer: {len(self.race_diagnostics)} violation(s)"
+            if self.race_diagnostics
+            else ""
         )
+        if self.equivalent:
+            extra = ""
+            if self.capacity_divergences:
+                blamed = ", ".join(
+                    f"{obj} ×{count}"
+                    for obj, count in sorted(self.capacity_by_object.items())
+                )
+                extra = (
+                    f" ({self.capacity_divergences} capacity divergences "
+                    f"allowed{': ' + blamed if blamed else ''})"
+                )
+            return f"equivalent over {self.n_packets} packets{extra}{race}"
+        shown = self.mismatches[:MISMATCH_DISPLAY_CAP]
+        lines = [f"{len(self.mismatches)}/{self.n_packets} packets diverge:"]
+        lines.extend(
+            f"  #{m.index} (port {m.port}): sequential={m.sequential} "
+            f"parallel={m.parallel}"
+            for m in shown
+        )
+        remaining = len(self.mismatches) - len(shown)
+        if remaining:
+            lines.append(f"  ... and {remaining} more")
+        return "\n".join(lines) + race
 
 
 def _observable(
@@ -77,6 +109,28 @@ def _observable(
     return (result.kind, result.port, mods)
 
 
+def _capacity_culprit(
+    seq_result: PacketResult, par_result: PacketResult
+) -> str:
+    """Name the state object whose full shard caused the divergence.
+
+    The dropping side is the one whose insert was refused; its op record
+    ends at (or contains) the allocator/table op that said no.  Prefer
+    the allocator chain — exhaustion surfaces there first.
+    """
+    dropping = (
+        par_result if par_result.kind is ActionKind.DROP else seq_result
+    )
+    for wanted in _CAPACITY_OPS:
+        for op in reversed(dropping.ops):
+            if op.op == wanted:
+                return op.obj
+    for op in reversed(dropping.ops):
+        if op.write:
+            return op.obj
+    return "unknown"
+
+
 def check_equivalence(
     make_nf,
     parallel: ParallelNF,
@@ -84,40 +138,67 @@ def check_equivalence(
     *,
     ignore_mods: Iterable[str] = (),
     allow_capacity_divergence: bool = True,
+    sanitize: bool = False,
+    tree=None,
 ) -> EquivalenceReport:
     """Replay ``trace`` through a fresh sequential NF and ``parallel``.
 
     ``make_nf`` is a zero-argument factory producing the sequential
     reference (fresh state).  ``ignore_mods`` names header rewrites with
     allocator-dependent values (e.g. the NAT's external ``src_port``).
+
+    ``sanitize=True`` installs the race sanitizer's event probes on the
+    parallel NF for the duration of the replay and attaches the active
+    findings as ``report.race_diagnostics``; pass the analysis ``tree``
+    (``MaestroResult.tree``) to also enable the MAE104 footprint
+    cross-validation and the R5 ownership excusals.
     """
     ignored = frozenset(ignore_mods)
     sequential = SequentialRunner(make_nf())
     report = EquivalenceReport(n_packets=len(trace))
-    for index, (port, pkt) in enumerate(trace):
-        seq_result = sequential.process(port, pkt)
-        _, par_result = parallel.process(port, pkt)
-        seq_obs = _observable(seq_result, ignored)
-        par_obs = _observable(par_result, ignored)
-        if seq_obs == par_obs:
-            continue
-        # Capacity divergence: one side dropped/refused because its
-        # (smaller) shard filled while the other still had room.
-        capacity = (
-            seq_result.kind != par_result.kind
-            and ActionKind.DROP in (seq_result.kind, par_result.kind)
-            and (seq_result.new_flow or par_result.new_flow)
-        )
-        if capacity and allow_capacity_divergence:
-            report.capacity_divergences += 1
-            continue
-        report.mismatches.append(
-            Mismatch(
-                index=index,
-                port=port,
-                sequential=seq_obs,
-                parallel=par_obs,
-                capacity_related=capacity,
+    monitor = None
+    if sanitize:
+        from repro.analysis.race import RaceMonitor
+
+        monitor = RaceMonitor(parallel).install()
+    try:
+        for index, (port, pkt) in enumerate(trace):
+            seq_result = sequential.process(port, pkt)
+            _, par_result = parallel.process(port, pkt)
+            seq_obs = _observable(seq_result, ignored)
+            par_obs = _observable(par_result, ignored)
+            if seq_obs == par_obs:
+                continue
+            # Capacity divergence: one side dropped/refused because its
+            # (smaller) shard filled while the other still had room.
+            capacity = (
+                seq_result.kind != par_result.kind
+                and ActionKind.DROP in (seq_result.kind, par_result.kind)
+                and (seq_result.new_flow or par_result.new_flow)
             )
-        )
+            if capacity and allow_capacity_divergence:
+                report.capacity_divergences += 1
+                culprit = _capacity_culprit(seq_result, par_result)
+                report.capacity_by_object[culprit] = (
+                    report.capacity_by_object.get(culprit, 0) + 1
+                )
+                continue
+            report.mismatches.append(
+                Mismatch(
+                    index=index,
+                    port=port,
+                    sequential=seq_obs,
+                    parallel=par_obs,
+                    capacity_related=capacity,
+                )
+            )
+    finally:
+        if monitor is not None:
+            monitor.remove()
+    if monitor is not None:
+        from repro.analysis.race import analyze_monitor
+
+        report.race_diagnostics = analyze_monitor(
+            monitor, tree=tree
+        ).diagnostics
     return report

@@ -450,6 +450,7 @@ def run_functional(
     balance_tables_with: Trace | None = None,
     fastpath: bool = True,
     flow_cache: FlowSteeringCache | None = None,
+    sanitize: bool = False,
 ) -> FunctionalRun:
     """Execute ``trace`` on the parallel NF.
 
@@ -461,6 +462,13 @@ def run_functional(
     ``flow_cache`` carries a :class:`FlowSteeringCache` across runs so a
     warm cache keeps paying off (it self-invalidates if the indirection
     tables are rebalanced in between).
+
+    ``sanitize=True`` forces the reference path regardless of
+    ``fastpath``/``flow_cache``: the race sanitizer's event log
+    (:mod:`repro.analysis.race`) needs every packet processed one at a
+    time in global trace order, so the steering memo and the per-core
+    grouped execution are bypassed.  Results stay bit-identical — only
+    the interleaving of the per-core batches changes.
     """
     if balance_tables_with is not None:
         parallel.rss.balance_tables(balance_tables_with)
@@ -469,8 +477,9 @@ def run_functional(
         "sim.run_functional",
         nf=parallel.nf.name,
         n_packets=len(trace),
-        fastpath=fastpath,
+        fastpath=fastpath and not sanitize,
+        sanitize=sanitize,
     ):
-        if not fastpath or not trace:
+        if sanitize or not fastpath or not trace:
             return _run_reference(parallel, trace, run)
         return _run_fastpath(parallel, trace, run, flow_cache)

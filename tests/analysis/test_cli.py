@@ -94,3 +94,55 @@ def test_render_json_shape() -> None:
     assert payload["severity"] == "error"
     assert payload["path_id"] == "port0:[1]"
     assert err.location() == "path port0:[1]"
+
+
+# ------------------------------------------------------------------ #
+# The race subcommand
+# ------------------------------------------------------------------ #
+def test_race_single_nf_text_output(capsys) -> None:
+    assert main(["race", "flow_counter", "--packets", "128", "--flows", "32"]) == 0
+    out = capsys.readouterr().out
+    assert "flow_counter" in out
+    assert "clean" in out
+    assert "1 NF(s) sanitized, 0 with violations" in out
+
+
+def test_race_json_and_out_artifact(tmp_path, capsys) -> None:
+    artifact = tmp_path / "race.json"
+    assert (
+        main(
+            [
+                "race", "global_counter", "--packets", "128",
+                "--flows", "32", "--json", "--out", str(artifact),
+            ]
+        )
+        == 0
+    )
+    payload = json.loads(capsys.readouterr().out)
+    (entry,) = payload
+    assert entry["nf"] == "global_counter"
+    assert entry["strategy"] == "locks"
+    assert entry["clean"] is True
+    assert entry["diagnostics"] == []
+    assert json.loads(artifact.read_text()) == payload
+
+
+def test_race_usage_errors(capsys) -> None:
+    assert main(["race"]) == 2
+    assert main(["race", "definitely_not_an_nf"]) == 2
+
+
+def test_design_doc_lists_race_codes_in_section_9() -> None:
+    """Satellite: the MAE1xx table must live in DESIGN §9 and the README
+    must document the race subcommand."""
+    from pathlib import Path
+
+    root = Path(__file__).resolve().parents[2]
+    design = (root / "DESIGN.md").read_text()
+    race_codes = [code for code in DIAGNOSTIC_CODES if code.startswith("MAE1")]
+    assert race_codes, "MAE1xx codes must be registered"
+    section = design[design.index("## 9.") :]
+    for code in race_codes:
+        assert f"`{code}`" in section, f"{code} missing from DESIGN.md §9"
+    readme = (root / "README.md").read_text()
+    assert "repro.analysis race" in readme

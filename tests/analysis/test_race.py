@@ -1,0 +1,341 @@
+"""The race sanitizer: event collection, checkers, waivers, seeded bugs.
+
+Two seeded-bug fixtures mirror the ISSUE's acceptance criteria: a
+firewall whose lock plan deliberately dropped an object (MAE101) and a
+NAT-style session tracker given a forged shared-nothing verdict over the
+wrong fields (MAE103).  The corpus itself must sanitize clean.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+import numpy as np
+import pytest
+
+from repro.analysis.race import (
+    RaceMonitor,
+    analyze_monitor,
+    sanitize_nf,
+    sanitize_parallel,
+)
+from repro.core.codegen import ParallelNF, Strategy
+from repro.core.rss_compile import compile_rss
+from repro.core.sharding import ShardingSolution, Verdict
+from repro.hw.cpu import benchmark_trace
+from repro.nf.api import NF, NfContext, StateDecl, StateKind
+from repro.nf.nfs import ALL_NFS
+from repro.nf.packet import Packet
+from repro.rs3.config import RssConfiguration
+from repro.rs3.fields import E810
+from repro.rs3.solver import RssKeySolver
+from repro.symbex.engine import explore_nf
+
+LAN, WAN = 0, 1
+
+
+# ------------------------------------------------------------------ #
+# Fixtures: a NAT session tracker with a forged (wrong) verdict
+# ------------------------------------------------------------------ #
+class MisshardedNat(NF):
+    """NAT-style per-server session table, keyed by (dst_ip, dst_port).
+
+    The correct shard fields for port 0 are the *server* fields the map
+    is keyed by; the forged solution below shards on the client fields
+    instead, so two clients of one server land on different cores and
+    share the same map entry — the MAE103 seeded bug.
+    """
+
+    name = "missharded_nat"
+    ports = {"lan": LAN, "wan": WAN}
+
+    def state(self) -> list[StateDecl]:
+        return [
+            StateDecl("msn_sessions", StateKind.MAP, 1024),
+            StateDecl("msn_chain", StateKind.DCHAIN, 1024),
+        ]
+
+    def process(self, ctx: NfContext, port: int, pkt: Any) -> None:
+        if port == LAN:
+            key = (pkt.dst_ip, pkt.dst_port)
+            found, index = ctx.map_get("msn_sessions", key)
+            if ctx.cond(found):
+                ctx.dchain_rejuvenate("msn_chain", index)
+            else:
+                ok, index = ctx.dchain_allocate("msn_chain")
+                if ctx.cond(ok):
+                    ctx.map_put("msn_sessions", key, index)
+            ctx.forward(WAN)
+        ctx.forward(LAN)
+
+
+class WaivedMisshardedNat(NF):
+    """Same seeded bug, with the violating accesses waived line-by-line."""
+
+    name = "missharded_nat_waived"
+    ports = {"lan": LAN, "wan": WAN}
+
+    def state(self) -> list[StateDecl]:
+        return [
+            StateDecl("msn_sessions", StateKind.MAP, 1024),
+            StateDecl("msn_chain", StateKind.DCHAIN, 1024),
+        ]
+
+    def process(self, ctx: NfContext, port: int, pkt: Any) -> None:
+        if port == LAN:
+            key = (pkt.dst_ip, pkt.dst_port)
+            found, index = ctx.map_get("msn_sessions", key)  # maestro: waive[MAE103]
+            if ctx.cond(found):
+                ctx.dchain_rejuvenate("msn_chain", index)
+            else:
+                ok, index = ctx.dchain_allocate("msn_chain")
+                if ctx.cond(ok):
+                    ctx.map_put("msn_sessions", key, index)  # maestro: waive[MAE103]
+            ctx.forward(WAN)
+        ctx.forward(LAN)
+
+
+def forged_client_sharding(nf: NF) -> ShardingSolution:
+    """A wrong verdict: shared-nothing on the *client* fields."""
+    return ShardingSolution(
+        nf_name=nf.name,
+        verdict=Verdict.SHARED_NOTHING,
+        per_port={LAN: ("src_ip", "src_port")},
+        explanation=["forged for the race-sanitizer seeded-bug test"],
+    )
+
+
+def parallel_for_solution(
+    nf: NF, solution: ShardingSolution, n_cores: int = 4, seed: int = 7
+) -> ParallelNF:
+    """Generate a ParallelNF from an explicit (possibly forged) solution."""
+    compilation = compile_rss(nf, solution, E810)
+    solver = RssKeySolver(E810, compilation.port_options)
+    keys = solver.solve(
+        compilation.requirements, rng=np.random.default_rng(seed)
+    )
+    rss = RssConfiguration.build(
+        keys, compilation.port_options, n_cores, reta_size=128
+    )
+    return ParallelNF.generate(nf, solution, rss, n_cores)
+
+
+def many_clients_one_server(n_clients: int = 64, repeats: int = 3):
+    """Trace where distinct clients hammer one server (one shared key).
+
+    Client addresses vary across all src bits so the forged client-field
+    sharding actually spreads them over the cores.
+    """
+    rng = np.random.default_rng(1234)
+    trace = []
+    for _ in range(n_clients):
+        pkt = Packet(
+            src_ip=int(rng.integers(0, 2**32)),
+            dst_ip=0xC0_A8_01_01,
+            src_port=int(rng.integers(1024, 2**16)),
+            dst_port=80,
+        )
+        trace.extend([(LAN, pkt)] * repeats)
+    return trace
+
+
+# ------------------------------------------------------------------ #
+# Corpus health: the generated plans really are race-free
+# ------------------------------------------------------------------ #
+class TestCorpusClean:
+    @pytest.mark.parametrize("name", ["fw", "nat", "policer", "cl"])
+    def test_shared_nothing_nfs_sanitize_clean(self, analyses, name) -> None:
+        report = sanitize_nf(
+            ALL_NFS[name](), packets=512, result=analyses[name]
+        )
+        assert report.clean, report.describe()
+        assert report.n_events > 0
+        assert report.n_packets >= 512
+
+    @pytest.mark.parametrize("name", ["lb", "dbridge"])
+    def test_lock_based_nfs_sanitize_clean(self, analyses, name) -> None:
+        report = sanitize_nf(
+            ALL_NFS[name](), packets=512, result=analyses[name]
+        )
+        assert report.strategy is Strategy.LOCKS
+        assert report.clean, report.describe()
+
+    def test_r5_excusals_are_honored_and_counted(self, analyses) -> None:
+        """nat writes keyed outside the WAN shard fields (allocated
+        ports) — writer colocation must excuse them, not flag them."""
+        report = sanitize_nf(
+            ALL_NFS["nat"](), packets=512, result=analyses["nat"]
+        )
+        assert report.clean, report.describe()
+        assert report.excused.get("writer_colocation", 0) > 0
+        assert report.excused.get("index_state", 0) > 0
+
+
+# ------------------------------------------------------------------ #
+# Seeded bugs
+# ------------------------------------------------------------------ #
+class TestSeededBugs:
+    def test_dropped_lock_is_flagged_mae101(self, analyses, generator) -> None:
+        """Firewall forced onto locks, then fw_flows removed from the
+        plan: every access to the shared map is now unsynchronized."""
+        result = analyses["fw"]
+        parallel = analyses.maestro.parallelize(
+            ALL_NFS["fw"](), n_cores=4, strategy=Strategy.LOCKS, result=result
+        )
+        plan = parallel.lock_plan
+        parallel.lock_plan = dataclasses.replace(
+            plan,
+            locked=plan.locked - {"fw_flows"},
+            order=tuple(obj for obj in plan.order if obj != "fw_flows"),
+        )
+        trace, _ = generator.uniform_trace(256, 64, in_port=0)
+        report = sanitize_parallel(parallel, trace, tree=result.tree)
+        assert not report.clean
+        assert any(
+            d.code == "MAE101" and "fw_flows" in d.message
+            for d in report.diagnostics
+        ), report.describe()
+        # The surviving objects are still covered: no other codes fire.
+        assert {d.code for d in report.diagnostics} == {"MAE101"}
+
+    def test_unordered_lock_is_flagged_mae102(self, analyses, generator) -> None:
+        """fw_chain stays locked but loses its position in the order:
+        workers would take its lock without a rank — deadlock potential."""
+        result = analyses["fw"]
+        parallel = analyses.maestro.parallelize(
+            ALL_NFS["fw"](), n_cores=4, strategy=Strategy.LOCKS, result=result
+        )
+        plan = parallel.lock_plan
+        parallel.lock_plan = dataclasses.replace(
+            plan,
+            order=tuple(obj for obj in plan.order if obj != "fw_chain"),
+        )
+        trace, _ = generator.uniform_trace(256, 64, in_port=0)
+        report = sanitize_parallel(parallel, trace, tree=result.tree)
+        assert any(
+            d.code == "MAE102" and "fw_chain" in d.message
+            for d in report.diagnostics
+        ), report.describe()
+
+    def test_duplicated_order_is_flagged_mae102(self, analyses, generator) -> None:
+        result = analyses["fw"]
+        parallel = analyses.maestro.parallelize(
+            ALL_NFS["fw"](), n_cores=4, strategy=Strategy.LOCKS, result=result
+        )
+        plan = parallel.lock_plan
+        parallel.lock_plan = dataclasses.replace(
+            plan, order=plan.order + (plan.order[0],)
+        )
+        trace, _ = generator.uniform_trace(256, 64, in_port=0)
+        report = sanitize_parallel(parallel, trace, tree=result.tree)
+        assert any(
+            d.code == "MAE102" and "more than once" in d.message
+            for d in report.diagnostics
+        ), report.describe()
+
+    def test_wrong_verdict_is_flagged_mae103(self) -> None:
+        nf = MisshardedNat()
+        parallel = parallel_for_solution(nf, forged_client_sharding(nf))
+        report = sanitize_parallel(
+            parallel, many_clients_one_server(), tree=explore_nf(nf)
+        )
+        assert not report.clean
+        mae103 = [d for d in report.diagnostics if d.code == "MAE103"]
+        assert mae103, report.describe()
+        assert all("msn_sessions" in d.message for d in mae103)
+        # Findings are anchored to the violating source line so the
+        # line-scoped waiver syntax applies to them.
+        assert any(d.file and d.line for d in mae103)
+
+    def test_wrong_static_model_is_flagged_mae104(self, analyses, generator) -> None:
+        """Cross-validating against a tree from a *different* NF: the
+        dynamic footprints cannot be contained in its paths."""
+        result = analyses["fw"]
+        parallel = analyses.maestro.parallelize(
+            ALL_NFS["fw"](), n_cores=4, result=result
+        )
+        trace, _ = generator.uniform_trace(128, 32, in_port=0)
+        wrong_tree = explore_nf(ALL_NFS["nop"]())
+        report = sanitize_parallel(parallel, trace, tree=wrong_tree)
+        assert any(d.code == "MAE104" for d in report.diagnostics), (
+            report.describe()
+        )
+
+
+# ------------------------------------------------------------------ #
+# Waivers (satellite: line-scoped waive[MAE103] suppression)
+# ------------------------------------------------------------------ #
+class TestWaivers:
+    def test_line_scoped_waiver_suppresses_and_is_reported(self) -> None:
+        nf = WaivedMisshardedNat()
+        parallel = parallel_for_solution(nf, forged_client_sharding(nf))
+        report = sanitize_parallel(
+            parallel, many_clients_one_server(), tree=explore_nf(nf)
+        )
+        assert report.clean, report.describe()
+        assert not any(d.code == "MAE103" for d in report.diagnostics)
+        assert any(d.code == "MAE103" for d in report.waived)
+        payload = report.to_json()
+        waived = [d for d in payload["diagnostics"] if d["waived"]]
+        active = [d for d in payload["diagnostics"] if not d["waived"]]
+        assert waived and all(d["code"] == "MAE103" for d in waived)
+        assert not active
+        assert payload["clean"] is True
+
+    def test_unwaived_twin_still_fires(self) -> None:
+        """Control: the identical NF without the comments is flagged."""
+        nf = MisshardedNat()
+        parallel = parallel_for_solution(nf, forged_client_sharding(nf))
+        report = sanitize_parallel(
+            parallel, many_clients_one_server(), tree=explore_nf(nf)
+        )
+        assert not report.clean
+        assert not report.waived
+
+
+# ------------------------------------------------------------------ #
+# Monitor mechanics
+# ------------------------------------------------------------------ #
+class TestMonitor:
+    def test_probes_detach_on_exit(self, analyses) -> None:
+        parallel = analyses.maestro.parallelize(
+            ALL_NFS["fw"](), n_cores=2, result=analyses["fw"]
+        )
+        monitor = RaceMonitor(parallel)
+        with monitor:
+            assert all(c.ctx.access_probe is not None for c in parallel.cores)
+            parallel.process(0, Packet(src_ip=1, dst_ip=2, src_port=3, dst_port=4))
+        assert all(c.ctx.access_probe is None for c in parallel.cores)
+        events_after_exit = monitor.n_events
+        parallel.process(0, Packet(src_ip=5, dst_ip=6, src_port=7, dst_port=8))
+        assert monitor.n_events == events_after_exit
+
+    def test_events_carry_keys_cores_and_ports(self, analyses) -> None:
+        parallel = analyses.maestro.parallelize(
+            ALL_NFS["fw"](), n_cores=2, result=analyses["fw"]
+        )
+        pkt = Packet(src_ip=1, dst_ip=2, src_port=3, dst_port=4)
+        with RaceMonitor(parallel) as monitor:
+            core_id, _ = parallel.process(0, pkt)
+        (log,) = monitor.packets
+        assert log.port == 0 and log.core == core_id
+        ops = {(ev.obj, ev.op) for ev in log.accesses}
+        assert ("fw_flows", "map_get") in ops
+        keyed = [ev for ev in log.accesses if ev.op == "map_get"]
+        assert all(isinstance(ev.key, tuple) for ev in keyed)
+
+    def test_obs_counters_emitted(self, analyses) -> None:
+        from repro.obs import MemoryCollector, attached
+
+        parallel = analyses.maestro.parallelize(
+            ALL_NFS["fw"](), n_cores=2, result=analyses["fw"]
+        )
+        trace = benchmark_trace(ALL_NFS["fw"](), n_flows=16, packets=64)
+        collector = MemoryCollector()
+        with attached(collector):
+            report = sanitize_parallel(parallel, trace)
+        names = {name for name, _attrs, _total in collector.counters()}
+        assert "race.events" in names
+        assert "race.violations" in names
+        assert report.n_events > 0

@@ -109,3 +109,68 @@ class TestEmitC:
     def test_tm_skeleton(self, analyses):
         code = emit_c(make_parallel(analyses, "fw", strategy=Strategy.TM))
         assert "_xbegin" in code
+
+
+class TestLockPlan:
+    """The plan's introspection API: position, dedup, coverage edges."""
+
+    def make_plan(self, **overrides):
+        from repro.core.codegen import LockPlan
+
+        defaults = dict(
+            strategy=Strategy.LOCKS,
+            locked=frozenset({"alpha", "beta"}),
+            order=("alpha", "beta"),
+        )
+        defaults.update(overrides)
+        return LockPlan(**defaults)
+
+    def test_position_follows_order(self):
+        plan = self.make_plan()
+        assert plan.position("alpha") == 0
+        assert plan.position("beta") == 1
+
+    def test_position_of_unordered_object_raises_clear_error(self):
+        plan = self.make_plan()
+        with pytest.raises(SimulationError, match="no position"):
+            plan.position("gamma")
+        with pytest.raises(SimulationError, match="alpha, beta"):
+            plan.position("gamma")
+
+    def test_position_error_on_empty_plan_names_the_gap(self):
+        plan = self.make_plan(
+            strategy=Strategy.SHARED_NOTHING, locked=frozenset(), order=()
+        )
+        with pytest.raises(SimulationError, match="nothing"):
+            plan.position("alpha")
+
+    def test_acquisition_sequence_follows_global_order(self):
+        plan = self.make_plan()
+        assert plan.acquisition_sequence(["beta", "alpha"]) == ("alpha", "beta")
+
+    def test_acquisition_sequence_deduplicates_corrupt_order(self):
+        plan = self.make_plan(order=("alpha", "beta", "alpha"))
+        assert plan.acquisition_sequence(["alpha", "beta"]) == ("alpha", "beta")
+        assert plan.acquisition_sequence(["alpha", "alpha"]) == ("alpha",)
+
+    def test_acquisition_sequence_ignores_uncovered_objects(self):
+        plan = self.make_plan()
+        assert plan.acquisition_sequence(["alpha", "gamma"]) == ("alpha",)
+        assert plan.acquisition_sequence([]) == ()
+        assert plan.acquisition_sequence(["gamma"]) == ()
+
+    def test_covers_edge_cases(self):
+        plan = self.make_plan()
+        assert plan.covers("alpha") and plan.covers("beta")
+        assert not plan.covers("gamma")
+        assert not plan.covers("")
+        empty = self.make_plan(
+            strategy=Strategy.SHARED_NOTHING, locked=frozenset(), order=()
+        )
+        assert not empty.covers("alpha")
+
+    def test_build_excludes_read_only_tables(self):
+        from repro.core.codegen import LockPlan
+
+        plan = LockPlan.build(ALL_NFS["sbridge"](), Strategy.LOCKS)
+        assert not plan.covers("sbr_macs")

@@ -155,3 +155,107 @@ class TestCapacityDivergence:
         # With 2-entry shards vs a 16-entry global table, some flows that
         # fit sequentially cannot fit in their shard.
         assert report.capacity_divergences >= 0
+
+
+class TestReportFormatting:
+    """Satellite: describe() caps listings and names capacity culprits."""
+
+    def test_describe_caps_mismatch_listing(self):
+        from repro.sim.equivalence import (
+            MISMATCH_DISPLAY_CAP,
+            EquivalenceReport,
+            Mismatch,
+        )
+
+        mismatches = [
+            Mismatch(
+                index=i, port=0, sequential=("seq",), parallel=("par",),
+                capacity_related=False,
+            )
+            for i in range(12)
+        ]
+        report = EquivalenceReport(n_packets=100, mismatches=mismatches)
+        text = report.describe()
+        assert "12/100 packets diverge" in text
+        assert f"... and {12 - MISMATCH_DISPLAY_CAP} more" in text
+        # Only the capped prefix is listed, one line per mismatch.
+        assert text.count("sequential=") == MISMATCH_DISPLAY_CAP
+
+    def test_short_listing_is_not_capped(self):
+        from repro.sim.equivalence import EquivalenceReport, Mismatch
+
+        report = EquivalenceReport(
+            n_packets=10,
+            mismatches=[
+                Mismatch(
+                    index=3, port=1, sequential=("a",), parallel=("b",),
+                    capacity_related=False,
+                )
+            ],
+        )
+        text = report.describe()
+        assert "#3 (port 1)" in text
+        assert "more" not in text
+
+    def test_capacity_divergences_name_the_exhausted_object(
+        self, analyses, generator
+    ):
+        """The NAT's allocator chain is what refuses a full shard's new
+        flow; the report must say so, per divergence."""
+        nf_factory = lambda: ALL_NFS["nat"](capacity=32)
+        result = analyses.maestro.analyze(nf_factory())
+        parallel = analyses.maestro.parallelize(
+            nf_factory(), n_cores=8, result=result
+        )
+        trace, _ = generator.uniform_trace(300, 64, in_port=0)
+        report = check_equivalence(
+            nf_factory, parallel, trace, ignore_mods=("src_port",)
+        )
+        assert report.capacity_divergences > 0
+        assert report.capacity_by_object == {
+            "nat_chain": report.capacity_divergences
+        }
+
+
+class TestSanitizedEquivalence:
+    """check_equivalence(sanitize=True): the race sanitizer rides along."""
+
+    def test_clean_nf_attaches_no_diagnostics(self, analyses, generator):
+        parallel = analyses.maestro.parallelize(
+            ALL_NFS["fw"](), n_cores=4, result=analyses["fw"]
+        )
+        report = check_equivalence(
+            ALL_NFS["fw"],
+            parallel,
+            bidirectional_trace(generator),
+            sanitize=True,
+            tree=analyses["fw"].tree,
+        )
+        assert report.equivalent, report.describe()
+        assert report.race_diagnostics == []
+        # Probes must not linger after the checked run.
+        assert all(c.ctx.access_probe is None for c in parallel.cores)
+
+    def test_race_surfaces_even_when_behaviour_matches(self):
+        """The ISSUE's motivating gap: single-threaded replay can be
+        observably equivalent while the plan still races."""
+        from tests.analysis.test_race import (
+            MisshardedNat,
+            forged_client_sharding,
+            many_clients_one_server,
+            parallel_for_solution,
+        )
+        from repro.symbex.engine import explore_nf
+
+        nf = MisshardedNat()
+        parallel = parallel_for_solution(nf, forged_client_sharding(nf))
+        report = check_equivalence(
+            MisshardedNat,
+            parallel,
+            many_clients_one_server(),
+            sanitize=True,
+            tree=explore_nf(nf),
+        )
+        assert report.equivalent, report.describe()
+        assert any(d.code == "MAE103" for d in report.race_diagnostics)
+        assert "race sanitizer" in report.describe()

@@ -210,3 +210,58 @@ class TestFunctionalRunStorage:
             run.core_ids[0] = 7
         with pytest.raises(ValueError):
             run.action_codes[0] = 3
+
+
+class TestSanitizeMode:
+    """``sanitize=True`` must bypass the memo/grouping, not change results."""
+
+    def test_sanitize_matches_warm_cache_run(self, make_fw, generator):
+        trace, _ = generator.uniform_trace(
+            900, 90, in_port=0, reply_port=1, reply_fraction=0.3
+        )
+        par_fast, par_san = make_fw(), make_fw()
+        cache = FlowSteeringCache(par_fast.rss)
+        cache.steer(trace)  # warm every flow without touching state
+        run_fast = run_functional(par_fast, trace, flow_cache=cache)
+        hits_before = cache.hits
+        run_san = run_functional(
+            par_san, trace, sanitize=True, flow_cache=cache
+        )
+        # Bypass is real: the warm cache served nothing to the sanitize run.
+        assert cache.hits == hits_before
+        assert_runs_identical(run_fast, run_san, par_fast, par_san)
+
+    def test_sanitize_overrides_fastpath_flag(self, make_fw, generator):
+        """sanitize=True wins even with fastpath explicitly requested."""
+        trace, _ = generator.uniform_trace(300, 40, in_port=0)
+        par_ref, par_san = make_fw(), make_fw()
+        run_ref = run_functional(par_ref, trace, fastpath=False)
+        run_san = run_functional(par_san, trace, fastpath=True, sanitize=True)
+        assert_runs_identical(run_ref, run_san, par_ref, par_san)
+
+    def test_warm_cache_and_sanitize_agree_on_race_verdicts(self, analyses, generator):
+        """Satellite regression: sanitizing after a warm-cache run reaches
+        the same verdict as sanitizing a fresh NF — the memo changes
+        performance, never what the checkers see."""
+        from repro.analysis.race import sanitize_parallel
+
+        trace, _ = generator.uniform_trace(
+            400, 60, in_port=0, reply_port=1, reply_fraction=0.3
+        )
+        warmed = analyses.maestro.parallelize(
+            ALL_NFS["fw"](), n_cores=8, result=analyses["fw"]
+        )
+        cache = FlowSteeringCache(warmed.rss)
+        run_functional(warmed, trace, flow_cache=cache)  # warm-cache run
+        warm_report = sanitize_parallel(
+            warmed, trace, tree=analyses["fw"].tree
+        )
+        fresh = analyses.maestro.parallelize(
+            ALL_NFS["fw"](), n_cores=8, result=analyses["fw"]
+        )
+        fresh_report = sanitize_parallel(fresh, trace, tree=analyses["fw"].tree)
+        assert warm_report.clean and fresh_report.clean
+        assert [d.code for d in warm_report.diagnostics] == [
+            d.code for d in fresh_report.diagnostics
+        ]
+        assert warm_report.n_packets == fresh_report.n_packets
