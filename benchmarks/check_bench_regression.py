@@ -1,0 +1,125 @@
+"""Benchmark regression gate: fresh quick-mode numbers vs. the baseline.
+
+CI runs the quick-mode ``bench_fastpath`` suite with
+``REPRO_BENCH_JSON`` pointing at a fresh file, then::
+
+    python benchmarks/check_bench_regression.py \
+        --baseline BENCH_fastpath.json --fresh bench-fresh.json
+
+The gate fails (exit 1) when any tracked per-packet cost regressed by
+more than ``--tolerance`` (default 25%) in *throughput* terms: fresh
+``us_per_pkt`` may be at most ``baseline / (1 - tolerance)``.  Only
+the optimized paths are gated — the scalar/reference measurements are
+reported for context but a slower baseline interpreter is not a
+product regression.
+
+Improvements beyond the tolerance are reported too (update the
+checked-in ``BENCH_fastpath.json`` to ratchet the gate), but they
+don't fail the build: CI runners are noisy in both directions.
+
+Exit codes: 0 within tolerance, 1 regression, 2 usage/shape errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: (JSON section, metric) pairs gated on regression: the optimized paths.
+GATED = (
+    ("hash", "batch_us_per_pkt"),
+    ("e2e", "fastpath_us_per_pkt"),
+)
+
+#: Reported for context only.
+CONTEXT = (
+    ("hash", "scalar_us_per_pkt"),
+    ("e2e", "reference_us_per_pkt"),
+)
+
+
+def _load(path: str) -> dict:
+    try:
+        return json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+
+
+def _metric(data: dict, section: str, name: str, path: str) -> float:
+    try:
+        value = data[section][name]
+    except (KeyError, TypeError):
+        print(f"error: {path} has no {section}.{name}", file=sys.stderr)
+        raise SystemExit(2)
+    if not isinstance(value, (int, float)) or value <= 0:
+        print(f"error: {path}: {section}.{name}={value!r}", file=sys.stderr)
+        raise SystemExit(2)
+    return float(value)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True, help="committed JSON")
+    parser.add_argument("--fresh", required=True, help="freshly measured JSON")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed throughput regression fraction (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+    if not 0 < args.tolerance < 1:
+        print("error: --tolerance must be in (0, 1)", file=sys.stderr)
+        return 2
+
+    baseline = _load(args.baseline)
+    fresh = _load(args.fresh)
+    if baseline.get("quick") != fresh.get("quick"):
+        print(
+            f"error: quick-mode mismatch (baseline quick="
+            f"{baseline.get('quick')}, fresh quick={fresh.get('quick')}) — "
+            "compare like with like",
+            file=sys.stderr,
+        )
+        return 2
+
+    failed = False
+    for section, name in GATED:
+        base = _metric(baseline, section, name, args.baseline)
+        now = _metric(fresh, section, name, args.fresh)
+        allowed = base / (1 - args.tolerance)
+        ratio = now / base
+        status = "ok"
+        if now > allowed:
+            status = "REGRESSION"
+            failed = True
+        elif now < base * (1 - args.tolerance):
+            status = "improved (consider updating the baseline)"
+        print(
+            f"{section}.{name}: baseline {base:.4f} us/pkt, "
+            f"fresh {now:.4f} us/pkt ({ratio:.2f}x, "
+            f"allowed <= {allowed:.4f}) {status}"
+        )
+    for section, name in CONTEXT:
+        base = _metric(baseline, section, name, args.baseline)
+        now = _metric(fresh, section, name, args.fresh)
+        print(
+            f"{section}.{name}: baseline {base:.4f} us/pkt, "
+            f"fresh {now:.4f} us/pkt (context only)"
+        )
+    if failed:
+        print(
+            f"benchmark gate: throughput regressed beyond "
+            f"{args.tolerance:.0%} of BENCH_fastpath.json",
+            file=sys.stderr,
+        )
+        return 1
+    print("benchmark gate: within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

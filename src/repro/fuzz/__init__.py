@@ -1,0 +1,77 @@
+"""repro.fuzz — differential fuzzing of the Maestro pipeline.
+
+The bundled 8-NF corpus samples a tiny corner of the NF space the
+pipeline claims to handle.  This package closes the gap with
+property-based differential testing:
+
+* a **seeded generator** (:mod:`repro.fuzz.generator`) composes
+  well-typed NFs over the :class:`repro.nf.api.NfContext` API — every
+  generated NF is a valid ``Maestro.analyze`` input and lints clean;
+* a **traffic mutator** (:mod:`repro.fuzz.workloads`) derives uniform,
+  Zipfian, churn-burst, hash-collision, capacity-exhaustion, and
+  boundary-value workloads from :mod:`repro.traffic` and
+  :mod:`repro.sim.attack`;
+* a **differential oracle** (:mod:`repro.fuzz.oracle`) replays each
+  (NF, trace) pair through the sequential reference and the generated
+  :class:`~repro.core.codegen.ParallelNF` under every applicable
+  strategy, cross-checks the static linter against the dynamic race
+  sanitizer, and compares the warm-cache fast path against the cold
+  reference path;
+* a **shrinker** (:mod:`repro.fuzz.shrink`) minimizes failing cases
+  along both axes (state objects / branches, then the trace) while the
+  failure signature keeps reproducing;
+* a **crash corpus** (:mod:`repro.fuzz.corpus`) stores minimized
+  reproducers under ``tests/fuzz_corpus/`` with the seed and pipeline
+  version recorded, and replays them ahead of every fuzz run.
+
+Entry point: ``python -m repro.fuzz --seed 0 --runs 200``.  Exit codes
+match ``repro.analysis`` (0 clean, 1 failures, 2 usage).  Progress is
+counted through ``repro.obs`` (``fuzz.cases``, ``fuzz.failures``,
+``fuzz.shrink_steps``).
+"""
+
+from repro.fuzz.corpus import (
+    CorpusEntry,
+    load_corpus,
+    replay_corpus,
+    save_reproducer,
+)
+from repro.fuzz.generator import (
+    SHAPES,
+    GroupSpec,
+    GuardSpec,
+    NfShape,
+    NfSpec,
+    build_nf,
+    random_spec,
+    render_source,
+)
+from repro.fuzz.oracle import FuzzFailure, OracleReport, run_oracle
+from repro.fuzz.runner import FuzzReport, FuzzSession
+from repro.fuzz.shrink import ShrinkResult, shrink_case
+from repro.fuzz.workloads import WORKLOAD_KINDS, WorkloadSpec, materialize_workload
+
+__all__ = [
+    "SHAPES",
+    "GroupSpec",
+    "GuardSpec",
+    "NfShape",
+    "NfSpec",
+    "build_nf",
+    "random_spec",
+    "render_source",
+    "WORKLOAD_KINDS",
+    "WorkloadSpec",
+    "materialize_workload",
+    "FuzzFailure",
+    "OracleReport",
+    "run_oracle",
+    "ShrinkResult",
+    "shrink_case",
+    "CorpusEntry",
+    "load_corpus",
+    "replay_corpus",
+    "save_reproducer",
+    "FuzzReport",
+    "FuzzSession",
+]

@@ -1,0 +1,225 @@
+"""Crash corpus: minimized reproducers under ``tests/fuzz_corpus/``.
+
+Each reproducer is one JSON file pinning everything a replay needs:
+the NF spec (not the seed-derived shape — the *shrunk* spec), the
+exact packet list, the fault-injection mode, the failure signature,
+and the pipeline version that produced it.  ``expect`` records the
+replay semantics:
+
+* ``"fail"`` — the case must *still fail with the same signature*
+  (green-as-failing: a reproducer that stops failing means the bug was
+  fixed, and the file should be promoted to ``expect: "clean"`` or
+  deleted after triage);
+* ``"clean"`` — a regression test: the case must stay clean.
+
+Replays run before any new fuzzing (`python -m repro.fuzz --corpus`),
+so CI catches both regressions and silent fixes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import repro
+from repro.fuzz.generator import NfSpec, render_source
+from repro.fuzz.oracle import OracleReport, run_oracle
+from repro.nf.packet import Packet
+
+__all__ = [
+    "CORPUS_FORMAT",
+    "CorpusEntry",
+    "ReplayOutcome",
+    "load_corpus",
+    "replay_corpus",
+    "save_reproducer",
+]
+
+CORPUS_FORMAT = "repro.fuzz/1"
+
+_PACKET_FIELDS = (
+    "src_ip",
+    "dst_ip",
+    "src_port",
+    "dst_port",
+    "proto",
+    "src_mac",
+    "dst_mac",
+    "eth_type",
+    "wire_size",
+    "timestamp",
+)
+
+
+def packet_to_dict(pkt: Packet) -> dict:
+    return {name: getattr(pkt, name) for name in _PACKET_FIELDS}
+
+
+def packet_from_dict(data: dict) -> Packet:
+    return Packet(**{name: data[name] for name in _PACKET_FIELDS if name in data})
+
+
+@dataclass
+class CorpusEntry:
+    """One reproducer file, fully pinned."""
+
+    name: str
+    spec: NfSpec
+    trace: list  #: [(port, Packet), ...]
+    signature: str
+    expect: str = "fail"  #: "fail" | "clean"
+    fault: str | None = None
+    seed: int | None = None  #: fuzz-session case seed that found it
+    n_cores: int = 4
+    maestro_seed: int = 0
+    pipeline_version: str = ""
+    failure: dict | None = None
+    shrink: dict | None = None
+    nf_source: str = ""
+    path: Path | None = field(default=None, repr=False)
+
+    def to_dict(self) -> dict:
+        return {
+            "format": CORPUS_FORMAT,
+            "name": self.name,
+            "expect": self.expect,
+            "signature": self.signature,
+            "fault": self.fault,
+            "seed": self.seed,
+            "n_cores": self.n_cores,
+            "maestro_seed": self.maestro_seed,
+            "pipeline_version": self.pipeline_version or repro.__version__,
+            "spec": self.spec.to_dict(),
+            "trace": [[port, packet_to_dict(pkt)] for port, pkt in self.trace],
+            "failure": self.failure,
+            "shrink": self.shrink,
+            "nf_source": self.nf_source,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict, path: Path | None = None) -> "CorpusEntry":
+        if data.get("format") != CORPUS_FORMAT:
+            raise ValueError(
+                f"{path or '<data>'}: unknown corpus format "
+                f"{data.get('format')!r} (expected {CORPUS_FORMAT})"
+            )
+        return cls(
+            name=data["name"],
+            spec=NfSpec.from_dict(data["spec"]),
+            trace=[
+                (int(port), packet_from_dict(pkt))
+                for port, pkt in data["trace"]
+            ],
+            signature=data["signature"],
+            expect=data.get("expect", "fail"),
+            fault=data.get("fault"),
+            seed=data.get("seed"),
+            n_cores=int(data.get("n_cores", 4)),
+            maestro_seed=int(data.get("maestro_seed", 0)),
+            pipeline_version=data.get("pipeline_version", ""),
+            failure=data.get("failure"),
+            shrink=data.get("shrink"),
+            nf_source=data.get("nf_source", ""),
+            path=path,
+        )
+
+    def replay(self) -> OracleReport:
+        """Run the oracle on this entry's exact (spec, trace, fault)."""
+        return run_oracle(
+            self.spec,
+            [],
+            traces=[(None, list(self.trace))],
+            n_cores=self.n_cores,
+            maestro_seed=self.maestro_seed,
+            fault=self.fault,
+        )
+
+
+@dataclass
+class ReplayOutcome:
+    """Result of replaying one corpus entry against expectations."""
+
+    entry: CorpusEntry
+    report: OracleReport
+    ok: bool
+    detail: str
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.entry.name,
+            "path": str(self.entry.path) if self.entry.path else None,
+            "expect": self.entry.expect,
+            "signature": self.entry.signature,
+            "ok": self.ok,
+            "detail": self.detail,
+        }
+
+
+def _slug(signature: str) -> str:
+    keep = [c if c.isalnum() else "-" for c in signature.lower()]
+    out = "".join(keep).strip("-")
+    while "--" in out:
+        out = out.replace("--", "-")
+    return out or "case"
+
+
+def save_reproducer(corpus_dir: str | Path, entry: CorpusEntry) -> Path:
+    """Write ``entry`` to ``corpus_dir`` and return the file path."""
+    corpus_dir = Path(corpus_dir)
+    corpus_dir.mkdir(parents=True, exist_ok=True)
+    stem = entry.name or f"{_slug(entry.signature)}-s{entry.seed or 0}"
+    path = corpus_dir / f"{stem}.json"
+    if not entry.nf_source:
+        entry.nf_source = render_source(entry.spec)
+    entry.name = stem
+    entry.path = path
+    path.write_text(json.dumps(entry.to_dict(), indent=2) + "\n")
+    return path
+
+
+def load_corpus(corpus_dir: str | Path) -> list[CorpusEntry]:
+    """Load every ``*.json`` reproducer in ``corpus_dir`` (sorted)."""
+    corpus_dir = Path(corpus_dir)
+    if not corpus_dir.is_dir():
+        return []
+    entries = []
+    for path in sorted(corpus_dir.glob("*.json")):
+        entries.append(
+            CorpusEntry.from_dict(json.loads(path.read_text()), path=path)
+        )
+    return entries
+
+
+def replay_corpus(corpus_dir: str | Path) -> list[ReplayOutcome]:
+    """Replay every reproducer and check its ``expect`` semantics.
+
+    ``expect: "fail"`` passes only while the recorded signature still
+    fails; ``expect: "clean"`` passes only while the oracle is clean.
+    """
+    outcomes = []
+    for entry in load_corpus(corpus_dir):
+        report = entry.replay()
+        signatures = {f.signature for f in report.failures}
+        if entry.expect == "fail":
+            ok = entry.signature in signatures
+            detail = (
+                f"still fails with {entry.signature}"
+                if ok
+                else (
+                    "no longer fails with recorded signature "
+                    f"{entry.signature} (got: {sorted(signatures) or 'clean'})"
+                    " — bug fixed? retriage this reproducer"
+                )
+            )
+        else:
+            ok = report.ok
+            detail = (
+                "clean"
+                if ok
+                else f"regressed: {sorted(signatures)}"
+            )
+        outcomes.append(
+            ReplayOutcome(entry=entry, report=report, ok=ok, detail=detail)
+        )
+    return outcomes

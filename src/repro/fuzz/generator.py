@@ -1,0 +1,474 @@
+"""Seeded random NF generator: well-typed programs over ``NfContext``.
+
+The generator is grammar-based rather than mutation-based: it draws an
+:class:`NfSpec` — state objects plus a per-object program block — from a
+seeded RNG, renders it to Python source built exclusively from the
+idioms the bundled corpus uses (``ctx.cond`` branches, literal state
+names, bounded straight-line code), and compiles it into a live
+:class:`~repro.nf.api.NF` subclass.  Every generated NF is therefore a
+valid input to ``Maestro.analyze`` and passes ``repro.analysis lint``
+with zero findings *by construction* — a generated NF that fails the
+pipeline indicates a pipeline bug, which is exactly what the
+differential oracle is hunting.
+
+Shape knobs (:class:`NfShape`) bound the draw: number of state groups,
+guard (branch) depth, write/read mix, capacity range, and the
+probability of expiry, port asymmetry, and non-RSS-hashable keys.
+
+Rendered source is registered with :mod:`linecache` under a
+content-hashed pseudo-filename, so ``inspect.getsource`` — and with it
+the AST front end of :mod:`repro.analysis` and the race sanitizer's
+waiver anchoring — works on generated NFs exactly as on file-backed
+ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import linecache
+from dataclasses import asdict, dataclass, replace
+
+import numpy as np
+
+from repro.nf.api import NF
+
+__all__ = [
+    "GuardSpec",
+    "GroupSpec",
+    "NfSpec",
+    "NfShape",
+    "SHAPES",
+    "random_spec",
+    "render_source",
+    "build_nf",
+]
+
+#: Packet fields a generated key may shard on (RSS-hashable).
+HASHABLE_KEY_FIELDS: tuple[str, ...] = (
+    "src_ip",
+    "dst_ip",
+    "src_port",
+    "dst_port",
+)
+#: Fields that force a LOCKS verdict when keyed on (not RSS-hashable).
+NON_HASHABLE_KEY_FIELDS: tuple[str, ...] = ("src_mac", "proto")
+
+#: Fields a guard may compare, with their widths.
+GUARD_FIELDS: dict[str, int] = {
+    "proto": 8,
+    "src_port": 16,
+    "dst_port": 16,
+    "wire_size": 16,
+}
+
+GROUP_KINDS: tuple[str, ...] = ("flow", "plain_map", "sketch", "global")
+
+
+@dataclass(frozen=True)
+class GuardSpec:
+    """One header-field guard wrapping a state block."""
+
+    field: str
+    op: str  # "eq" | "lt"
+    value: int
+    width: int
+    else_drop: bool = False
+
+    def condition(self) -> str:
+        return f"ctx.{self.op}(pkt.{self.field}, ctx.const({self.value}, {self.width}))"
+
+
+@dataclass(frozen=True)
+class GroupSpec:
+    """One stateful object group and its per-packet program block."""
+
+    kind: str  # one of GROUP_KINDS
+    prefix: str  # state-name prefix, e.g. "g0"
+    key_fields: tuple[str, ...]  # empty for "global"
+    capacity: int
+    guards: tuple[GuardSpec, ...] = ()
+    drop_on_full: bool = False  # flow: drop when allocation fails
+    rejuvenate: bool = False  # flow: refresh aging timestamp on hit
+
+    def state_names(self) -> tuple[str, ...]:
+        p = self.prefix
+        if self.kind == "flow":
+            return (f"{p}_map", f"{p}_chain", f"{p}_vals")
+        if self.kind == "plain_map":
+            return (f"{p}_map",)
+        if self.kind == "sketch":
+            return (f"{p}_sketch",)
+        return (f"{p}_total",)
+
+
+@dataclass(frozen=True)
+class NfSpec:
+    """A complete generated NF, serializable for reproducer files."""
+
+    seed: int
+    groups: tuple[GroupSpec, ...]
+    asymmetric: bool = False  # non-port-0 packets early-forward to port 0
+    expire: bool = False  # expiry sweep on the first flow group
+    terminal: str = "other"  # "other" | "port1" | "flood"
+
+    @property
+    def name(self) -> str:
+        return f"fuzz_s{self.seed}"
+
+    def state_names(self) -> tuple[str, ...]:
+        return tuple(n for g in self.groups for n in g.state_names())
+
+    def n_state_objects(self) -> int:
+        return len(self.state_names())
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "NfSpec":
+        groups = tuple(
+            GroupSpec(
+                kind=g["kind"],
+                prefix=g["prefix"],
+                key_fields=tuple(g["key_fields"]),
+                capacity=int(g["capacity"]),
+                guards=tuple(
+                    GuardSpec(
+                        field=w["field"],
+                        op=w["op"],
+                        value=int(w["value"]),
+                        width=int(w["width"]),
+                        else_drop=bool(w.get("else_drop", False)),
+                    )
+                    for w in g.get("guards", ())
+                ),
+                drop_on_full=bool(g.get("drop_on_full", False)),
+                rejuvenate=bool(g.get("rejuvenate", False)),
+            )
+            for g in data["groups"]
+        )
+        return cls(
+            seed=int(data["seed"]),
+            groups=groups,
+            asymmetric=bool(data.get("asymmetric", False)),
+            expire=bool(data.get("expire", False)),
+            terminal=data.get("terminal", "other"),
+        )
+
+
+@dataclass(frozen=True)
+class NfShape:
+    """Tunable knobs bounding the random draw."""
+
+    max_groups: int = 3
+    max_guard_depth: int = 1
+    min_capacity: int = 64
+    max_capacity: int = 512
+    #: probability a group is a writing "flow" group (write/read mix)
+    p_flow: float = 0.45
+    p_sketch: float = 0.2
+    p_global: float = 0.1
+    p_guard: float = 0.5
+    p_expire: float = 0.3
+    p_asymmetric: float = 0.3
+    p_non_hashable_key: float = 0.15
+    p_drop_on_full: float = 0.4
+    p_else_drop: float = 0.25
+
+
+#: Named presets for the ``--shape`` CLI knob.
+SHAPES: dict[str, NfShape] = {
+    "small": NfShape(max_groups=2, max_guard_depth=1),
+    "medium": NfShape(max_groups=3, max_guard_depth=2),
+    "large": NfShape(
+        max_groups=4,
+        max_guard_depth=2,
+        p_flow=0.55,
+        p_guard=0.6,
+        min_capacity=32,
+    ),
+}
+
+
+# ------------------------------------------------------------------ #
+# Random draw
+# ------------------------------------------------------------------ #
+def _draw_key(rng: np.random.Generator, shape: NfShape) -> tuple[str, ...]:
+    if rng.random() < shape.p_non_hashable_key:
+        extra = NON_HASHABLE_KEY_FIELDS[int(rng.integers(len(NON_HASHABLE_KEY_FIELDS)))]
+        base = [extra]
+        if rng.random() < 0.5:
+            base.append(HASHABLE_KEY_FIELDS[int(rng.integers(4))])
+        return tuple(dict.fromkeys(base))
+    n = int(rng.integers(1, len(HASHABLE_KEY_FIELDS) + 1))
+    picks = rng.choice(len(HASHABLE_KEY_FIELDS), size=n, replace=False)
+    return tuple(HASHABLE_KEY_FIELDS[i] for i in sorted(picks))
+
+
+def _draw_guards(rng: np.random.Generator, shape: NfShape) -> tuple[GuardSpec, ...]:
+    guards: list[GuardSpec] = []
+    depth = int(rng.integers(0, shape.max_guard_depth + 1))
+    for _ in range(depth):
+        if rng.random() >= shape.p_guard:
+            continue
+        fields = tuple(GUARD_FIELDS)
+        name = fields[int(rng.integers(len(fields)))]
+        width = GUARD_FIELDS[name]
+        if name == "proto":
+            op, value = "eq", int(rng.choice([6, 17]))
+        elif name == "wire_size":
+            op, value = "lt", int(rng.choice([128, 576, 1500]))
+        else:
+            op = "lt" if rng.random() < 0.7 else "eq"
+            value = int(rng.choice([53, 67, 1024, 8080, 49152]))
+        guards.append(
+            GuardSpec(
+                field=name,
+                op=op,
+                value=value,
+                width=width,
+                else_drop=bool(rng.random() < shape.p_else_drop),
+            )
+        )
+    return tuple(guards)
+
+
+def _draw_group(
+    rng: np.random.Generator, shape: NfShape, index: int
+) -> GroupSpec:
+    roll = rng.random()
+    if roll < shape.p_flow:
+        kind = "flow"
+    elif roll < shape.p_flow + shape.p_sketch:
+        kind = "sketch"
+    elif roll < shape.p_flow + shape.p_sketch + shape.p_global:
+        kind = "global"
+    else:
+        kind = "plain_map"
+    capacity = int(rng.integers(shape.min_capacity, shape.max_capacity + 1))
+    return GroupSpec(
+        kind=kind,
+        prefix=f"g{index}",
+        key_fields=() if kind == "global" else _draw_key(rng, shape),
+        capacity=1 if kind == "global" else capacity,
+        guards=_draw_guards(rng, shape),
+        drop_on_full=bool(
+            kind == "flow" and rng.random() < shape.p_drop_on_full
+        ),
+        rejuvenate=bool(kind == "flow" and rng.random() < 0.5),
+    )
+
+
+def random_spec(seed: int, shape: NfShape | str | None = None) -> NfSpec:
+    """Draw a deterministic :class:`NfSpec` from ``seed``.
+
+    ``shape`` is an :class:`NfShape` or one of the :data:`SHAPES` names.
+    """
+    if isinstance(shape, str):
+        shape = SHAPES[shape]
+    shape = shape or SHAPES["medium"]
+    rng = np.random.default_rng(np.random.SeedSequence([0xF022, seed]))
+    n_groups = int(rng.integers(1, shape.max_groups + 1))
+    groups = tuple(_draw_group(rng, shape, i) for i in range(n_groups))
+    has_flow = any(g.kind == "flow" for g in groups)
+    terminal = ("other", "port1", "flood")[int(rng.choice([0, 0, 0, 1, 2]))]
+    return NfSpec(
+        seed=seed,
+        groups=groups,
+        asymmetric=bool(rng.random() < shape.p_asymmetric),
+        expire=bool(has_flow and rng.random() < shape.p_expire),
+        terminal=terminal,
+    )
+
+
+# ------------------------------------------------------------------ #
+# Source rendering
+# ------------------------------------------------------------------ #
+def _key_expr(key_fields: tuple[str, ...]) -> str:
+    inner = ", ".join(f"pkt.{f}" for f in key_fields)
+    comma = "," if len(key_fields) == 1 else ""
+    return f"({inner}{comma})"
+
+
+def _emit_group(lines: list[str], group: GroupSpec, indent: str) -> None:
+    p = group.prefix
+    body_indent = indent + "    " * len(group.guards)
+    for depth, guard in enumerate(group.guards):
+        pad = indent + "    " * depth
+        lines.append(f"{pad}if ctx.cond({guard.condition()}):")
+    key = _key_expr(group.key_fields) if group.key_fields else None
+    b = body_indent
+    if group.kind == "flow":
+        lines.append(f"{b}found, idx = ctx.map_get(\"{p}_map\", {key})")
+        lines.append(f"{b}if ctx.cond(found):")
+        if group.rejuvenate:
+            lines.append(f"{b}    ctx.dchain_rejuvenate(\"{p}_chain\", idx)")
+        lines.append(f"{b}    rec = ctx.vector_borrow(\"{p}_vals\", idx)")
+        lines.append(
+            f"{b}    ctx.vector_put(\"{p}_vals\", idx, "
+            "{\"count\": ctx.add(rec[\"count\"], ctx.const(1, 32))})"
+        )
+        lines.append(f"{b}else:")
+        lines.append(f"{b}    ok, idx = ctx.dchain_allocate(\"{p}_chain\")")
+        lines.append(f"{b}    if ctx.cond(ok):")
+        lines.append(f"{b}        ctx.map_put(\"{p}_map\", {key}, idx)")
+        lines.append(
+            f"{b}        ctx.vector_put(\"{p}_vals\", idx, {{\"count\": 1}})"
+        )
+        if group.drop_on_full:
+            lines.append(f"{b}    else:")
+            lines.append(f"{b}        ctx.drop()")
+    elif group.kind == "plain_map":
+        lines.append(f"{b}found, _val = ctx.map_get(\"{p}_map\", {key})")
+        lines.append(f"{b}if ctx.cond(ctx.lnot(found)):")
+        lines.append(
+            f"{b}    ctx.map_put(\"{p}_map\", {key}, ctx.const(1, 32))"
+        )
+    elif group.kind == "sketch":
+        lines.append(f"{b}ctx.sketch_fetch(\"{p}_sketch\", {key})")
+        lines.append(f"{b}ctx.sketch_touch(\"{p}_sketch\", {key})")
+    else:  # global
+        lines.append(
+            f"{b}rec = ctx.vector_borrow(\"{p}_total\", ctx.const(0, 16))"
+        )
+        lines.append(
+            f"{b}ctx.vector_put(\"{p}_total\", ctx.const(0, 16), "
+            "{\"count\": ctx.add(rec[\"count\"], ctx.const(1, 64))})"
+        )
+    # else-drop arms, innermost guard first
+    for depth in range(len(group.guards) - 1, -1, -1):
+        guard = group.guards[depth]
+        if guard.else_drop:
+            pad = indent + "    " * depth
+            lines.append(f"{pad}else:")
+            lines.append(f"{pad}    ctx.drop()")
+
+
+def _emit_state(lines: list[str], spec: NfSpec) -> None:
+    lines.append("    def state(self):")
+    lines.append("        return [")
+    for group in spec.groups:
+        p = group.prefix
+        cap = group.capacity
+        if group.kind == "flow":
+            lines.append(
+                f"            StateDecl(\"{p}_map\", StateKind.MAP, {cap}),"
+            )
+            lines.append(
+                f"            StateDecl(\"{p}_chain\", StateKind.DCHAIN, {cap}),"
+            )
+            lines.append(
+                f"            StateDecl(\"{p}_vals\", StateKind.VECTOR, {cap}, "
+                "value_layout=((\"count\", 32),)),"
+            )
+        elif group.kind == "plain_map":
+            lines.append(
+                f"            StateDecl(\"{p}_map\", StateKind.MAP, {cap}),"
+            )
+        elif group.kind == "sketch":
+            lines.append(
+                f"            StateDecl(\"{p}_sketch\", StateKind.SKETCH, {cap}),"
+            )
+        else:
+            lines.append(
+                f"            StateDecl(\"{p}_total\", StateKind.VECTOR, 1, "
+                "value_layout=((\"count\", 64),)),"
+            )
+    lines.append("        ]")
+
+
+def render_source(spec: NfSpec) -> str:
+    """Python source of the NF class ``spec`` describes."""
+    expire_group = next(
+        (g for g in spec.groups if g.kind == "flow"), None
+    ) if spec.expire else None
+    lines = [
+        "from repro.nf.api import NF, StateDecl, StateKind",
+        "",
+        "",
+        "class GeneratedNF(NF):",
+        f"    name = \"{spec.name}\"",
+        "    ports = {\"lan\": 0, \"wan\": 1}",
+    ]
+    if expire_group is not None:
+        lines.append("    expiration_time = 60.0")
+    lines.append("")
+    _emit_state(lines, spec)
+    lines.append("")
+    lines.append("    def process(self, ctx, port, pkt):")
+    if expire_group is not None:
+        p = expire_group.prefix
+        lines.append(
+            f"        ctx.expire_flows(\"{p}_map\", \"{p}_chain\")"
+        )
+    if spec.asymmetric:
+        lines.append("        if port != 0:")
+        lines.append("            ctx.forward(0)")
+    for group in spec.groups:
+        _emit_group(lines, group, "        ")
+    if spec.terminal == "port1":
+        lines.append("        ctx.forward(1)")
+    elif spec.terminal == "flood":
+        lines.append("        ctx.flood()")
+    else:
+        lines.append("        ctx.forward(self.other_port(port))")
+    return "\n".join(lines) + "\n"
+
+
+def build_nf(spec: NfSpec) -> NF:
+    """Compile ``spec`` into a live NF instance.
+
+    The rendered source is registered with :mod:`linecache` under a
+    content-hashed pseudo-filename so ``inspect.getsource`` (and thus
+    the static analyzer) can read generated methods; the hash keeps
+    shrunk variants of the same seed from shadowing each other.
+    """
+    source = render_source(spec)
+    digest = hashlib.blake2b(source.encode(), digest_size=8).hexdigest()
+    filename = f"<repro.fuzz {spec.name} {digest}>"
+    linecache.cache[filename] = (
+        len(source),
+        None,
+        source.splitlines(keepends=True),
+        filename,
+    )
+    namespace: dict = {}
+    exec(compile(source, filename, "exec"), namespace)
+    return namespace["GeneratedNF"]()
+
+
+# ------------------------------------------------------------------ #
+# Shrinking primitives (used by repro.fuzz.shrink)
+# ------------------------------------------------------------------ #
+def spec_reductions(spec: NfSpec):
+    """Candidate one-step simplifications of ``spec``, simplest first.
+
+    Order matters for shrink quality: dropping a whole state group is
+    tried before stripping its guards, so the minimized reproducer ends
+    up with as few state objects as the failure allows.
+    """
+    if len(spec.groups) > 1:
+        for i in range(len(spec.groups)):
+            yield replace(
+                spec, groups=spec.groups[:i] + spec.groups[i + 1 :]
+            )
+    for i, group in enumerate(spec.groups):
+        if group.guards:
+            stripped = replace(group, guards=())
+            yield replace(
+                spec,
+                groups=spec.groups[:i] + (stripped,) + spec.groups[i + 1 :],
+            )
+    if spec.expire:
+        yield replace(spec, expire=False)
+    if spec.asymmetric:
+        yield replace(spec, asymmetric=False)
+    for i, group in enumerate(spec.groups):
+        simpler = replace(group, drop_on_full=False, rejuvenate=False)
+        if simpler != group:
+            yield replace(
+                spec,
+                groups=spec.groups[:i] + (simpler,) + spec.groups[i + 1 :],
+            )
+    if spec.terminal != "other":
+        yield replace(spec, terminal="other")

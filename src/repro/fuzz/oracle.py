@@ -1,0 +1,408 @@
+"""Differential oracle: sequential reference vs. every parallel build.
+
+For one generated NF and a set of workloads the oracle runs the full
+pipeline (``Maestro.analyze`` with lint) and then checks, per
+applicable strategy and per trace:
+
+* **equivalence** — :func:`repro.sim.check_equivalence` with
+  ``sanitize=True``: observable behaviour must match the sequential
+  reference packet-for-packet, modulo the allowed capacity
+  divergences;
+* **static vs. dynamic cross-check** — a sharding verdict the race
+  sanitizer refutes (any active MAE10x finding on an untampered build)
+  is a pipeline bug, not a test failure, and is reported as such;
+* **warm vs. cold fast path** — the same trace through the reference
+  path, a cold :class:`~repro.sim.functional.FlowSteeringCache`, and a
+  pre-warmed cache must yield identical per-packet (core, action)
+  sequences; cache hit/miss/invalidation accounting is attached to the
+  report.
+
+Fault injection (``fault=``) seeds known pipeline bugs so the oracle
+and shrinker can be validated end to end:
+
+* ``drop-lock`` — remove one object from the generated
+  :class:`~repro.core.codegen.LockPlan` (the sanitizer must raise
+  MAE101/MAE102);
+* ``forge-shared-nothing`` — force a shared-nothing build from a
+  forged ``Verdict.SHARED_NOTHING`` solution when the analysis said
+  LOCKS (the equivalence check or MAE103 must trip);
+* ``stale-cache`` — corrupt one warm steering-cache entry (the
+  warm/cold comparison must diverge).
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+from repro.core.codegen import LockPlan, ParallelNF, Strategy
+from repro.core.pipeline import Maestro
+from repro.core.sharding import Verdict
+from repro.fuzz.generator import NfSpec, build_nf
+from repro.fuzz.workloads import WorkloadSpec, materialize_workload
+from repro.sim.equivalence import check_equivalence
+from repro.sim.functional import FlowSteeringCache, run_functional
+
+__all__ = ["FAULTS", "FuzzFailure", "OracleReport", "run_oracle"]
+
+#: Known fault-injection modes (see module docstring).
+FAULTS: tuple[str, ...] = ("drop-lock", "forge-shared-nothing", "stale-cache")
+
+
+@dataclass(frozen=True)
+class FuzzFailure:
+    """One oracle check that did not come back clean."""
+
+    kind: str  #: lint | equivalence | race | fastpath | crash
+    detail: str
+    strategy: str | None = None
+    workload: dict | None = None
+    fault: str | None = None
+    codes: tuple[str, ...] = ()
+    mismatches: int = 0
+
+    @property
+    def signature(self) -> str:
+        """Stable identity for shrinking: same bug ⟺ same signature.
+
+        Deliberately excludes the workload (trace bisection must keep
+        matching) and the mismatch count (shrinking reduces it).
+        """
+        return f"{self.kind}/{self.strategy}/{','.join(sorted(set(self.codes)))}"
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "detail": self.detail,
+            "strategy": self.strategy,
+            "workload": self.workload,
+            "fault": self.fault,
+            "codes": list(self.codes),
+            "mismatches": self.mismatches,
+            "signature": self.signature,
+        }
+
+
+@dataclass
+class OracleReport:
+    """Everything one (NF, workloads[, fault]) oracle pass observed."""
+
+    spec: NfSpec
+    fault: str | None = None
+    verdict: str = ""
+    strategies: tuple[str, ...] = ()
+    checks: int = 0
+    capacity_divergences: int = 0
+    failures: list[FuzzFailure] = field(default_factory=list)
+    cache_stats: dict | None = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def to_dict(self) -> dict:
+        return {
+            "spec": self.spec.to_dict(),
+            "fault": self.fault,
+            "verdict": self.verdict,
+            "strategies": list(self.strategies),
+            "checks": self.checks,
+            "capacity_divergences": self.capacity_divergences,
+            "failures": [f.to_dict() for f in self.failures],
+            "cache_stats": self.cache_stats,
+        }
+
+
+def _crash_detail(exc: BaseException) -> str:
+    last = traceback.extract_tb(exc.__traceback__)[-1:] if exc.__traceback__ else []
+    where = f" at {last[0].filename}:{last[0].lineno}" if last else ""
+    return f"{type(exc).__name__}: {exc}{where}"
+
+
+def _observable(core: int, result) -> tuple:
+    mods = tuple(sorted((result.mods or {}).items()))
+    return (core, result.kind, result.port, mods)
+
+
+def _guard_values(spec: NfSpec) -> tuple[int, ...]:
+    return tuple(
+        guard.value for group in spec.groups for guard in group.guards
+    )
+
+
+#: Header-field swaps for the reply orientation of a flow key.
+_SWAPPED = {
+    "src_ip": "dst_ip",
+    "dst_ip": "src_ip",
+    "src_port": "dst_port",
+    "dst_port": "src_port",
+    "src_mac": "dst_mac",
+    "dst_mac": "src_mac",
+}
+
+
+def _spec_flow_keys(spec: NfSpec):
+    """Per-group tagged flow-key extractor for capacity tainting.
+
+    The generated NF's key structure is known exactly, so the
+    equivalence checker can taint capacity-refused flows at the right
+    granularity — a partial key (e.g. src_port only) aliases many
+    header tuples onto one state entry, which the default full-header
+    taint cannot see.
+    """
+    keyed = [
+        (group.prefix, group.key_fields)
+        for group in spec.groups
+        if group.key_fields
+    ]
+
+    def flow_keys(port: int, pkt) -> list[tuple]:
+        out = []
+        for tag, fields in keyed:
+            out.append((tag, tuple(getattr(pkt, f) for f in fields)))
+            out.append(
+                (tag, tuple(getattr(pkt, _SWAPPED.get(f, f)) for f in fields))
+            )
+        return out
+
+    return flow_keys
+
+
+def _drop_one_lock(parallel: ParallelNF) -> str | None:
+    """Remove the first locked object from the plan; return its name."""
+    plan = parallel.lock_plan
+    if not plan.locked:
+        return None
+    victim = sorted(plan.locked)[0]
+    parallel.lock_plan = LockPlan(
+        strategy=plan.strategy,
+        locked=plan.locked - {victim},
+        order=tuple(name for name in plan.order if name != victim),
+    )
+    return victim
+
+
+def run_oracle(
+    spec: NfSpec,
+    workloads: Sequence[WorkloadSpec],
+    *,
+    n_cores: int = 4,
+    maestro_seed: int = 0,
+    fault: str | None = None,
+    check_fastpath: bool = True,
+    traces: Sequence[tuple[WorkloadSpec | None, list]] | None = None,
+) -> OracleReport:
+    """Differentially test ``spec`` against every applicable strategy.
+
+    ``traces`` pins pre-materialized ``(workload, trace)`` pairs and
+    skips workload materialization entirely — the shrinker and corpus
+    replay use this so a reproducer exercises its exact packets.
+    """
+    if fault is not None and fault not in FAULTS:
+        raise ValueError(f"unknown fault {fault!r} (known: {FAULTS})")
+    report = OracleReport(spec=spec, fault=fault)
+
+    def make_nf():
+        return build_nf(spec)
+
+    maestro = Maestro(seed=maestro_seed)
+    try:
+        result = maestro.analyze(make_nf(), lint=True)
+    except Exception as exc:  # noqa: BLE001 — any pipeline crash is a finding
+        report.failures.append(
+            FuzzFailure(kind="crash", detail=_crash_detail(exc), fault=fault)
+        )
+        return report
+    verdict = result.solution.verdict
+    report.verdict = verdict.value
+
+    lint_errors = [d for d in result.diagnostics if d.is_error]
+    if lint_errors:
+        report.failures.append(
+            FuzzFailure(
+                kind="lint",
+                detail="; ".join(str(d) for d in lint_errors[:3]),
+                codes=tuple(d.code for d in lint_errors),
+                fault=fault,
+            )
+        )
+
+    strategies = (
+        [Strategy.LOCKS, Strategy.TM]
+        if verdict is Verdict.LOCKS
+        else [Strategy.SHARED_NOTHING, Strategy.LOCKS, Strategy.TM]
+    )
+    forged_solution = None
+    if fault == "forge-shared-nothing" and verdict is Verdict.LOCKS:
+        # Bypass generate()'s guard with a forged analysis verdict: this
+        # is the build a wrong Constraints Generator answer would emit.
+        forged_solution = replace(result.solution, verdict=Verdict.SHARED_NOTHING)
+        strategies.insert(0, Strategy.SHARED_NOTHING)
+    report.strategies = tuple(s.value for s in strategies)
+
+    if traces is None:
+        guard_values = _guard_values(spec)
+        min_capacity = min(group.capacity for group in spec.groups)
+        traces = [
+            (
+                workload,
+                materialize_workload(
+                    workload,
+                    guard_values=guard_values,
+                    min_capacity=min_capacity,
+                    rss=result.rss_configuration(n_cores),
+                ),
+            )
+            for workload in workloads
+        ]
+
+    def make_parallel(strategy: Strategy) -> ParallelNF:
+        solution = result.solution
+        if strategy is Strategy.SHARED_NOTHING and forged_solution is not None:
+            solution = forged_solution
+        parallel = ParallelNF.generate(
+            build_nf(spec),
+            solution,
+            result.rss_configuration(n_cores),
+            n_cores,
+            strategy=strategy,
+        )
+        if fault == "drop-lock":
+            _drop_one_lock(parallel)
+        return parallel
+
+    for strategy in strategies:
+        for index, (workload, trace) in enumerate(traces):
+            failed = _check_one(
+                report, spec, make_nf, make_parallel, strategy, workload,
+                trace, result.tree, fault,
+            )
+            if check_fastpath and (
+                failed or index == 0 or fault == "stale-cache"
+            ):
+                _check_fastpath(
+                    report, make_nf, make_parallel, strategy, workload,
+                    trace, n_cores, fault,
+                )
+    return report
+
+
+def _check_one(
+    report, spec, make_nf, make_parallel, strategy, workload, trace, tree, fault
+) -> bool:
+    """One sanitized equivalence run; returns True if it failed."""
+    try:
+        parallel = make_parallel(strategy)
+        eq = check_equivalence(
+            make_nf,
+            parallel,
+            trace,
+            sanitize=True,
+            tree=tree,
+            flow_keys=_spec_flow_keys(spec),
+        )
+    except Exception as exc:  # noqa: BLE001
+        report.failures.append(
+            FuzzFailure(
+                kind="crash",
+                detail=_crash_detail(exc),
+                strategy=strategy.value,
+                workload=workload.to_dict() if workload else None,
+                fault=fault,
+            )
+        )
+        return True
+    report.checks += 1
+    report.capacity_divergences += eq.capacity_divergences
+    codes = tuple(d.code for d in eq.race_diagnostics)
+    if eq.mismatches:
+        report.failures.append(
+            FuzzFailure(
+                kind="equivalence",
+                detail=eq.describe(),
+                strategy=strategy.value,
+                workload=workload.to_dict() if workload else None,
+                fault=fault,
+                codes=codes,
+                mismatches=len(eq.mismatches),
+            )
+        )
+        return True
+    if codes:
+        # Behaviour matched but the sanitizer refuted the build: the
+        # static analysis promised an isolation the runtime broke.
+        report.failures.append(
+            FuzzFailure(
+                kind="race",
+                detail="; ".join(
+                    str(d) for d in eq.race_diagnostics[:3]
+                ),
+                strategy=strategy.value,
+                workload=workload.to_dict() if workload else None,
+                fault=fault,
+                codes=codes,
+            )
+        )
+        return True
+    return False
+
+
+def _check_fastpath(
+    report, make_nf, make_parallel, strategy, workload, trace, n_cores, fault
+) -> None:
+    """Reference vs. cold-cache vs. warm-cache runs must agree."""
+    try:
+        reference = run_functional(make_parallel(strategy), trace, fastpath=False)
+        cold_parallel = make_parallel(strategy)
+        cold_cache = FlowSteeringCache(cold_parallel.rss)
+        cold = run_functional(
+            cold_parallel, trace, fastpath=True, flow_cache=cold_cache
+        )
+        warm_parallel = make_parallel(strategy)
+        warm_cache = FlowSteeringCache(warm_parallel.rss)
+        warm_cache.steer(trace)  # warming only touches the cache, not NF state
+        if fault == "stale-cache" and warm_cache._cores:
+            key = sorted(warm_cache._cores)[0]
+            warm_cache._cores[key] = (warm_cache._cores[key] + 1) % n_cores
+        warm = run_functional(
+            warm_parallel, trace, fastpath=True, flow_cache=warm_cache
+        )
+    except Exception as exc:  # noqa: BLE001
+        report.failures.append(
+            FuzzFailure(
+                kind="crash",
+                detail=_crash_detail(exc),
+                strategy=strategy.value,
+                workload=workload.to_dict() if workload else None,
+                fault=fault,
+            )
+        )
+        return
+    report.checks += 1
+    report.cache_stats = {
+        "cold": cold_cache.stats(),
+        "warm": warm_cache.stats(),
+    }
+    for label, run in (("cold", cold), ("warm", warm)):
+        for i, ((ref_core, ref_res), (run_core, run_res)) in enumerate(
+            zip(reference.results, run.results)
+        ):
+            if _observable(ref_core, ref_res) != _observable(run_core, run_res):
+                report.failures.append(
+                    FuzzFailure(
+                        kind="fastpath",
+                        detail=(
+                            f"{label} fast path diverges from reference at "
+                            f"packet #{i}: "
+                            f"{_observable(ref_core, ref_res)} != "
+                            f"{_observable(run_core, run_res)} "
+                            f"(cache {report.cache_stats[label]})"
+                        ),
+                        strategy=strategy.value,
+                        workload=workload.to_dict() if workload else None,
+                        fault=fault,
+                        codes=(f"fastpath-{label}",),
+                    )
+                )
+                break

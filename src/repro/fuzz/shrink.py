@@ -1,0 +1,133 @@
+"""Two-axis minimization of failing fuzz cases.
+
+A failure is identified by its :attr:`FuzzFailure.signature` (kind,
+strategy, diagnostic codes).  The shrinker repeats two greedy passes
+until neither makes progress, re-running the oracle after every
+candidate reduction and keeping it only if the *same* signature still
+fails:
+
+* **NF axis** — :func:`repro.fuzz.generator.spec_reductions` yields
+  one-step simplifications (drop a state-object group, strip guards,
+  disable expiry/asymmetry/full-drop, simplify the terminal action);
+* **trace axis** — ddmin-style chunk deletion over the pinned packet
+  list, halving the chunk size down to single packets.
+
+Every accepted reduction bumps the ``fuzz.shrink_steps`` counter; the
+total number of oracle probes is bounded by ``max_probes`` so a flaky
+signature cannot stall a fuzz session.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import obs
+from repro.fuzz.generator import NfSpec, spec_reductions
+from repro.fuzz.oracle import OracleReport, run_oracle
+
+__all__ = ["ShrinkResult", "shrink_case"]
+
+
+@dataclass
+class ShrinkResult:
+    """A minimized failing case, still failing with ``signature``."""
+
+    spec: NfSpec
+    trace: list
+    signature: str
+    steps: int = 0
+    probes: int = 0
+    exhausted: bool = False  #: hit the probe budget before a fixpoint
+    report: OracleReport | None = field(default=None, repr=False)
+    #: every accepted intermediate as ``(spec, trace)`` — each one still
+    #: failed with ``signature`` when it was accepted
+    history: list = field(default_factory=list, repr=False)
+
+    @property
+    def n_state_objects(self) -> int:
+        return self.spec.n_state_objects()
+
+
+def shrink_case(
+    spec: NfSpec,
+    trace: list,
+    signature: str,
+    *,
+    fault: str | None = None,
+    n_cores: int = 4,
+    maestro_seed: int = 0,
+    max_probes: int = 150,
+) -> ShrinkResult:
+    """Minimize ``(spec, trace)`` while ``signature`` keeps failing.
+
+    The inputs must already fail with ``signature`` — shrinking an
+    already-clean case returns it unchanged (``steps == 0``).
+    """
+    state = ShrinkResult(spec=spec, trace=list(trace), signature=signature)
+
+    def still_fails(candidate_spec: NfSpec, candidate_trace: list) -> OracleReport | None:
+        if state.probes >= max_probes:
+            state.exhausted = True
+            return None
+        state.probes += 1
+        report = run_oracle(
+            candidate_spec,
+            [],
+            traces=[(None, candidate_trace)],
+            n_cores=n_cores,
+            maestro_seed=maestro_seed,
+            fault=fault,
+        )
+        if any(f.signature == signature for f in report.failures):
+            return report
+        return None
+
+    def accept(new_spec: NfSpec, new_trace: list, report: OracleReport) -> None:
+        state.spec = new_spec
+        state.trace = new_trace
+        state.report = report
+        state.steps += 1
+        state.history.append((new_spec, list(new_trace)))
+        if obs.enabled():
+            obs.counter("fuzz.shrink_steps", 1, signature=signature)
+
+    progress = True
+    while progress and not state.exhausted:
+        progress = False
+        # NF axis: retry from the first reduction after every success so
+        # chains of drops (group 3, then group 2, ...) all get a chance.
+        reduced = True
+        while reduced and not state.exhausted:
+            reduced = False
+            for candidate in spec_reductions(state.spec):
+                report = still_fails(candidate, state.trace)
+                if report is not None:
+                    accept(candidate, state.trace, report)
+                    reduced = True
+                    progress = True
+                    break
+                if state.exhausted:
+                    break
+        # Trace axis: ddmin-style — delete chunks, halving the grain.
+        chunk = max(1, len(state.trace) // 2)
+        while chunk >= 1 and not state.exhausted:
+            start = 0
+            any_removed = False
+            while start < len(state.trace) and not state.exhausted:
+                candidate_trace = (
+                    state.trace[:start] + state.trace[start + chunk:]
+                )
+                if not candidate_trace:
+                    break
+                report = still_fails(state.spec, candidate_trace)
+                if report is not None:
+                    accept(state.spec, candidate_trace, report)
+                    any_removed = True
+                    progress = True
+                    # keep start: the next chunk slid into this position
+                else:
+                    start += chunk
+            if chunk == 1 and not any_removed:
+                break
+            chunk //= 2
+    return state

@@ -109,6 +109,35 @@ def _observable(
     return (result.kind, result.port, mods)
 
 
+def _default_flow_keys(port: int, pkt) -> list[tuple]:
+    """Both orientations of the packet's header identity, untagged.
+
+    Used to taint a flow once a capacity divergence is excused for it:
+    the reply direction carries swapped addresses, and symmetric
+    sharding sends it to the same diverged shard, so both orientations
+    inherit the taint.  ``port`` is deliberately excluded — the reply
+    arrives on the other port.  The ``None`` tag matches any culprit
+    object; callers that know the NF's real key structure pass
+    ``flow_keys`` with per-state-object tags instead (partial keys like
+    a src-port-only table alias many header tuples onto one entry,
+    which header identity alone cannot see).
+    """
+    fwd = (
+        pkt.src_ip, pkt.dst_ip, pkt.src_port, pkt.dst_port,
+        pkt.proto, pkt.src_mac, pkt.dst_mac,
+    )
+    rev = (
+        pkt.dst_ip, pkt.src_ip, pkt.dst_port, pkt.src_port,
+        pkt.proto, pkt.dst_mac, pkt.src_mac,
+    )
+    return [(None, fwd), (None, rev)]
+
+
+def _matches_culprit(tag: str | None, culprit: str) -> bool:
+    """A tagged key is relevant when its state-object prefix matches."""
+    return tag is None or culprit == tag or culprit.startswith(tag + "_")
+
+
 def _capacity_culprit(
     seq_result: PacketResult, par_result: PacketResult
 ) -> str:
@@ -140,6 +169,7 @@ def check_equivalence(
     allow_capacity_divergence: bool = True,
     sanitize: bool = False,
     tree=None,
+    flow_keys=None,
 ) -> EquivalenceReport:
     """Replay ``trace`` through a fresh sequential NF and ``parallel``.
 
@@ -152,7 +182,18 @@ def check_equivalence(
     findings as ``report.race_diagnostics``; pass the analysis ``tree``
     (``MaestroResult.tree``) to also enable the MAE104 footprint
     cross-validation and the R5 ownership excusals.
+
+    ``flow_keys`` customizes capacity-divergence tainting: a callable
+    ``(port, pkt) -> [(tag, key), ...]`` naming every NF flow identity
+    the packet belongs to, where ``tag`` is the state-object prefix the
+    key addresses (``None`` = matches any object).  Defaults to the
+    packet's full header identity in both orientations, which is
+    correct for NFs keyed on (subsets including) the five-tuple but too
+    narrow for partial keys — a src-port-only table aliases many header
+    tuples onto one entry.
     """
+    if flow_keys is None:
+        flow_keys = _default_flow_keys
     ignored = frozenset(ignore_mods)
     sequential = SequentialRunner(make_nf())
     report = EquivalenceReport(n_packets=len(trace))
@@ -161,6 +202,7 @@ def check_equivalence(
         from repro.analysis.race import RaceMonitor
 
         monitor = RaceMonitor(parallel).install()
+    tainted: set[tuple] = set()
     try:
         for index, (port, pkt) in enumerate(trace):
             seq_result = sequential.process(port, pkt)
@@ -171,14 +213,32 @@ def check_equivalence(
                 continue
             # Capacity divergence: one side dropped/refused because its
             # (smaller) shard filled while the other still had room.
-            capacity = (
+            # ``new_flow`` marks the establishing packet; once a flow's
+            # establishment diverged, its state differs on the two sides
+            # for good, so every later drop-vs-forward disagreement on
+            # the same flow keys is the same capacity story, not a bug
+            # (repeat packets of a refused flow re-fail the allocator
+            # without ever raising ``new_flow``).
+            capacity = False
+            drop_mismatch = (
                 seq_result.kind != par_result.kind
                 and ActionKind.DROP in (seq_result.kind, par_result.kind)
-                and (seq_result.new_flow or par_result.new_flow)
             )
-            if capacity and allow_capacity_divergence:
-                report.capacity_divergences += 1
+            if drop_mismatch:
                 culprit = _capacity_culprit(seq_result, par_result)
+                relevant = [
+                    tagged
+                    for tagged in flow_keys(port, pkt)
+                    if _matches_culprit(tagged[0], culprit)
+                ]
+                capacity = (
+                    seq_result.new_flow
+                    or par_result.new_flow
+                    or any(tagged in tainted for tagged in relevant)
+                )
+            if capacity and allow_capacity_divergence:
+                tainted.update(relevant)
+                report.capacity_divergences += 1
                 report.capacity_by_object[culprit] = (
                     report.capacity_by_object.get(culprit, 0) + 1
                 )

@@ -72,6 +72,7 @@ class FlowSteeringCache:
         self._generation = rss.steering_generation
         self.hits = 0
         self.misses = 0
+        self.invalidations = 0
 
     def __len__(self) -> int:
         return len(self._cores)
@@ -80,6 +81,23 @@ class FlowSteeringCache:
         """Drop every cached dispatch decision."""
         self._cores.clear()
         self._generation = self.rss.steering_generation
+        self.invalidations += 1
+
+    def stats(self) -> dict:
+        """Accounting snapshot for oracles and reports.
+
+        ``generation`` is the steering generation the current entries
+        were hashed under; a mismatch with
+        ``rss.steering_generation`` means the next :meth:`steer` call
+        will self-invalidate.
+        """
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._cores),
+            "invalidations": self.invalidations,
+            "generation": self._generation,
+        }
 
     def _check_generation(self) -> None:
         if self._generation != self.rss.steering_generation:

@@ -141,8 +141,37 @@ def test_design_doc_lists_race_codes_in_section_9() -> None:
     design = (root / "DESIGN.md").read_text()
     race_codes = [code for code in DIAGNOSTIC_CODES if code.startswith("MAE1")]
     assert race_codes, "MAE1xx codes must be registered"
-    section = design[design.index("## 9.") :]
+    section = design[design.index("## 9.") : design.index("## 10.")]
     for code in race_codes:
         assert f"`{code}`" in section, f"{code} missing from DESIGN.md §9"
     readme = (root / "README.md").read_text()
     assert "repro.analysis race" in readme
+
+
+def test_design_doc_section_10_documents_fuzzer() -> None:
+    """Satellite: DESIGN §10 must describe the generator grammar, oracle,
+    shrinker, and corpus triage, and the README must document the fuzz
+    CLI — kept in sync with the code like the MAE tables above."""
+    from pathlib import Path
+
+    from repro.fuzz.generator import GROUP_KINDS, SHAPES
+    from repro.fuzz.oracle import FAULTS
+    from repro.fuzz.workloads import WORKLOAD_KINDS
+
+    root = Path(__file__).resolve().parents[2]
+    design = (root / "DESIGN.md").read_text()
+    section = design[design.index("## 10.") :]
+    for topic in ("grammar", "Oracle", "Shrinker", "triage"):
+        assert topic in section, f"{topic} missing from DESIGN.md §10"
+    for kind in GROUP_KINDS:
+        assert f"`{kind}`" in section, f"group kind {kind} missing from §10"
+    for kind in WORKLOAD_KINDS:
+        assert f"`{kind}`" in section, f"workload {kind} missing from §10"
+    for fault in FAULTS:
+        assert f"`{fault}`" in section, f"fault {fault} missing from §10"
+    for shape in SHAPES:
+        assert f"`{shape}`" in section, f"shape {shape} missing from §10"
+    assert "tests/fuzz_corpus" in section
+    readme = (root / "README.md").read_text()
+    assert "## Fuzzing the pipeline" in readme
+    assert "python -m repro.fuzz" in readme

@@ -1,0 +1,77 @@
+"""Shrinker soundness: every accepted step still fails, result is minimal."""
+
+from __future__ import annotations
+
+from repro.fuzz.generator import random_spec
+from repro.fuzz.oracle import run_oracle
+from repro.fuzz.shrink import shrink_case
+from repro.fuzz.workloads import WorkloadSpec, materialize_workload
+
+FAULT = "drop-lock"
+SEED = 1  # LOCKS verdict via keyed state (see test_oracle)
+
+
+def _failing_case():
+    spec = random_spec(SEED, shape="small")
+    trace = materialize_workload(
+        WorkloadSpec("uniform", 11, n_packets=64, n_flows=16)
+    )
+    report = run_oracle(
+        spec, [], traces=[(None, trace)], n_cores=4, maestro_seed=7, fault=FAULT
+    )
+    assert not report.ok
+    return spec, trace, report.failures[0].signature
+
+
+def _fails_with(spec, trace, signature) -> bool:
+    report = run_oracle(
+        spec, [], traces=[(None, trace)], n_cores=4, maestro_seed=7, fault=FAULT
+    )
+    return any(f.signature == signature for f in report.failures)
+
+
+def test_seeded_bug_stays_failing_at_every_step() -> None:
+    """The satellite gate: replay every accepted intermediate and the
+    minimized case — all must still fail with the original signature."""
+    spec, trace, signature = _failing_case()
+    result = shrink_case(
+        spec, trace, signature, fault=FAULT, n_cores=4, maestro_seed=7
+    )
+    assert result.steps == len(result.history)
+    for step_spec, step_trace in result.history:
+        assert _fails_with(step_spec, step_trace, signature)
+    assert _fails_with(result.spec, result.trace, signature)
+
+
+def test_minimized_case_meets_acceptance_bounds() -> None:
+    spec, trace, signature = _failing_case()
+    result = shrink_case(
+        spec, trace, signature, fault=FAULT, n_cores=4, maestro_seed=7
+    )
+    assert result.n_state_objects <= 3
+    assert len(result.trace) <= 10
+    assert not result.exhausted
+
+
+def test_shrink_is_no_op_on_clean_case() -> None:
+    spec = random_spec(2, shape="small")  # shared-nothing, no fault
+    trace = materialize_workload(
+        WorkloadSpec("uniform", 11, n_packets=16, n_flows=8)
+    )
+    result = shrink_case(
+        spec, trace, "race/locks/MAE101", n_cores=4, maestro_seed=7,
+        max_probes=10,
+    )
+    assert result.steps == 0
+    assert result.spec == spec
+    assert len(result.trace) == len(trace)
+
+
+def test_probe_budget_is_respected() -> None:
+    spec, trace, signature = _failing_case()
+    result = shrink_case(
+        spec, trace, signature, fault=FAULT, n_cores=4, maestro_seed=7,
+        max_probes=3,
+    )
+    assert result.probes <= 3
+    assert result.exhausted

@@ -1,0 +1,76 @@
+"""Workload materialization: every traffic model yields a valid trace."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import Maestro
+from repro.fuzz.generator import build_nf, random_spec
+from repro.fuzz.workloads import (
+    WORKLOAD_KINDS,
+    WorkloadSpec,
+    materialize_workload,
+    random_workload,
+)
+from repro.nf.packet import Packet
+
+
+@pytest.mark.parametrize("kind", WORKLOAD_KINDS)
+def test_every_kind_materializes(kind: str) -> None:
+    spec = WorkloadSpec(kind=kind, seed=5, n_packets=64, n_flows=16)
+    rss = None
+    if kind == "collide":
+        result = Maestro(seed=0).analyze(build_nf(random_spec(2, shape="small")))
+        rss = result.rss_configuration(4)
+    trace = materialize_workload(
+        spec, guard_values=(17, 576), min_capacity=32, rss=rss
+    )
+    assert trace, kind
+    for port, pkt in trace:
+        assert port in (0, 1)
+        assert isinstance(pkt, Packet)
+
+
+@pytest.mark.parametrize("kind", ["uniform", "zipf", "churn", "boundary"])
+def test_materialization_is_deterministic(kind: str) -> None:
+    spec = WorkloadSpec(kind=kind, seed=9, n_packets=48, n_flows=12)
+    a = materialize_workload(spec, guard_values=(53,))
+    b = materialize_workload(spec, guard_values=(53,))
+    assert [(p, pkt.to_bytes()) for p, pkt in a] == [
+        (p, pkt.to_bytes()) for p, pkt in b
+    ]
+
+
+def test_exhaust_uses_more_flows_than_capacity() -> None:
+    spec = WorkloadSpec(kind="exhaust", seed=1, n_packets=256, n_flows=8)
+    trace = materialize_workload(spec, min_capacity=16)
+    tuples = {
+        (p.src_ip, p.dst_ip, p.src_port, p.dst_port) for _, p in trace
+    }
+    assert len(tuples) > 16
+
+
+def test_boundary_includes_guard_neighbors() -> None:
+    spec = WorkloadSpec(kind="boundary", seed=3, n_packets=256, n_flows=64)
+    trace = materialize_workload(spec, guard_values=(8080,))
+    ports = {p.src_port for _, p in trace} | {p.dst_port for _, p in trace}
+    assert ports & {8079, 8080, 8081}
+    assert 0 in ports or 65535 in ports
+
+
+def test_collide_lands_on_one_core() -> None:
+    result = Maestro(seed=0).analyze(build_nf(random_spec(2, shape="small")))
+    rss = result.rss_configuration(4)
+    spec = WorkloadSpec(kind="collide", seed=2, n_packets=64, n_flows=8)
+    trace = materialize_workload(spec, rss=rss)
+    cores = {rss.core_for(port, pkt) for port, pkt in trace}
+    assert len(cores) == 1
+
+
+def test_workload_round_trip_and_random_draw() -> None:
+    rng = np.random.default_rng(0)
+    for _ in range(10):
+        spec = random_workload(rng)
+        assert spec.kind in WORKLOAD_KINDS
+        assert WorkloadSpec.from_dict(spec.to_dict()) == spec

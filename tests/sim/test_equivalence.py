@@ -156,6 +156,63 @@ class TestCapacityDivergence:
         # fit sequentially cannot fit in their shard.
         assert report.capacity_divergences >= 0
 
+    def test_repeat_packets_of_refused_flow_are_tainted_not_failed(
+        self, analyses
+    ):
+        """Only the establishing packet raises ``new_flow``; repeat
+        packets of a refused flow re-fail the allocator silently.  The
+        flow taint must keep excusing them — rounds two and three below
+        carry no ``new_flow`` on either side."""
+        from repro.nf.packet import Packet
+
+        nf_factory = lambda: ALL_NFS["nat"](capacity=8)
+        result = analyses.maestro.analyze(nf_factory())
+        parallel = analyses.maestro.parallelize(
+            nf_factory(), n_cores=4, result=result
+        )
+        one_round = [
+            (
+                0,
+                Packet(
+                    src_ip=0x0A000000 + i, dst_ip=0x50000000,
+                    src_port=1000 + i, dst_port=80,
+                ),
+            )
+            for i in range(16)
+        ]
+        report = check_equivalence(
+            nf_factory, parallel, one_round * 3, ignore_mods=("src_port",)
+        )
+        assert report.equivalent, report.describe()
+        # 2-entry shards vs an 8-entry global chain: the two sides refuse
+        # different flows, and each divergent flow diverges identically in
+        # every round — all attributed to the allocator chain.
+        divergences = report.capacity_by_object["nat_chain"]
+        assert divergences == report.capacity_divergences
+        assert divergences > 0 and divergences % 3 == 0
+
+    def test_custom_flow_keys_scope_the_taint(self, analyses, generator):
+        """``flow_keys`` with a state-object tag only taints keys whose
+        tag matches the blamed object (prefix match on ``obj_…``)."""
+        nf_factory = lambda: ALL_NFS["nat"](capacity=32)
+        result = analyses.maestro.analyze(nf_factory())
+        parallel = analyses.maestro.parallelize(
+            nf_factory(), n_cores=8, result=result
+        )
+        trace, _ = generator.uniform_trace(300, 64, in_port=0)
+
+        def keys(port, pkt):
+            # "nat" prefix-matches the culprit "nat_chain".
+            return [("nat", (pkt.src_ip, pkt.src_port, pkt.dst_ip,
+                             pkt.dst_port))]
+
+        report = check_equivalence(
+            nf_factory, parallel, trace,
+            ignore_mods=("src_port",), flow_keys=keys,
+        )
+        assert report.equivalent, report.describe()
+        assert report.capacity_divergences > 0
+
 
 class TestReportFormatting:
     """Satellite: describe() caps listings and names capacity culprits."""

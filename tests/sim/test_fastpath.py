@@ -152,6 +152,30 @@ class TestFlowSteeringCache:
         cache.invalidate()
         assert len(cache) == 0
 
+    def test_stats_snapshot_tracks_invalidations(self, make_fw, generator):
+        """The fuzzer oracle reads cache accounting through stats()."""
+        trace, _ = generator.uniform_trace(100, 10, in_port=0)
+        parallel = make_fw()
+        cache = FlowSteeringCache(parallel.rss)
+        cache.steer(trace)
+        cache.steer(trace)  # hits only count flows cached before a batch
+        stats = cache.stats()
+        assert stats["misses"] == 10
+        assert stats["hits"] == 100
+        assert stats["entries"] == 10
+        assert stats["invalidations"] == 0
+        assert stats["generation"] == parallel.rss.steering_generation
+        cache.invalidate()
+        assert cache.stats()["invalidations"] == 1
+        assert cache.stats()["entries"] == 0
+        # A table rebalance bumps the generation; the next steer
+        # self-invalidates and the snapshot shows both effects.
+        parallel.rss.balance_tables(trace)
+        cache.steer(trace)
+        stats = cache.stats()
+        assert stats["invalidations"] == 2
+        assert stats["generation"] == parallel.rss.steering_generation
+
     def test_hit_miss_counters_exported(self, make_fw, generator):
         trace, _ = generator.uniform_trace(400, 40, in_port=0)
         parallel = make_fw()
