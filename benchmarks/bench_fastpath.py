@@ -57,8 +57,19 @@ def _export_json():
     yield
     path = os.environ.get("REPRO_BENCH_JSON")
     if path:
+        # Read-merge-write: bench_obs_overhead exports its telemetry
+        # section to the same file, and module teardown order between
+        # benchmark files is not guaranteed.
+        merged: dict[str, object] = {}
+        if os.path.exists(path):
+            try:
+                with open(path) as fh:
+                    merged = json.load(fh)
+            except (OSError, ValueError):
+                merged = {}
+        merged.update(_RESULTS)
         with open(path, "w") as fh:
-            json.dump(_RESULTS, fh, indent=2, sort_keys=True)
+            json.dump(merged, fh, indent=2, sort_keys=True)
 
 
 @pytest.fixture(scope="module")

@@ -39,6 +39,12 @@ CONTEXT = (
     ("e2e", "reference_us_per_pkt"),
 )
 
+#: Absolute gates: fresh ``section.metric`` must stay under the ceiling
+#: recorded in the baseline's ``section.ceiling_key`` (these are
+#: fractions, not per-packet times — the relative-throughput math above
+#: does not apply, and the value may legitimately be <= 0).
+ABSOLUTE = (("telemetry", "overhead_frac", "ceiling_frac"),)
+
 
 def _load(path: str) -> dict:
     try:
@@ -109,6 +115,25 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"{section}.{name}: baseline {base:.4f} us/pkt, "
             f"fresh {now:.4f} us/pkt (context only)"
+        )
+    for section, name, ceiling_key in ABSOLUTE:
+        try:
+            now = float(fresh[section][name])
+            ceiling = float(baseline[section][ceiling_key])
+        except (KeyError, TypeError, ValueError):
+            print(
+                f"error: missing {section}.{name} (fresh) or "
+                f"{section}.{ceiling_key} (baseline)",
+                file=sys.stderr,
+            )
+            return 2
+        status = "ok"
+        if now > ceiling:
+            status = "REGRESSION"
+            failed = True
+        print(
+            f"{section}.{name}: fresh {now:+.4f} "
+            f"(ceiling {ceiling:.4f}) {status}"
         )
     if failed:
         print(

@@ -8,7 +8,7 @@ import sys
 
 from repro import obs
 from repro.eval import EXPERIMENTS
-from repro.eval.runner import trace_to
+from repro.eval.runner import capture_telemetry_report, trace_to
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -40,6 +40,14 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="write a JSONL observability trace of the run "
         "(inspect with `python -m repro.obs report PATH`)",
+    )
+    parser.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        default=None,
+        help="after the experiments, capture per-core telemetry for a "
+        "uniform and a zipf run (skew + model-drift detectors) and "
+        "write the report JSON to PATH",
     )
     parser.add_argument(
         "--lint",
@@ -99,6 +107,18 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     if args.trace:
         print(f"trace written to {args.trace}", file=sys.stderr)
+    if args.telemetry:
+        import json
+
+        report = capture_telemetry_report(fast=args.fast)
+        try:
+            with open(args.telemetry, "w", encoding="utf-8") as fh:
+                json.dump(report, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+        except OSError as exc:
+            print(f"error: cannot write telemetry report: {exc}", file=sys.stderr)
+            return 1
+        print(f"telemetry report written to {args.telemetry}", file=sys.stderr)
     return 0
 
 

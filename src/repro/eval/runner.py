@@ -21,6 +21,7 @@ __all__ = [
     "ParallelSweepRunner",
     "format_table",
     "trace_to",
+    "capture_telemetry_report",
 ]
 
 _Cell = TypeVar("_Cell")
@@ -129,6 +130,73 @@ class ParallelSweepRunner:
             obs.counter("sweep.workers", n_workers)
             with multiprocessing.get_context().Pool(processes=n_workers) as pool:
                 return pool.map(fn, cells)
+
+
+def capture_telemetry_report(
+    *,
+    fast: bool = False,
+    n_cores: int = 8,
+    seed: int = 3,
+    series_dir: str | None = None,
+) -> dict:
+    """Capture per-core telemetry for a uniform and a zipf-skewed run.
+
+    The telemetry demonstrator behind ``python -m repro.eval ...
+    --telemetry out.json``: pushes both workloads through the same
+    parallelized Firewall with a :class:`~repro.obs.TelemetrySink`
+    attached, then runs the detectors — skew should fire on the zipf
+    run and stay quiet on the uniform one, and the perf model's
+    uniform-share prior should drift against zipf telemetry.  Returns a
+    JSON-able dict; ``series_dir`` additionally writes one
+    ``telemetry-<label>.jsonl`` series file per run (renderable with
+    ``python -m repro.obs top``).
+    """
+    # Lazy imports: the eval harness must stay importable without
+    # dragging the whole simulator in at module load.
+    from repro.core import Maestro
+    from repro.nf.nfs import Firewall
+    from repro.sim.functional import run_functional
+    from repro.sim.perf import PerformanceModel, Workload
+    from repro.traffic.generator import TrafficGenerator
+
+    n_packets = 4_000 if fast else 20_000
+    n_flows = 256 if fast else 2_048
+    window_packets = 512
+    model = PerformanceModel()
+    report: dict = {
+        "fast": fast,
+        "n_cores": n_cores,
+        "n_packets": n_packets,
+        "n_flows": n_flows,
+        "window_packets": window_packets,
+        "workloads": {},
+    }
+    for label in ("uniform", "zipf"):
+        gen = TrafficGenerator(seed=seed)
+        make_trace = gen.uniform_trace if label == "uniform" else gen.zipf_trace
+        trace, _flows = make_trace(
+            n_packets, n_flows, reply_port=1, reply_fraction=0.3
+        )
+        parallel = Maestro(seed=7).parallelize(Firewall(), n_cores=n_cores)
+        sink = obs.TelemetrySink(window_packets=window_packets, label=label)
+        with obs.telemetry(sink):
+            run = run_functional(parallel, trace)
+        skew = obs.detect_skew(sink)
+        drift = model.drift_report(
+            parallel, Workload(n_flows=n_flows), run
+        )
+        report["workloads"][label] = {
+            "telemetry": sink.summary(),
+            "skew": skew.to_dict(),
+            "drift": drift.to_dict(),
+        }
+        if series_dir is not None:
+            import os
+
+            obs.write_telemetry(
+                os.path.join(series_dir, f"telemetry-{label}.jsonl"), sink
+            )
+    return report
 
 
 @contextmanager

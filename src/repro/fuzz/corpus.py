@@ -124,6 +124,14 @@ class CorpusEntry:
             path=path,
         )
 
+    @property
+    def flight(self) -> list[dict]:
+        """The embedded flight-recorder snapshot (last-N-packets context
+        captured when the recorded failure tripped), if any."""
+        if not self.failure:
+            return []
+        return list(self.failure.get("flight", []))
+
     def replay(self) -> OracleReport:
         """Run the oracle on this entry's exact (spec, trace, fault)."""
         return run_oracle(

@@ -41,6 +41,7 @@ from repro.core.pipeline import Maestro
 from repro.core.sharding import Verdict
 from repro.fuzz.generator import NfSpec, build_nf
 from repro.fuzz.workloads import WorkloadSpec, materialize_workload
+from repro.obs.flight import FlightRecorder
 from repro.sim.equivalence import check_equivalence
 from repro.sim.functional import FlowSteeringCache, run_functional
 
@@ -61,6 +62,10 @@ class FuzzFailure:
     fault: str | None = None
     codes: tuple[str, ...] = ()
     mismatches: int = 0
+    #: last-N-packets flight-recorder snapshot (tuple of event dicts)
+    #: captured at the moment the check tripped; rides into the saved
+    #: reproducer via :meth:`to_dict`.
+    flight: tuple = ()
 
     @property
     def signature(self) -> str:
@@ -81,6 +86,7 @@ class FuzzFailure:
             "codes": list(self.codes),
             "mismatches": self.mismatches,
             "signature": self.signature,
+            "flight": [dict(event) for event in self.flight],
         }
 
 
@@ -292,6 +298,7 @@ def _check_one(
     report, spec, make_nf, make_parallel, strategy, workload, trace, tree, fault
 ) -> bool:
     """One sanitized equivalence run; returns True if it failed."""
+    recorder = FlightRecorder()
     try:
         parallel = make_parallel(strategy)
         eq = check_equivalence(
@@ -301,6 +308,7 @@ def _check_one(
             sanitize=True,
             tree=tree,
             flow_keys=_spec_flow_keys(spec),
+            flight=recorder,
         )
     except Exception as exc:  # noqa: BLE001
         report.failures.append(
@@ -326,6 +334,7 @@ def _check_one(
                 fault=fault,
                 codes=codes,
                 mismatches=len(eq.mismatches),
+                flight=tuple(eq.flight_snapshot),
             )
         )
         return True
@@ -342,6 +351,7 @@ def _check_one(
                 workload=workload.to_dict() if workload else None,
                 fault=fault,
                 codes=codes,
+                flight=tuple(eq.flight_snapshot),
             )
         )
         return True

@@ -248,6 +248,28 @@ class ConcreteContext(NfContext):
             totals[totals_key] = totals.get(totals_key, 0) + count
         return totals
 
+    def stat_snapshot(
+        self, locked: frozenset[str] = frozenset()
+    ) -> tuple[int, int, int, int]:
+        """``(reads, writes, new_flow_packets, locked_writes)`` lifetime
+        totals in one pass over the interned op cells.
+
+        ``locked_writes`` counts writes to objects in ``locked`` (the
+        :class:`~repro.core.codegen.LockPlan`'s guarded set) — the
+        telemetry plane's ``lock_waits`` proxy: each such write is one
+        write-lock acquisition under LOCKS/TM, and zero when the NF runs
+        shared-nothing.
+        """
+        reads = writes = locked_writes = 0
+        for record, _, count in self._op_intern.values():
+            if record.write:
+                writes += count
+                if record.obj in locked:
+                    locked_writes += count
+            else:
+                reads += count
+        return reads, writes, self.new_flow_total, locked_writes
+
     def _record(self, obj: str, op: str, write: bool, key: Any = None) -> None:
         entry = self._op_intern.get((obj, op, write))
         if entry is None:

@@ -1,4 +1,4 @@
-"""``repro.obs``: spans, counters, and structured trace export.
+"""``repro.obs``: spans, counters, telemetry series, and trace export.
 
 The pipeline's unified instrumentation layer.  Zero dependencies beyond
 the stdlib (a lint-guard test enforces this), a no-op fast path when no
@@ -19,11 +19,49 @@ Every :class:`repro.core.MaestroResult` also carries its own
 :class:`MemoryCollector` under ``result.trace`` — stage timings, symbex
 path counters, and RS3 key-search counters are recorded per run whether
 or not a global collector is attached.
+
+The *telemetry plane* (:mod:`repro.obs.telemetry`) adds windowed per-core
+time-series on top: attach a :class:`TelemetrySink` around a functional
+run and the simulator streams per-core packets/ops/lock-waits into
+fixed-size packet-count windows::
+
+    sink = obs.TelemetrySink(window_packets=256)
+    with obs.telemetry(sink):
+        run_functional(parallel, trace)
+    print(obs.render_top(sink))
+
+:mod:`repro.obs.detect` turns sinks into verdicts (skew findings, perf
+model drift scores) and :mod:`repro.obs.flight` keeps a ring of recent
+per-packet events for failure forensics.
 """
 
 from repro.obs.collect import MemoryCollector, percentile
-from repro.obs.export import JsonlCollector, load_trace, read_events
-from repro.obs.report import render_collector, render_trace
+from repro.obs.detect import DriftReport, SkewFinding, detect_skew, model_drift
+from repro.obs.export import (
+    JsonlCollector,
+    load_telemetry,
+    load_trace,
+    read_events,
+    render_prometheus,
+    write_telemetry,
+)
+from repro.obs.flight import FlightRecorder, flow_fingerprint
+from repro.obs.report import (
+    render_collector,
+    render_timeline,
+    render_top,
+    render_trace,
+)
+from repro.obs.telemetry import (
+    METRICS,
+    TelemetrySink,
+    Window,
+    active_telemetry,
+    attach_telemetry,
+    detach_telemetry,
+    telemetry,
+    telemetry_enabled,
+)
 from repro.obs.trace import (
     Collector,
     SpanRecord,
@@ -61,4 +99,24 @@ __all__ = [
     "read_events",
     "render_collector",
     "render_trace",
+    # Telemetry plane
+    "METRICS",
+    "TelemetrySink",
+    "Window",
+    "telemetry",
+    "attach_telemetry",
+    "detach_telemetry",
+    "active_telemetry",
+    "telemetry_enabled",
+    "FlightRecorder",
+    "flow_fingerprint",
+    "SkewFinding",
+    "detect_skew",
+    "DriftReport",
+    "model_drift",
+    "write_telemetry",
+    "load_telemetry",
+    "render_prometheus",
+    "render_top",
+    "render_timeline",
 ]

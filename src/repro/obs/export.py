@@ -29,11 +29,22 @@ import time
 from typing import Any, Iterator, TextIO
 
 from repro.obs.collect import MemoryCollector
+from repro.obs.telemetry import METRICS, TelemetrySink
 from repro.obs.trace import SpanRecord
 
-__all__ = ["SCHEMA_VERSION", "JsonlCollector", "read_events", "load_trace"]
+__all__ = [
+    "SCHEMA_VERSION",
+    "TELEMETRY_SCHEMA_VERSION",
+    "JsonlCollector",
+    "read_events",
+    "load_trace",
+    "write_telemetry",
+    "load_telemetry",
+    "render_prometheus",
+]
 
 SCHEMA_VERSION = 1
+TELEMETRY_SCHEMA_VERSION = 1
 
 
 def _clean_attrs(attrs: dict[str, Any]) -> dict[str, Any]:
@@ -176,3 +187,91 @@ def load_trace(path: str) -> MemoryCollector:
         else:
             raise ValueError(f"{path}: unknown event kind {kind!r}")
     return collector
+
+
+# ------------------------------------------------------------------ #
+# Telemetry series files
+#
+# Same one-object-per-line JSONL discipline as traces, different kinds:
+# ``telemetry-meta`` (first line: sink configuration + lifetime totals),
+# one ``window`` line per ring entry, and an optional ``flight`` line
+# carrying a flight-recorder snapshot.
+# ------------------------------------------------------------------ #
+def write_telemetry(
+    path: str,
+    sink: TelemetrySink,
+    *,
+    flight: "list[dict[str, Any]] | None" = None,
+) -> None:
+    """Serialize a :class:`TelemetrySink` (and optional flight snapshot)."""
+    data = sink.to_dict()
+    windows = data.pop("windows")
+    with open(path, "w", encoding="utf-8") as fh:
+        meta = {
+            "kind": "telemetry-meta",
+            "schema": TELEMETRY_SCHEMA_VERSION,
+            "created_unix": time.time(),
+            "metrics": list(METRICS),
+        }
+        meta.update(data)
+        fh.write(json.dumps(meta, separators=(",", ":")) + "\n")
+        for window in windows:
+            event = {"kind": "window"}
+            event.update(window)
+            fh.write(json.dumps(event, separators=(",", ":")) + "\n")
+        if flight:
+            fh.write(
+                json.dumps(
+                    {"kind": "flight", "events": list(flight)},
+                    separators=(",", ":"),
+                )
+                + "\n"
+            )
+
+
+def load_telemetry(path: str) -> tuple[TelemetrySink, list[dict[str, Any]]]:
+    """Round-trip of :func:`write_telemetry`: ``(sink, flight_events)``."""
+    meta: dict[str, Any] | None = None
+    windows: list[dict[str, Any]] = []
+    flight: list[dict[str, Any]] = []
+    for event in read_events(path):
+        kind = event.get("kind")
+        if kind == "telemetry-meta":
+            meta = event
+        elif kind == "window":
+            windows.append(event)
+        elif kind == "flight":
+            flight.extend(event.get("events", []))
+        else:
+            raise ValueError(f"{path}: unknown telemetry event kind {kind!r}")
+    if meta is None:
+        raise ValueError(f"{path}: missing telemetry-meta line")
+    meta = dict(meta)
+    meta["windows"] = windows
+    return TelemetrySink.from_dict(meta), flight
+
+
+def render_prometheus(sink: TelemetrySink, *, prefix: str = "repro") -> str:
+    """Prometheus text exposition of a sink's lifetime per-core totals.
+
+    One ``<prefix>_core_<metric>_total`` counter family per telemetry
+    metric with a ``core`` label, plus window-plane gauges — the format
+    scrapers (and humans) already know how to read.
+    """
+    lines: list[str] = []
+    for metric in METRICS:
+        family = f"{prefix}_core_{metric}_total"
+        lines.append(f"# HELP {family} Per-core {metric} over the run.")
+        lines.append(f"# TYPE {family} counter")
+        for core_id, total in enumerate(sink.core_totals(metric)):
+            lines.append(f'{family}{{core="{core_id}"}} {total}')
+    gauges = (
+        ("telemetry_window_packets", sink.window_packets),
+        ("telemetry_windows_recorded", sink.windows_recorded),
+        ("telemetry_total_packets", sink.total_packets),
+    )
+    for name, value in gauges:
+        family = f"{prefix}_{name}"
+        lines.append(f"# TYPE {family} gauge")
+        lines.append(f"{family} {value}")
+    return "\n".join(lines) + "\n"

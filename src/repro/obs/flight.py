@@ -1,0 +1,98 @@
+"""Flight recorder: a bounded ring of recent per-packet events.
+
+When an equivalence check fails or the race sanitizer flags an MAE1xx
+finding, the diff alone says *what* diverged but not what the cores were
+doing just before.  A :class:`FlightRecorder` keeps the last-N packets'
+worth of context — core id, flow fingerprint, execution-path id, and the
+state ops performed — so the failure report (and the shrunk fuzz
+reproducer it ends up in) ships with the tail of the run attached.
+
+Events are plain dicts of ints/strings so a snapshot serializes straight
+into reproducer JSON and survives a round-trip untouched.  The path id
+interns the packet's (object, op, write) sequence: two packets that took
+the same code path share an id, which makes "every packet before the
+mismatch took path 0, the mismatch took path 3" readable at a glance.
+
+Stdlib-only, like the rest of ``repro.obs``.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import deque
+from typing import Any, Iterable, Sequence
+
+__all__ = ["FlightRecorder", "flow_fingerprint"]
+
+
+def flow_fingerprint(fields: Iterable[Any]) -> int:
+    """Deterministic 32-bit fingerprint of a flow key.
+
+    ``hash()`` is salted per process, so reproducers written by one run
+    would not match the next; CRC32 over the repr is stable forever.
+    """
+    material = "|".join(repr(f) for f in fields)
+    return zlib.crc32(material.encode())
+
+
+class FlightRecorder:
+    """Ring buffer of the last ``capacity`` per-packet events."""
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive: {capacity}")
+        self.capacity = int(capacity)
+        self._events: deque[dict[str, Any]] = deque(maxlen=self.capacity)
+        #: Interned path signatures: op-sequence -> small id.
+        self._paths: dict[tuple, int] = {}
+        self.total_recorded = 0
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def path_id(self, ops: Sequence) -> int:
+        """Small id for this packet's (obj, op, write) sequence."""
+        signature = tuple((op.obj, op.op, op.write) for op in ops)
+        known = self._paths.get(signature)
+        if known is None:
+            known = len(self._paths)
+            self._paths[signature] = known
+        return known
+
+    def record(
+        self,
+        index: int,
+        port: int,
+        core: int,
+        action: str,
+        out_port: int | None,
+        flow: Iterable[Any],
+        ops: Sequence,
+    ) -> None:
+        """Append one packet's event (evicting the oldest when full)."""
+        self._events.append(
+            {
+                "index": index,
+                "port": port,
+                "core": core,
+                "action": action,
+                "out_port": out_port,
+                "flow_hash": flow_fingerprint(flow),
+                "path_id": self.path_id(ops),
+                "state_ops": [
+                    f"{op.obj}.{op.op}{'!' if op.write else ''}" for op in ops
+                ],
+            }
+        )
+        self.total_recorded += 1
+
+    def snapshot(self) -> list[dict[str, Any]]:
+        """The buffered events, oldest first — JSON-ready dicts."""
+        return [dict(event) for event in self._events]
+
+    def paths(self) -> dict[int, tuple]:
+        """Interned path table: id -> (obj, op, write) sequence."""
+        return {pid: signature for signature, pid in self._paths.items()}
+
+    def clear(self) -> None:
+        self._events.clear()

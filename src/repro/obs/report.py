@@ -12,8 +12,15 @@ from typing import Any, Sequence
 
 from repro.obs.collect import MemoryCollector, percentile
 from repro.obs.export import load_trace
+from repro.obs.telemetry import METRICS, TelemetrySink
 
-__all__ = ["format_table", "render_collector", "render_trace"]
+__all__ = [
+    "format_table",
+    "render_collector",
+    "render_trace",
+    "render_top",
+    "render_timeline",
+]
 
 
 def format_table(header: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
@@ -100,22 +107,119 @@ def _histogram_section(collector: MemoryCollector) -> str:
     return format_table(header, rows)
 
 
+def _fastpath_section(collector: MemoryCollector) -> str | None:
+    """Steering-cache effectiveness, when the trace recorded any.
+
+    Returns None for traces without ``fastpath.*`` counters so reports
+    from analysis-only runs don't grow an all-zero section.
+    """
+    hits = collector.counter_total("fastpath.hits")
+    misses = collector.counter_total("fastpath.misses")
+    invalidations = collector.counter_total("fastpath.invalidations")
+    if not (hits or misses or invalidations):
+        return None
+    total = hits + misses
+    hit_rate = 100.0 * hits / total if total else 0.0
+    rows = [
+        ["steering-cache hits", str(hits)],
+        ["steering-cache misses", str(misses)],
+        ["hit rate", f"{hit_rate:.1f}%"],
+    ]
+    if invalidations:
+        rows.append(["invalidations", str(invalidations)])
+    return format_table(["fast path", "value"], rows)
+
+
 def render_collector(collector: MemoryCollector, *, title: str = "trace") -> str:
-    """Render the three report sections for an aggregated trace."""
-    return "\n".join(
-        [
-            f"== {title}: spans ==",
-            _span_section(collector),
-            "",
-            f"== {title}: counters ==",
-            _counter_section(collector),
-            "",
-            f"== {title}: histograms ==",
-            _histogram_section(collector),
-        ]
-    )
+    """Render the report sections for an aggregated trace."""
+    sections = [
+        f"== {title}: spans ==",
+        _span_section(collector),
+        "",
+        f"== {title}: counters ==",
+        _counter_section(collector),
+        "",
+        f"== {title}: histograms ==",
+        _histogram_section(collector),
+    ]
+    fastpath = _fastpath_section(collector)
+    if fastpath is not None:
+        sections.extend(["", f"== {title}: fast path ==", fastpath])
+    return "\n".join(sections)
 
 
 def render_trace(path: str) -> str:
     """Load a JSONL trace file and render the full report."""
     return render_collector(load_trace(path), title=path)
+
+
+# ------------------------------------------------------------------ #
+# Telemetry renderers (``python -m repro.obs top`` / ``timeline``)
+# ------------------------------------------------------------------ #
+def render_top(sink: TelemetrySink) -> str:
+    """Per-core summary table over a captured run — the ``top(1)`` view."""
+    if not sink.n_cores:
+        return "(no telemetry windows)"
+    packet_series = sink.series("packets")
+    total_packets = sink.total("packets") or 1
+    steer_hits = sink.core_totals("steer_hits")
+    steer_misses = sink.core_totals("steer_misses")
+    rows = []
+    for core in range(sink.n_cores):
+        per_window = [float(row[core]) for row in packet_series]
+        packets = sink.core_totals("packets")[core]
+        steered = steer_hits[core] + steer_misses[core]
+        hit_rate = f"{100.0 * steer_hits[core] / steered:.1f}%" if steered else "-"
+        rows.append(
+            [
+                f"core{core}",
+                str(packets),
+                f"{100.0 * packets / total_packets:.1f}%",
+                f"{percentile(per_window, 50):.0f}",
+                f"{percentile(per_window, 95):.0f}",
+                str(sink.core_totals("reads")[core]),
+                str(sink.core_totals("writes")[core]),
+                str(sink.core_totals("new_flows")[core]),
+                str(sink.core_totals("lock_waits")[core]),
+                hit_rate,
+            ]
+        )
+    header = [
+        "core", "packets", "share", "p50/win", "p95/win",
+        "reads", "writes", "new_flows", "lock_waits", "steer_hit",
+    ]
+    label = f" [{sink.label}]" if sink.label else ""
+    head = (
+        f"== telemetry{label}: {sink.windows_recorded} window(s) × "
+        f"{sink.window_packets} pkts, {sink.total_packets} packets =="
+    )
+    return "\n".join([head, format_table(header, rows)])
+
+
+def render_timeline(sink: TelemetrySink, *, metric: str = "packets") -> str:
+    """Window-by-window per-core series of one metric."""
+    if metric not in METRICS:
+        raise ValueError(
+            f"unknown metric {metric!r} (choose from {', '.join(METRICS)})"
+        )
+    if not len(sink):
+        return "(no telemetry windows)"
+    rows = []
+    for window in sink.windows:
+        values = list(window.metric(metric))
+        values.extend(0 for _ in range(sink.n_cores - len(values)))
+        total = sum(values)
+        fair = total / sink.n_cores if sink.n_cores else 0.0
+        imbalance = f"{max(values) / fair:.2f}" if fair else "-"
+        rows.append(
+            [f"w{window.index}", f"{window.start_packet}..{window.end_packet}"]
+            + [str(v) for v in values]
+            + [imbalance]
+        )
+    header = (
+        ["window", "packets"]
+        + [f"c{core}" for core in range(sink.n_cores)]
+        + ["imbalance"]
+    )
+    head = f"== timeline: {metric} per window per core =="
+    return "\n".join([head, format_table(header, rows)])

@@ -64,6 +64,9 @@ class EquivalenceReport:
     capacity_by_object: dict[str, int] = field(default_factory=dict)
     #: active race-sanitizer findings (``check_equivalence(sanitize=True)``)
     race_diagnostics: list = field(default_factory=list)
+    #: last-N-packets flight-recorder context, captured at the first real
+    #: mismatch (or at replay end when the sanitizer found violations)
+    flight_snapshot: list = field(default_factory=list)
 
     @property
     def equivalent(self) -> bool:
@@ -170,6 +173,7 @@ def check_equivalence(
     sanitize: bool = False,
     tree=None,
     flow_keys=None,
+    flight=None,
 ) -> EquivalenceReport:
     """Replay ``trace`` through a fresh sequential NF and ``parallel``.
 
@@ -191,6 +195,13 @@ def check_equivalence(
     correct for NFs keyed on (subsets including) the five-tuple but too
     narrow for partial keys — a src-port-only table aliases many header
     tuples onto one entry.
+
+    ``flight`` accepts a :class:`repro.obs.flight.FlightRecorder`: the
+    replay then records every parallel-side packet (core, flow hash,
+    path id, state ops) into its ring and the buffer is snapshotted into
+    ``report.flight_snapshot`` at the first genuine mismatch — the
+    last-N-packets context a reproducer ships with — or at replay end
+    when the sanitizer reported violations.
     """
     if flow_keys is None:
         flow_keys = _default_flow_keys
@@ -206,7 +217,20 @@ def check_equivalence(
     try:
         for index, (port, pkt) in enumerate(trace):
             seq_result = sequential.process(port, pkt)
-            _, par_result = parallel.process(port, pkt)
+            core_id, par_result = parallel.process(port, pkt)
+            if flight is not None:
+                flight.record(
+                    index,
+                    port,
+                    core_id,
+                    par_result.kind.value,
+                    par_result.port,
+                    (
+                        pkt.src_ip, pkt.dst_ip, pkt.src_port,
+                        pkt.dst_port, pkt.proto,
+                    ),
+                    par_result.ops,
+                )
             seq_obs = _observable(seq_result, ignored)
             par_obs = _observable(par_result, ignored)
             if seq_obs == par_obs:
@@ -252,6 +276,9 @@ def check_equivalence(
                     capacity_related=capacity,
                 )
             )
+            if flight is not None and not report.flight_snapshot:
+                # First genuine mismatch: freeze the tail of the run.
+                report.flight_snapshot = flight.snapshot()
     finally:
         if monitor is not None:
             monitor.remove()
@@ -261,4 +288,12 @@ def check_equivalence(
         report.race_diagnostics = analyze_monitor(
             monitor, tree=tree
         ).diagnostics
+    if (
+        flight is not None
+        and not report.flight_snapshot
+        and report.race_diagnostics
+    ):
+        # Sanitizer-only findings surface after the replay; attach the
+        # final ring so MAE1xx reports still carry packet context.
+        report.flight_snapshot = flight.snapshot()
     return report

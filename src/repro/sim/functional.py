@@ -103,26 +103,47 @@ class FlowSteeringCache:
         if self._generation != self.rss.steering_generation:
             self.invalidate()
 
-    def steer(self, trace: Sequence[tuple[int, "object"]]) -> np.ndarray:
-        """Core ids for every packet of ``trace``, in trace order."""
+    def steer(
+        self,
+        trace: Sequence[tuple[int, "object"]],
+        *,
+        with_misses: bool = False,
+    ) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
+        """Core ids for every packet of ``trace``, in trace order.
+
+        ``with_misses=True`` additionally returns a per-packet boolean
+        mask — True where the packet's flow had to be hashed (a cache
+        miss) — which is what lets the telemetry plane attribute
+        ``steer_hits``/``steer_misses`` to windows without re-probing
+        the cache per packet.
+        """
         self._check_generation()
         cores = np.zeros(len(trace), dtype=np.int64)
+        miss = np.zeros(len(trace), dtype=bool) if with_misses else None
         by_port: dict[int, list[int]] = {}
         for i, (port, _) in enumerate(trace):
             by_port.setdefault(port, []).append(i)
         for port, indices in by_port.items():
-            cores[indices] = self._steer_port(
-                port, [trace[i][1] for i in indices]
+            port_cores, port_miss = self._steer_port(
+                port, [trace[i][1] for i in indices], with_misses
             )
+            cores[indices] = port_cores
+            if miss is not None and port_miss is not None:
+                miss[indices] = port_miss
+        if with_misses:
+            return cores, miss
         return cores
 
-    def _steer_port(self, port: int, packets: list) -> np.ndarray:
+    def _steer_port(
+        self, port: int, packets: list, with_misses: bool = False
+    ) -> tuple[np.ndarray, np.ndarray | None]:
         config = self.rss.port_config(port)
         matrix = hash_input_matrix(packets, config.option)
         if matrix.shape[1] == 0:
             # Degenerate empty field option: every packet hashes alike.
             core = config.table.lookup(0)
-            return np.full(len(packets), core, dtype=np.int64)
+            mask = np.zeros(len(packets), dtype=bool) if with_misses else None
+            return np.full(len(packets), core, dtype=np.int64), mask
         # Collapse the trace to its unique flows: one void view per row
         # lets np.unique treat each hash input as an opaque scalar.
         rows = np.ascontiguousarray(matrix).view(
@@ -153,7 +174,16 @@ class FlowSteeringCache:
         if obs.enabled():
             obs.counter("fastpath.misses", len(missing), port=port)
             obs.counter("fastpath.hits", len(packets) - miss_packets, port=port)
-        return unique_cores[inverse]
+        mask = None
+        if with_misses:
+            # Same gather trick as the core lookup below: a per-unique
+            # miss flag expanded through ``inverse`` is O(U + N), where
+            # np.isin would sort ``missing`` per call.
+            miss_unique = np.zeros(len(unique_rows), dtype=bool)
+            if missing:
+                miss_unique[missing] = True
+            mask = miss_unique[inverse]
+        return unique_cores[inverse], mask
 
 
 class _ResultsView(Sequence):
@@ -371,13 +401,96 @@ class FunctionalRun:
         return float(self.hard_write_flags().sum()) / self._n
 
 
+def _window_rows(
+    parallel: ParallelNF,
+    before: list[tuple[int, int, int, int]],
+    packets: Sequence[int],
+    locked: frozenset,
+    hits: Sequence[int] | None = None,
+    misses: Sequence[int] | None = None,
+) -> list[list[int]]:
+    """Per-core telemetry rows for one window, from ctx snapshot deltas.
+
+    Row order matches :data:`repro.obs.telemetry.METRICS`.  Because the
+    rows are deltas of the same lifetime counters the aggregate metrics
+    read, window sums telescope exactly to the run totals (the
+    conservation property the telemetry tests pin down).
+    """
+    rows: list[list[int]] = []
+    for core_id, core in enumerate(parallel.cores):
+        r0, w0, nf0, lw0 = before[core_id]
+        r1, w1, nf1, lw1 = core.ctx.stat_snapshot(locked)
+        rows.append(
+            [
+                int(packets[core_id]),
+                r1 - r0,
+                w1 - w0,
+                nf1 - nf0,
+                lw1 - lw0,
+                int(hits[core_id]) if hits is not None else 0,
+                int(misses[core_id]) if misses is not None else 0,
+            ]
+        )
+    return rows
+
+
 def _run_reference(
     parallel: ParallelNF, trace: Trace, run: FunctionalRun
 ) -> FunctionalRun:
     """The seed packet-at-a-time path: scalar RSS per packet (the oracle)."""
-    for port, pkt in trace:
-        run.add(*parallel.process(port, pkt))
+    sink = obs.active_telemetry()
+    if sink is None:
+        for port, pkt in trace:
+            run.add(*parallel.process(port, pkt))
+        return run
+    # Telemetry attached: same per-packet loop, with a window boundary
+    # every ``window_packets`` packets.  No steering cache on this path,
+    # so steer_hits/steer_misses stay zero.
+    locked = parallel.lock_plan.locked
+    n = len(trace)
+    start = 0
+    while start < n:
+        end = min(start + sink.window_packets, n)
+        before = [core.ctx.stat_snapshot(locked) for core in parallel.cores]
+        packets = [0] * parallel.n_cores
+        for i in range(start, end):
+            core_id, result = parallel.process(*trace[i])
+            run.add(core_id, result)
+            packets[core_id] += 1
+        sink.record_window(_window_rows(parallel, before, packets, locked))
+        start = end
     return run
+
+
+def _execute_slice(
+    parallel: ParallelNF,
+    trace: Trace,
+    core_ids: np.ndarray,
+    results: list,
+    start: int,
+    end: int,
+) -> None:
+    """Run ``trace[start:end]`` on pre-steered cores, filling ``results``."""
+    if parallel.strategy is Strategy.SHARED_NOTHING:
+        # State shards are per-core and traces are timestamp-ordered,
+        # so each core's packets can run as one tight batch: same
+        # per-core arrival order, identical per-packet results,
+        # better locality.  starmap keeps the dispatch loop in C.
+        chunk = core_ids[start:end]
+        for core_id, core in enumerate(parallel.cores):
+            idx = (np.flatnonzero(chunk == core_id) + start).tolist()
+            if not idx:
+                continue
+            outs = starmap(core.ctx.run, [trace[i] for i in idx])
+            for i, result in zip(idx, outs):
+                results[i] = result
+    else:
+        # Shared state store: cross-core interleaving is observable,
+        # keep strict trace order.
+        ctxs = [core.ctx for core in parallel.cores]
+        for i in range(start, end):
+            port, pkt = trace[i]
+            results[i] = ctxs[core_ids[i]].run(port, pkt)
 
 
 def _run_fastpath(
@@ -388,7 +501,12 @@ def _run_fastpath(
 ) -> FunctionalRun:
     """Batched steering + grouped execution, bit-identical to the oracle."""
     cache = flow_cache if flow_cache is not None else FlowSteeringCache(parallel.rss)
-    core_ids = cache.steer(trace)
+    sink = obs.active_telemetry()
+    if sink is None:
+        core_ids = cache.steer(trace)
+        miss_mask = None
+    else:
+        core_ids, miss_mask = cache.steer(trace, with_misses=True)
     n = len(trace)
     results: list[PacketResult | None] = [None] * n
     stats_before = [_ctx_stat_snapshot(core.ctx) for core in parallel.cores]
@@ -400,25 +518,71 @@ def _run_fastpath(
     if gc_was_enabled:
         gc.disable()
     try:
-        if parallel.strategy is Strategy.SHARED_NOTHING:
-            # State shards are per-core and traces are timestamp-ordered,
-            # so each core's packets can run as one tight batch: same
-            # per-core arrival order, identical per-packet results,
-            # better locality.  starmap keeps the dispatch loop in C.
-            for core_id, core in enumerate(parallel.cores):
-                idx = np.flatnonzero(core_ids == core_id).tolist()
-                if not idx:
-                    continue
-                outs = starmap(core.ctx.run, [trace[i] for i in idx])
-                for i, result in zip(idx, outs):
-                    results[i] = result
-        else:
-            # Shared state store: cross-core interleaving is observable,
-            # keep strict trace order.
-            ctxs = [core.ctx for core in parallel.cores]
-            for i in range(n):
-                port, pkt = trace[i]
-                results[i] = ctxs[core_ids[i]].run(port, pkt)
+        if sink is None:
+            _execute_slice(parallel, trace, core_ids, results, 0, n)
+        elif n:
+            # Telemetry attached: execute in window-sized chunks, with
+            # one O(cores) snapshot delta per boundary.  Per-core order
+            # is preserved across chunk boundaries, so the results stay
+            # bit-identical to the plain fast path.  All O(n) work — the
+            # per-core partition and the per-window packet/miss counts —
+            # happens once up front; the chunk loop itself only slices
+            # precomputed lists, keeping the telemetry surcharge to the
+            # O(windows x cores) snapshots the design budgets for.
+            locked = parallel.lock_plan.locked
+            n_cores = parallel.n_cores
+            edges = np.append(np.arange(0, n, sink.window_packets), n)
+            n_chunks = len(edges) - 1
+            flat = (np.arange(n) // sink.window_packets) * n_cores + core_ids
+            pkt_counts = np.bincount(
+                flat, minlength=n_chunks * n_cores
+            ).reshape(n_chunks, n_cores)
+            miss_counts = np.bincount(
+                flat[miss_mask], minlength=n_chunks * n_cores
+            ).reshape(n_chunks, n_cores)
+            shared_nothing = parallel.strategy is Strategy.SHARED_NOTHING
+            if shared_nothing:
+                # One partition pass per core (exactly what the plain
+                # fast path does), then searchsorted window boundaries
+                # into each core's private order.
+                idx_by_core: list[list[int]] = []
+                pkts_by_core: list[list] = []
+                bounds_by_core: list[np.ndarray] = []
+                for core_id in range(n_cores):
+                    order = np.flatnonzero(core_ids == core_id)
+                    idx = order.tolist()
+                    idx_by_core.append(idx)
+                    pkts_by_core.append([trace[i] for i in idx])
+                    bounds_by_core.append(np.searchsorted(order, edges))
+            for k in range(n_chunks):
+                before = [
+                    core.ctx.stat_snapshot(locked) for core in parallel.cores
+                ]
+                if shared_nothing:
+                    for core_id, core in enumerate(parallel.cores):
+                        bounds = bounds_by_core[core_id]
+                        lo, hi = int(bounds[k]), int(bounds[k + 1])
+                        if lo == hi:
+                            continue
+                        outs = starmap(
+                            core.ctx.run, pkts_by_core[core_id][lo:hi]
+                        )
+                        for i, result in zip(
+                            idx_by_core[core_id][lo:hi], outs
+                        ):
+                            results[i] = result
+                else:
+                    _execute_slice(
+                        parallel, trace, core_ids, results,
+                        int(edges[k]), int(edges[k + 1]),
+                    )
+                misses = miss_counts[k]
+                sink.record_window(
+                    _window_rows(
+                        parallel, before, pkt_counts[k], locked,
+                        hits=pkt_counts[k] - misses, misses=misses,
+                    )
+                )
     finally:
         if gc_was_enabled:
             gc.enable()
@@ -429,13 +593,8 @@ def _run_fastpath(
 
 def _ctx_stat_snapshot(ctx) -> tuple[int, int, int]:
     """``(reads, writes, new_flow_packets)`` lifetime totals of one ctx."""
-    reads = writes = 0
-    for (_, kind), count in ctx.op_totals.items():
-        if kind == "write":
-            writes += count
-        else:
-            reads += count
-    return reads, writes, ctx.new_flow_total
+    reads, writes, new_flows, _ = ctx.stat_snapshot()
+    return reads, writes, new_flows
 
 
 def _reconcile_core_stats(

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro import obs
 from repro.core.codegen import ParallelNF, Strategy
+from repro.obs.detect import DriftReport, model_drift
 from repro.hw import params
 from repro.hw.cache import CacheHierarchy
 from repro.hw.cpu import NfCostProfile, profile_for
@@ -273,3 +274,43 @@ class PerformanceModel:
         return self.throughput(
             profile, parallel.strategy, parallel.n_cores, workload
         )
+
+    def drift_report(
+        self,
+        parallel: ParallelNF,
+        workload: Workload,
+        run,
+        *,
+        threshold: float = 0.15,
+    ) -> DriftReport:
+        """Validate the model against an executed run's telemetry.
+
+        ``run`` is a :class:`~repro.sim.functional.FunctionalRun` of the
+        same ``parallel`` NF.  The model's *prior* prediction — the
+        per-core shares and write fraction it would have assumed without
+        seeing the run — is scored against what actually happened
+        (:func:`repro.obs.detect.model_drift`).  A skewed workload the
+        model priced as uniform drifts hard; a uniform one scores near
+        zero.  This is the sensing API the elastic-scaling controller
+        (ROADMAP item 2) polls to decide when the plan needs revisiting.
+        """
+        profile = profile_for(parallel.nf)
+        predicted = self.throughput(
+            profile, parallel.strategy, parallel.n_cores, workload
+        )
+        drift = model_drift(
+            Workload.shares(workload, parallel.n_cores).tolist(),
+            run.core_shares().tolist(),
+            predicted_write_fraction=predicted.write_fraction,
+            observed_write_fraction=run.write_fraction(),
+            predicted_bottleneck=predicted.bottleneck.value,
+            threshold=threshold,
+        )
+        obs.histogram(
+            "telemetry.drift_score",
+            drift.score,
+            nf=parallel.nf.name,
+            strategy=parallel.strategy.value,
+            cores=parallel.n_cores,
+        )
+        return drift

@@ -175,3 +175,39 @@ def test_design_doc_section_10_documents_fuzzer() -> None:
     readme = (root / "README.md").read_text()
     assert "## Fuzzing the pipeline" in readme
     assert "python -m repro.fuzz" in readme
+
+
+def test_design_doc_section_11_documents_telemetry() -> None:
+    """Satellite: DESIGN §11 must document the telemetry plane — every
+    window metric, the detectors' score definitions, the series-file
+    event kinds, and the CLIs — and the README must carry the Telemetry
+    section. Kept in sync with the code like §9/§10 above."""
+    from pathlib import Path
+
+    from repro.obs.telemetry import METRICS
+
+    root = Path(__file__).resolve().parents[2]
+    design = (root / "DESIGN.md").read_text()
+    section = design[design.index("## 11.") :]
+    for metric in METRICS:
+        assert f"`{metric}`" in section, f"metric {metric} missing from §11"
+    for topic in (
+        "virtual time",
+        "conservation",
+        "bit-identical",
+        "total-variation",
+        "Flight recorder",
+    ):
+        assert topic in section, f"{topic} missing from DESIGN.md §11"
+    # the score/threshold definitions the detectors implement
+    assert "max-core share / fair share" in section
+    assert "0.5 * TV(shares) + 0.5 * |Δ write_fraction|" in section
+    for kind in ("`telemetry-meta`", "`window`", "`flight`"):
+        assert kind in section, f"event kind {kind} missing from §11"
+    for cli in ("top", "timeline", "prom", "report --json"):
+        assert cli in section, f"CLI {cli} missing from §11"
+    assert "telemetry.overhead_frac" in section
+    readme = (root / "README.md").read_text()
+    assert "## Telemetry" in readme
+    assert "python -m repro.obs top" in readme
+    assert "--telemetry" in readme

@@ -1,0 +1,93 @@
+"""Flight-recorder context on fuzz failures, through reproducer files.
+
+Satellite of the telemetry PR: a fault-injected failure must carry a
+non-empty last-N-packets flight snapshot, the snapshot must serialize
+into the shrunk reproducer JSON, and :attr:`CorpusEntry.flight` must
+hand it back untouched after a corpus round-trip.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.fuzz.corpus import CorpusEntry, load_corpus, save_reproducer
+from repro.fuzz.generator import random_spec
+from repro.fuzz.oracle import run_oracle
+from repro.fuzz.workloads import WorkloadSpec, materialize_workload
+
+LOCKS_SEED = 1  # random_spec(1) builds an NF the analyzer locks
+
+EVENT_KEYS = {
+    "index", "port", "core", "action", "out_port",
+    "flow_hash", "path_id", "state_ops",
+}
+
+
+def _failing_report_and_trace():
+    spec = random_spec(LOCKS_SEED, shape="small")
+    trace = materialize_workload(
+        WorkloadSpec("uniform", 11, n_packets=24, n_flows=6)
+    )
+    report = run_oracle(
+        spec, [], traces=[(None, trace)], n_cores=4, maestro_seed=7,
+        fault="drop-lock",
+    )
+    assert not report.ok
+    return spec, trace, report
+
+
+def test_fault_injected_failure_carries_flight_snapshot() -> None:
+    _, trace, report = _failing_report_and_trace()
+    flighted = [f for f in report.failures if f.flight]
+    assert flighted, "race/equivalence failures must ship flight context"
+    for failure in flighted:
+        for event in failure.flight:
+            assert EVENT_KEYS <= set(event)
+        # the recorder saw the tail of the run, in order
+        indices = [e["index"] for e in failure.flight]
+        assert indices == sorted(indices)
+        assert max(indices) < len(trace)
+
+
+def test_flight_snapshot_embeds_in_failure_dict() -> None:
+    _, _, report = _failing_report_and_trace()
+    failure = next(f for f in report.failures if f.flight)
+    payload = failure.to_dict()
+    assert payload["flight"] == [dict(e) for e in failure.flight]
+    json.dumps(payload)  # reproducer-JSON ready
+
+
+def test_reproducer_round_trips_flight(tmp_path) -> None:
+    spec, trace, report = _failing_report_and_trace()
+    failure = next(f for f in report.failures if f.flight)
+    entry = CorpusEntry(
+        name="",
+        spec=spec,
+        trace=trace,
+        signature=failure.signature,
+        fault="drop-lock",
+        seed=LOCKS_SEED,
+        n_cores=4,
+        maestro_seed=7,
+        failure=failure.to_dict(),
+    )
+    path = save_reproducer(tmp_path, entry)
+    raw = json.loads(path.read_text())
+    assert raw["failure"]["flight"], "flight snapshot missing from JSON"
+    (loaded,) = load_corpus(tmp_path)
+    assert loaded.flight == [dict(e) for e in failure.flight]
+    assert loaded.flight  # non-empty after the round-trip
+
+
+def test_entries_without_failure_have_empty_flight(tmp_path) -> None:
+    spec, trace, report = _failing_report_and_trace()
+    entry = CorpusEntry(
+        name="",
+        spec=spec,
+        trace=trace,
+        signature=report.failures[0].signature,
+        fault="drop-lock",
+    )
+    save_reproducer(tmp_path, entry)
+    (loaded,) = load_corpus(tmp_path)
+    assert loaded.flight == []

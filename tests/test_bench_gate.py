@@ -1,0 +1,102 @@
+"""The benchmark regression gate script, including the absolute gates.
+
+``benchmarks/check_bench_regression.py`` is plain-script CI glue; these
+tests pin its exit codes so a refactor can't silently turn a telemetry
+overhead regression (or a malformed baseline) into a green build.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = (
+    Path(__file__).resolve().parents[1]
+    / "benchmarks"
+    / "check_bench_regression.py"
+)
+_spec = importlib.util.spec_from_file_location("check_bench_regression", _SCRIPT)
+gate = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(gate)
+
+
+def _payload(
+    *, fast=4.0, batch=0.04, overhead=-0.01, ceiling=0.05, quick=True
+) -> dict:
+    return {
+        "quick": quick,
+        "hash": {"batch_us_per_pkt": batch, "scalar_us_per_pkt": 20.0},
+        "e2e": {"fastpath_us_per_pkt": fast, "reference_us_per_pkt": 28.0},
+        "telemetry": {"overhead_frac": overhead, "ceiling_frac": ceiling},
+    }
+
+
+@pytest.fixture()
+def write(tmp_path):
+    def _write(name: str, data: dict) -> str:
+        path = tmp_path / name
+        path.write_text(json.dumps(data))
+        return str(path)
+
+    return _write
+
+
+def _run(write, baseline: dict, fresh: dict, *extra: str) -> int:
+    return gate.main(
+        [
+            "--baseline", write("baseline.json", baseline),
+            "--fresh", write("fresh.json", fresh),
+            *extra,
+        ]
+    )
+
+
+def test_within_tolerance_passes(write, capsys):
+    assert _run(write, _payload(), _payload()) == 0
+    assert "within tolerance" in capsys.readouterr().out
+
+
+def test_throughput_regression_fails(write, capsys):
+    fresh = _payload(fast=4.0 / (1 - 0.25) + 0.1)
+    assert _run(write, _payload(), fresh) == 1
+    assert "REGRESSION" in capsys.readouterr().out
+
+
+def test_telemetry_overhead_over_ceiling_fails(write, capsys):
+    assert _run(write, _payload(), _payload(overhead=0.06)) == 1
+    assert "telemetry.overhead_frac" in capsys.readouterr().out
+
+
+def test_negative_overhead_is_fine(write):
+    """The absolute gate must accept <= 0 values the relative math can't."""
+    assert _run(write, _payload(), _payload(overhead=-0.04)) == 0
+
+
+def test_missing_telemetry_section_is_a_usage_error(write, capsys):
+    fresh = _payload()
+    del fresh["telemetry"]
+    assert _run(write, _payload(), fresh) == 2
+    assert "telemetry.overhead_frac" in capsys.readouterr().err
+
+
+def test_quick_mode_mismatch_rejected(write):
+    assert _run(write, _payload(quick=False), _payload(quick=True)) == 2
+
+
+def test_bad_tolerance_rejected(write):
+    assert _run(write, _payload(), _payload(), "--tolerance", "1.5") == 2
+
+
+def test_committed_baseline_has_the_gated_shape():
+    """The checked-in BENCH_fastpath.json must keep every metric the
+    gate reads, so CI never 2-exits on a stale baseline."""
+    baseline = json.loads(
+        (Path(__file__).resolve().parents[1] / "BENCH_fastpath.json").read_text()
+    )
+    for section, name in (*gate.GATED, *gate.CONTEXT):
+        assert name in baseline[section], f"{section}.{name} missing"
+    for section, _, ceiling_key in gate.ABSOLUTE:
+        assert ceiling_key in baseline[section]
