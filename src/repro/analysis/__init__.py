@@ -17,17 +17,28 @@ parallel NF and checks the event log against the plan — lockset,
 lock-order, shard-ownership, and footprint cross-validation
 (``MAE101``–``MAE104``), via ``python -m repro.analysis race``.
 
+Chains compose: :mod:`repro.analysis.chain_passes` analyzes whole NF
+service chains (``.chain`` files) — composed symbex footprints,
+cross-NF shard compatibility, a joint RSS key search over the chain's
+ingress ports, and differential validation — reporting ``MAE200``–
+``MAE204`` through the same machinery, via
+``python -m repro.analysis chain``.
+
 Findings carry stable ``MAE`` codes (see
 :data:`repro.analysis.diagnostics.DIAGNOSTIC_CODES`) and render as text
 or JSON via ``python -m repro.analysis lint <nf-name|--all>``.
 """
 
+from repro.analysis.chain_passes import ChainReport, HopAnalysis, analyze_chain
 from repro.analysis.diagnostics import (
     DIAGNOSTIC_CODES,
+    SCHEMA_VERSION,
     Diagnostic,
     Severity,
+    diagnostics_from_json,
     render_json,
     render_text,
+    sort_diagnostics,
 )
 from repro.analysis.lint import default_passes, lint_nf
 from repro.analysis.passes import AnalysisPass, PassContext, PassManager
@@ -37,20 +48,27 @@ from repro.analysis.race import (
     sanitize_nf,
     sanitize_parallel,
 )
-from repro.analysis.source import NfSource, gather_sources
+from repro.analysis.source import NfSource, collect_waivers, gather_sources
 
 __all__ = [
     "DIAGNOSTIC_CODES",
+    "SCHEMA_VERSION",
     "Diagnostic",
     "Severity",
+    "diagnostics_from_json",
     "render_json",
     "render_text",
+    "sort_diagnostics",
+    "ChainReport",
+    "HopAnalysis",
+    "analyze_chain",
     "default_passes",
     "lint_nf",
     "AnalysisPass",
     "PassContext",
     "PassManager",
     "NfSource",
+    "collect_waivers",
     "gather_sources",
     "RaceMonitor",
     "RaceReport",

@@ -1,8 +1,10 @@
-"""CLI: ``python -m repro.analysis {lint,race} <nf-name ...|--all>``.
+"""CLI: ``python -m repro.analysis {lint,race,chain} <name ...|--all>``.
 
 ``lint`` runs the static passes (source + model audit); ``race`` runs
 the dynamic sanitizer — full pipeline, generated parallel NF, benchmark
-trace replayed under the lockset/ownership checkers.
+trace replayed under the lockset/ownership checkers; ``chain`` runs the
+whole-chain analysis (composed footprints, joint RSS key search,
+MAE2xx diagnostics, differential validation) over ``.chain`` files.
 
 Exit codes are CI-friendly: 0 when no error-severity diagnostics were
 found (warnings alone don't fail a build), 1 when at least one error
@@ -18,6 +20,7 @@ import sys
 from pathlib import Path
 
 from repro.analysis.diagnostics import (
+    SCHEMA_VERSION,
     Diagnostic,
     render_json,
     render_text,
@@ -160,7 +163,10 @@ def _run_race(race: argparse.ArgumentParser, args) -> int:
             )
         )
 
-    payload = [report.to_json() for report in reports]
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "reports": [report.to_json() for report in reports],
+    }
     if args.out:
         Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
     if args.json:
@@ -174,6 +180,85 @@ def _run_race(race: argparse.ArgumentParser, args) -> int:
                 print(f"  [waived] {diag.render()}")
         bad = sum(1 for report in reports if not report.clean)
         print(f"{len(reports)} NF(s) sanitized, {bad} with violations")
+    return 1 if any(not report.clean for report in reports) else 0
+
+
+def _chain_files(cmd: argparse.ArgumentParser, args) -> list[Path] | int:
+    """Resolve the ``.chain`` files to analyze (explicit paths or --all)."""
+    if args.all:
+        candidates = [
+            Path(__file__).resolve().parents[3] / "examples" / "chains",
+            Path.cwd() / "examples" / "chains",
+        ]
+        root = next((p for p in candidates if p.is_dir()), None)
+        if root is None:
+            print(
+                "error: --all found no examples/chains/ directory",
+                file=sys.stderr,
+            )
+            return 2
+        files = sorted(root.glob("*.chain"))
+        if not files:
+            print(f"error: no .chain files under {root}", file=sys.stderr)
+            return 2
+        return files
+    if not args.files:
+        cmd.print_usage(sys.stderr)
+        print("error: give at least one .chain file or --all", file=sys.stderr)
+        return 2
+    files = [Path(name) for name in args.files]
+    missing = [str(p) for p in files if not p.is_file()]
+    if missing:
+        print(f"error: no such chain file(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+    return files
+
+
+def _run_chain(cmd: argparse.ArgumentParser, args) -> int:
+    from repro.analysis.chain_passes import analyze_chain
+    from repro.chain import load_chain
+    from repro.errors import ReproError
+
+    files = _chain_files(cmd, args)
+    if isinstance(files, int):
+        return files
+    registry = dict(_registry(include_examples=True))
+    reports = []
+    for path in files:
+        try:
+            chain = load_chain(path)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        reports.append(
+            analyze_chain(
+                chain,
+                registry=registry,
+                seed=args.seed,
+                n_cores=args.cores,
+                packets=args.packets,
+                n_flows=args.flows,
+                validate=not args.no_validate,
+            )
+        )
+
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "chains": [report.to_json() for report in reports],
+    }
+    if args.out:
+        Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        for report in reports:
+            print(report.describe())
+            for diag in report.diagnostics:
+                print(f"  {diag.render()}")
+            for diag in report.waived:
+                print(f"  [waived] {diag.render()}")
+        bad = sum(1 for report in reports if not report.clean)
+        print(f"{len(reports)} chain(s) analyzed, {bad} with errors")
     return 1 if any(not report.clean for report in reports) else 0
 
 
@@ -222,10 +307,56 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         help="also write the JSON report to PATH (CI artifact)",
     )
+    chain = sub.add_parser(
+        "chain",
+        help="analyze NF service chains: composed footprints, joint RSS "
+        "key search, MAE2xx diagnostics, differential validation",
+    )
+    chain.add_argument(
+        "files",
+        nargs="*",
+        metavar="chain-file",
+        help="chain description files (.chain)",
+    )
+    chain.add_argument(
+        "--all",
+        action="store_true",
+        help="analyze every bundled chain under examples/chains/",
+    )
+    chain.add_argument(
+        "--json", action="store_true", help="emit the reports as JSON"
+    )
+    chain.add_argument(
+        "--cores", type=int, default=4, help="worker cores (default 4)"
+    )
+    chain.add_argument(
+        "--packets",
+        type=int,
+        default=512,
+        help="validation-trace length (default 512)",
+    )
+    chain.add_argument(
+        "--flows", type=int, default=128, help="distinct flows (default 128)"
+    )
+    chain.add_argument(
+        "--seed", type=int, default=12345, help="pipeline + trace seed"
+    )
+    chain.add_argument(
+        "--no-validate",
+        action="store_true",
+        help="skip the differential replay (analysis-only, faster)",
+    )
+    chain.add_argument(
+        "--out",
+        metavar="PATH",
+        help="also write the JSON report to PATH (CI artifact)",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "race":
         return _run_race(race, args)
+    if args.command == "chain":
+        return _run_chain(chain, args)
     return _run_lint(lint, args)
 
 

@@ -13,7 +13,21 @@ import enum
 import json
 from dataclasses import dataclass, field
 
-__all__ = ["Severity", "Diagnostic", "DIAGNOSTIC_CODES", "render_text", "render_json"]
+__all__ = [
+    "SCHEMA_VERSION",
+    "Severity",
+    "Diagnostic",
+    "DIAGNOSTIC_CODES",
+    "render_text",
+    "render_json",
+    "sort_diagnostics",
+    "diagnostics_from_json",
+]
+
+#: Version tag stamped into every analysis/race/chain JSON payload so
+#: downstream tooling can gate on the format before parsing the rest.
+#: Bump the suffix on breaking shape changes.
+SCHEMA_VERSION = "repro.analysis/1"
 
 
 class Severity(enum.Enum):
@@ -105,6 +119,34 @@ DIAGNOSTIC_CODES: dict[str, tuple[Severity, str]] = {
         "any symbex path footprint for its port (static model unsound "
         "for this trace)",
     ),
+    "MAE200": (
+        Severity.ERROR,
+        "chain analysis failure: the chain could not be parsed or a hop "
+        "could not be analyzed",
+    ),
+    "MAE201": (
+        Severity.WARNING,
+        "chain shard compatibility: the hops' sharding field-sets admit "
+        "no common key orientation on a chain port — no single RSS key "
+        "keeps a flow on one core end-to-end (per-hop fallback)",
+    ),
+    "MAE202": (
+        Severity.ERROR,
+        "chain lock order: two LOCKS hops are traversed in opposite "
+        "orders on different chain routes, so no single global lock "
+        "acquisition order covers the composed pipeline",
+    ),
+    "MAE203": (
+        Severity.WARNING,
+        "chain verdict conflict: a hop's LOCKS verdict is incompatible "
+        "with end-to-end shared-nothing steering (per-hop fallback)",
+    ),
+    "MAE204": (
+        Severity.ERROR,
+        "chain port map: a hop or wire is dead — unreachable from every "
+        "chain ingress, fed by a port the source hop never forwards to, "
+        "or a reachable forward port has no wire/egress attached",
+    ),
 }
 
 
@@ -176,15 +218,34 @@ class Diagnostic:
         }
 
 
+_SEVERITY_ORDER = {Severity.ERROR: 0, Severity.WARNING: 1, Severity.NOTE: 2}
+
+
+def sort_diagnostics(diagnostics: list[Diagnostic]) -> list[Diagnostic]:
+    """Canonical, fully deterministic ordering.
+
+    Errors first, then by NF/hop name, file, line, code, and finally
+    message/path — every field participates so two runs over the same
+    inputs render byte-for-byte identical reports regardless of the
+    (dict/set-driven) order the passes emitted them in.
+    """
+    return sorted(
+        diagnostics,
+        key=lambda d: (
+            _SEVERITY_ORDER[d.severity],
+            d.nf,
+            d.file or "",
+            d.line or 0,
+            d.code,
+            d.message,
+            d.path_id or "",
+        ),
+    )
+
+
 def render_text(diagnostics: list[Diagnostic]) -> str:
     """Human-readable report, errors first, with a summary line."""
-    ordering = {Severity.ERROR: 0, Severity.WARNING: 1, Severity.NOTE: 2}
-    lines = [
-        d.render()
-        for d in sorted(
-            diagnostics, key=lambda d: (ordering[d.severity], d.nf, d.code)
-        )
-    ]
+    lines = [d.render() for d in sort_diagnostics(diagnostics)]
     errors = sum(1 for d in diagnostics if d.severity is Severity.ERROR)
     warnings = sum(1 for d in diagnostics if d.severity is Severity.WARNING)
     lines.append(f"{errors} error(s), {warnings} warning(s)")
@@ -192,4 +253,38 @@ def render_text(diagnostics: list[Diagnostic]) -> str:
 
 
 def render_json(diagnostics: list[Diagnostic]) -> str:
-    return json.dumps([d.to_json() for d in diagnostics], indent=2)
+    """Versioned JSON payload: ``{"schema": ..., "diagnostics": [...]}``."""
+    return json.dumps(
+        {
+            "schema": SCHEMA_VERSION,
+            "diagnostics": [d.to_json() for d in sort_diagnostics(diagnostics)],
+        },
+        indent=2,
+    )
+
+
+def diagnostics_from_json(payload: str | dict) -> list[Diagnostic]:
+    """Rebuild :class:`Diagnostic` objects from a ``render_json`` payload.
+
+    Rejects payloads from a different schema generation — the round-trip
+    contract downstream tooling gates on.
+    """
+    data = json.loads(payload) if isinstance(payload, str) else payload
+    schema = data.get("schema")
+    if schema != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported analysis schema {schema!r} "
+            f"(this build reads {SCHEMA_VERSION!r})"
+        )
+    return [
+        Diagnostic(
+            code=entry["code"],
+            message=entry["message"],
+            nf=entry["nf"],
+            severity=Severity(entry["severity"]),
+            file=entry.get("file"),
+            line=entry.get("line"),
+            path_id=entry.get("path_id"),
+        )
+        for entry in data["diagnostics"]
+    ]

@@ -7,6 +7,9 @@ waivers.  A waiver comment on a flagged line suppresses that code::
 
     ctx.map_get(map_name, key)  # maestro: waive[MAE006]
 
+Several codes can share one comment (``waive[MAE001,MAE203]``).  Unknown
+codes are rejected with :class:`repro.errors.WaiverError` — a typo'd
+waiver would otherwise silently suppress nothing while looking reviewed.
 Waivers are line-scoped and code-scoped on purpose: a blanket opt-out
 would defeat the point of a safety gate.
 """
@@ -19,9 +22,11 @@ import re
 import textwrap
 from dataclasses import dataclass, field
 
+from repro.analysis.diagnostics import DIAGNOSTIC_CODES
+from repro.errors import WaiverError
 from repro.nf.api import NF
 
-__all__ = ["MethodSource", "NfSource", "gather_sources"]
+__all__ = ["MethodSource", "NfSource", "gather_sources", "collect_waivers"]
 
 _WAIVER_RE = re.compile(r"#\s*maestro:\s*waive\[?\s*([A-Z0-9,\s]+?)\s*\]?\s*$")
 
@@ -71,9 +76,15 @@ def _param_named(fn: ast.FunctionDef, *candidates: str) -> str:
     return ""
 
 
-def _collect_waivers(
-    source: str, file: str, first_line: int
+def collect_waivers(
+    source: str, file: str, first_line: int = 1
 ) -> dict[tuple[str, int], frozenset[str]]:
+    """Extract ``# maestro: waive[...]`` comments, one entry per line.
+
+    A comment may list several codes separated by commas.  Every code is
+    validated against the registry: an unknown code raises
+    :class:`WaiverError` naming the file, line, and offending code.
+    """
     waivers: dict[tuple[str, int], frozenset[str]] = {}
     for offset, line in enumerate(source.splitlines()):
         match = _WAIVER_RE.search(line)
@@ -82,9 +93,20 @@ def _collect_waivers(
         codes = frozenset(
             code.strip() for code in match.group(1).split(",") if code.strip()
         )
+        unknown = sorted(code for code in codes if code not in DIAGNOSTIC_CODES)
+        if unknown:
+            raise WaiverError(
+                f"{file}:{first_line + offset}: unknown waiver code(s) "
+                f"{', '.join(unknown)} — known codes are "
+                f"{', '.join(sorted(DIAGNOSTIC_CODES))}"
+            )
         if codes:
             waivers[(file, first_line + offset)] = codes
     return waivers
+
+
+# Backwards-compatible private alias (pre-chain name).
+_collect_waivers = collect_waivers
 
 
 def gather_sources(nf: NF) -> NfSource:

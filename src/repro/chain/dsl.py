@@ -1,0 +1,341 @@
+"""The chain DSL: declare hops and wire their ports together.
+
+A ``.chain`` file is line-oriented (Lemur's ``nfcp_chain_parser`` user
+language is the exemplar — a flat declaration list, no nesting)::
+
+    # Firewall in front of a connection limiter.
+    chain fw_cl
+    hop fw: fw
+    hop cl: cl
+
+    ingress 0 -> fw.0
+    wire fw.1 -> cl.0
+    egress cl.1 -> 1
+
+    ingress 1 -> cl.1
+    wire cl.0 -> fw.1
+    egress fw.0 -> 0
+
+Semantics:
+
+* ``chain <name>`` — names the chain (first non-comment line).
+* ``hop <alias>: <nf-name>`` — instantiate a corpus NF under ``alias``.
+* ``ingress <chain-port> -> <alias>.<port>`` — packets arriving on the
+  chain-level port enter the hop on that hop port.
+* ``wire <a>.<p> -> <b>.<q>`` — packets hop ``a`` forwards out of its
+  port ``p`` enter hop ``b`` on port ``q``.
+* ``egress <a>.<p> -> <chain-port>`` — packets forwarded out of that
+  hop port leave the chain on the chain-level port.
+
+Each ``(alias, port)`` can be the source of at most one wire *or*
+egress — routing is deterministic.  ``# maestro: waive[MAE2xx]``
+comments are line-scoped, exactly like NF-source waivers: a chain
+diagnostic anchored to that line with a listed code is suppressed.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ChainError
+
+__all__ = [
+    "Hop",
+    "Ingress",
+    "Wire",
+    "Egress",
+    "Chain",
+    "parse_chain",
+    "load_chain",
+    "default_registry",
+]
+
+_ENDPOINT_RE = re.compile(r"^(?P<alias>[A-Za-z_][A-Za-z0-9_]*)\.(?P<port>\d+)$")
+
+
+@dataclass(frozen=True)
+class Hop:
+    """One NF instance in the chain."""
+
+    alias: str
+    nf_name: str
+    line: int
+
+
+@dataclass(frozen=True)
+class Ingress:
+    """A chain-level ingress port attached to a hop port."""
+
+    chain_port: int
+    hop: str
+    port: int
+    line: int
+
+
+@dataclass(frozen=True)
+class Wire:
+    """Hop-to-hop connection: ``src`` forwards out of ``src_port`` into
+    ``dst`` on ``dst_port``."""
+
+    src: str
+    src_port: int
+    dst: str
+    dst_port: int
+    line: int
+
+
+@dataclass(frozen=True)
+class Egress:
+    """A hop port whose forwarded packets leave the chain."""
+
+    hop: str
+    port: int
+    chain_port: int
+    line: int
+
+
+@dataclass
+class Chain:
+    """A parsed chain: hops in declaration order plus the port map."""
+
+    name: str
+    hops: dict[str, Hop] = field(default_factory=dict)
+    ingresses: list[Ingress] = field(default_factory=list)
+    wires: list[Wire] = field(default_factory=list)
+    egresses: list[Egress] = field(default_factory=list)
+    file: str | None = None
+    #: absolute line -> waived MAE codes (``# maestro: waive[...]``)
+    waivers: dict[int, frozenset[str]] = field(default_factory=dict)
+
+    def hop_order(self) -> list[str]:
+        return list(self.hops)
+
+    def ingress_ports(self) -> list[int]:
+        return sorted({ing.chain_port for ing in self.ingresses})
+
+    def ingress_for(self, chain_port: int) -> Ingress:
+        for ing in self.ingresses:
+            if ing.chain_port == chain_port:
+                return ing
+        raise ChainError(f"{self.name}: no ingress for chain port {chain_port}")
+
+    def next_of(self, alias: str, port: int) -> Wire | Egress | None:
+        """Where packets forwarded out of ``(alias, port)`` go, if mapped."""
+        for wire in self.wires:
+            if wire.src == alias and wire.src_port == port:
+                return wire
+        for egress in self.egresses:
+            if egress.hop == alias and egress.port == port:
+                return egress
+        return None
+
+    def waived(self, code: str, line: int | None) -> bool:
+        if line is None:
+            return False
+        return code in self.waivers.get(line, frozenset())
+
+    def describe(self) -> str:
+        lines = [f"chain {self.name}: {len(self.hops)} hop(s)"]
+        for hop in self.hops.values():
+            lines.append(f"  hop {hop.alias}: {hop.nf_name}")
+        for ing in self.ingresses:
+            lines.append(f"  ingress {ing.chain_port} -> {ing.hop}.{ing.port}")
+        for wire in self.wires:
+            lines.append(
+                f"  wire {wire.src}.{wire.src_port} -> {wire.dst}.{wire.dst_port}"
+            )
+        for egress in self.egresses:
+            lines.append(f"  egress {egress.hop}.{egress.port} -> {egress.chain_port}")
+        return "\n".join(lines)
+
+
+def default_registry() -> dict[str, type]:
+    """Name -> NF class for every corpus NF (bundled + micro).
+
+    Imported lazily so the DSL itself stays dependency-light; the
+    analysis CLI passes its own richer registry (example NFs included).
+    """
+    from repro.nf.nfs import ALL_NFS
+    from repro.nf.nfs.micro import (
+        DhcpGuard,
+        DualCounter,
+        FlowCounter,
+        GlobalCounter,
+        SrcStats,
+    )
+
+    registry: dict[str, type] = dict(ALL_NFS)
+    registry.update(
+        {
+            "flow_counter": FlowCounter,
+            "src_stats": SrcStats,
+            "dual_counter": DualCounter,
+            "global_counter": GlobalCounter,
+            "dhcp_guard": DhcpGuard,
+        }
+    )
+    return registry
+
+
+def _endpoint(text: str, *, file: str, line: int) -> tuple[str, int]:
+    match = _ENDPOINT_RE.match(text.strip())
+    if match is None:
+        raise ChainError(
+            f"{file}:{line}: malformed endpoint {text.strip()!r} "
+            "(expected <alias>.<port>)"
+        )
+    return match.group("alias"), int(match.group("port"))
+
+
+def _arrow_split(rest: str, *, file: str, line: int) -> tuple[str, str]:
+    if "->" not in rest:
+        raise ChainError(f"{file}:{line}: expected '<lhs> -> <rhs>'")
+    lhs, rhs = rest.split("->", 1)
+    return lhs.strip(), rhs.strip()
+
+
+def parse_chain(text: str, *, file: str | None = None) -> Chain:
+    """Parse the chain DSL; raise :class:`ChainError` on malformed input.
+
+    Structural validation happens here (duplicate aliases, unknown
+    aliases in wires, duplicate routing sources); *semantic* validation
+    against the NFs' actual forwarding behaviour (dead wires, dangling
+    forward ports) is the analyzer's job — it emits ``MAE204``.
+    """
+    # Waiver comments are collected with the shared, validating
+    # collector so unknown codes fail loudly here too.
+    from repro.analysis.source import collect_waivers
+
+    display = file or "<chain>"
+    raw_waivers = collect_waivers(text, display, first_line=1)
+    chain: Chain | None = None
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        keyword, _, rest = line.partition(" ")
+        rest = rest.strip()
+        if keyword == "chain":
+            if chain is not None:
+                raise ChainError(
+                    f"{display}:{lineno}: duplicate 'chain' declaration"
+                )
+            if not rest or " " in rest:
+                raise ChainError(f"{display}:{lineno}: 'chain' needs one name")
+            chain = Chain(name=rest, file=file)
+            continue
+        if chain is None:
+            raise ChainError(
+                f"{display}:{lineno}: first declaration must be 'chain <name>'"
+            )
+        if keyword == "hop":
+            alias, _, nf_name = rest.partition(":")
+            alias, nf_name = alias.strip(), nf_name.strip()
+            if not alias or not nf_name:
+                raise ChainError(
+                    f"{display}:{lineno}: expected 'hop <alias>: <nf-name>'"
+                )
+            if alias in chain.hops:
+                raise ChainError(
+                    f"{display}:{lineno}: duplicate hop alias {alias!r}"
+                )
+            chain.hops[alias] = Hop(alias=alias, nf_name=nf_name, line=lineno)
+        elif keyword == "ingress":
+            lhs, rhs = _arrow_split(rest, file=display, line=lineno)
+            if not lhs.isdigit():
+                raise ChainError(
+                    f"{display}:{lineno}: ingress chain port must be an integer"
+                )
+            alias, port = _endpoint(rhs, file=display, line=lineno)
+            chain_port = int(lhs)
+            if any(i.chain_port == chain_port for i in chain.ingresses):
+                raise ChainError(
+                    f"{display}:{lineno}: duplicate ingress for chain port "
+                    f"{chain_port}"
+                )
+            chain.ingresses.append(
+                Ingress(chain_port=chain_port, hop=alias, port=port, line=lineno)
+            )
+        elif keyword == "wire":
+            lhs, rhs = _arrow_split(rest, file=display, line=lineno)
+            src, src_port = _endpoint(lhs, file=display, line=lineno)
+            dst, dst_port = _endpoint(rhs, file=display, line=lineno)
+            chain.wires.append(
+                Wire(
+                    src=src,
+                    src_port=src_port,
+                    dst=dst,
+                    dst_port=dst_port,
+                    line=lineno,
+                )
+            )
+        elif keyword == "egress":
+            lhs, rhs = _arrow_split(rest, file=display, line=lineno)
+            alias, port = _endpoint(lhs, file=display, line=lineno)
+            if not rhs.isdigit():
+                raise ChainError(
+                    f"{display}:{lineno}: egress chain port must be an integer"
+                )
+            chain.egresses.append(
+                Egress(hop=alias, port=port, chain_port=int(rhs), line=lineno)
+            )
+        else:
+            raise ChainError(
+                f"{display}:{lineno}: unknown declaration {keyword!r} "
+                "(expected chain/hop/ingress/wire/egress)"
+            )
+
+    if chain is None:
+        raise ChainError(f"{display}: empty chain file")
+    if not chain.hops:
+        raise ChainError(f"{display}: chain {chain.name!r} declares no hops")
+    if not chain.ingresses:
+        raise ChainError(f"{display}: chain {chain.name!r} has no ingress")
+    _validate_references(chain, display)
+    chain.waivers = {line: codes for (_, line), codes in raw_waivers.items()}
+    return chain
+
+
+def _validate_references(chain: Chain, display: str) -> None:
+    def check_alias(alias: str, lineno: int) -> None:
+        if alias not in chain.hops:
+            raise ChainError(
+                f"{display}:{lineno}: unknown hop alias {alias!r} "
+                f"(declared: {', '.join(chain.hops) or 'none'})"
+            )
+
+    for ing in chain.ingresses:
+        check_alias(ing.hop, ing.line)
+    sources: dict[tuple[str, int], int] = {}
+    for wire in chain.wires:
+        check_alias(wire.src, wire.line)
+        check_alias(wire.dst, wire.line)
+        key = (wire.src, wire.src_port)
+        if key in sources:
+            raise ChainError(
+                f"{display}:{wire.line}: duplicate route from "
+                f"{wire.src}.{wire.src_port} (first at line {sources[key]})"
+            )
+        sources[key] = wire.line
+    for egress in chain.egresses:
+        check_alias(egress.hop, egress.line)
+        key = (egress.hop, egress.port)
+        if key in sources:
+            raise ChainError(
+                f"{display}:{egress.line}: duplicate route from "
+                f"{egress.hop}.{egress.port} (first at line {sources[key]})"
+            )
+        sources[key] = egress.line
+
+
+def load_chain(path: str | Path) -> Chain:
+    """Parse a ``.chain`` file from disk."""
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise ChainError(f"cannot read chain file {path}: {exc}") from exc
+    return parse_chain(text, file=str(path))

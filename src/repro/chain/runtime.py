@@ -1,0 +1,290 @@
+"""Chain execution: sequential reference and parallel chain runner.
+
+Both executors run each packet to completion through the chain: a hop's
+``FORWARD`` follows the chain's wire/egress map (header rewrites are
+applied to the packet before the next hop sees it), ``DROP`` and
+``FLOOD`` terminate the packet at chain level.
+
+The parallel runner supports the two steering modes the chain analysis
+produces:
+
+* ``joint`` — one RSS decision at the chain ingress (the joint Toeplitz
+  key from :mod:`repro.rs3.joint`); every hop then runs on that same
+  core.  This is the shared-nothing end-to-end plan: no cross-core
+  handoffs, per-hop shard ownership follows from the joint key
+  satisfying the intersection of all hops' constraints.
+* ``fallback`` — every hop steers with its own per-NF RSS key (the
+  NFork-style per-NF scaling contrast).  Correct per hop, but a flow
+  may migrate between cores at each hop boundary; the runner counts
+  those handoffs so :mod:`repro.sim.perf` can price them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.core.codegen import ParallelNF
+from repro.errors import ChainError, SimulationError
+from repro.chain.dsl import Chain, Egress, Wire, default_registry
+from repro.nf.api import NF, ActionKind
+from repro.nf.packet import PACKET_FIELDS, Packet
+from repro.nf.runtime import PacketResult, SequentialRunner
+from repro.rs3.config import RssConfiguration
+
+__all__ = [
+    "HopStep",
+    "ChainResult",
+    "SequentialChainRunner",
+    "ParallelChain",
+    "benchmark_chain_trace",
+]
+
+
+@dataclass(frozen=True)
+class HopStep:
+    """One hop's contribution to a packet's journey."""
+
+    alias: str
+    port: int
+    core: int | None
+    result: PacketResult
+
+
+@dataclass
+class ChainResult:
+    """The chain-level outcome of one packet."""
+
+    kind: ActionKind
+    #: chain egress port for FORWARD; None for DROP/FLOOD
+    port: int | None
+    #: the packet as it left the chain (hop rewrites applied)
+    pkt: Packet
+    steps: list[HopStep] = field(default_factory=list)
+    #: accumulated header rewrites (later hops override earlier ones)
+    mods: dict[str, int] = field(default_factory=dict)
+    #: fallback mode: number of hop boundaries that changed core
+    handoffs: int = 0
+
+
+def _apply_mods(pkt: Packet, mods: dict[str, int]) -> Packet:
+    if not mods:
+        return pkt
+    known = {k: v for k, v in mods.items() if k in PACKET_FIELDS}
+    return replace(pkt, **known)
+
+
+def instantiate_hops(
+    chain: Chain, registry: dict[str, type] | None = None
+) -> dict[str, NF]:
+    """Fresh NF instances for every hop, in declaration order."""
+    registry = registry if registry is not None else default_registry()
+    hops: dict[str, NF] = {}
+    for hop in chain.hops.values():
+        try:
+            cls = registry[hop.nf_name]
+        except KeyError:
+            raise ChainError(
+                f"{chain.name}: hop {hop.alias!r} names unknown NF "
+                f"{hop.nf_name!r} (known: {', '.join(sorted(registry))})"
+            ) from None
+        hops[hop.alias] = cls()
+    return hops
+
+
+def _walk(
+    chain: Chain,
+    chain_port: int,
+    pkt: Packet,
+    run_hop,
+) -> ChainResult:
+    """Shared run-to-completion traversal.
+
+    ``run_hop(alias, port, pkt) -> (core, PacketResult)`` executes one
+    hop; the traversal handles wiring, rewrites, and termination.
+    """
+    ingress = chain.ingress_for(chain_port)
+    alias, port = ingress.hop, ingress.port
+    cur = pkt
+    steps: list[HopStep] = []
+    mods: dict[str, int] = {}
+    budget = 4 * len(chain.hops) + 4
+    for _ in range(budget):
+        core, result = run_hop(alias, port, cur)
+        steps.append(HopStep(alias=alias, port=port, core=core, result=result))
+        if result.mods:
+            mods.update(result.mods)
+            cur = _apply_mods(cur, result.mods)
+        if result.kind is ActionKind.DROP:
+            return ChainResult(ActionKind.DROP, None, cur, steps, mods)
+        if result.kind is ActionKind.FLOOD:
+            # A mid-chain flood is a chain-level flood: the packet leaves
+            # on every chain port, which downstream comparison treats as
+            # one terminal observable.
+            return ChainResult(ActionKind.FLOOD, None, cur, steps, mods)
+        if not isinstance(result.port, int):
+            raise ChainError(
+                f"{chain.name}: hop {alias!r} forwarded to non-integer "
+                f"port {result.port!r}"
+            )
+        nxt = chain.next_of(alias, result.port)
+        if nxt is None:
+            raise ChainError(
+                f"{chain.name}: hop {alias!r} forwarded out of unmapped "
+                f"port {result.port} (no wire or egress; the analyzer "
+                "reports this as MAE204)"
+            )
+        if isinstance(nxt, Egress):
+            return ChainResult(
+                ActionKind.FORWARD, nxt.chain_port, cur, steps, mods
+            )
+        assert isinstance(nxt, Wire)
+        alias, port = nxt.dst, nxt.dst_port
+    raise ChainError(
+        f"{chain.name}: packet exceeded {budget} hop traversals "
+        "(wiring cycle?)"
+    )
+
+
+class SequentialChainRunner:
+    """The sequential reference: every hop is a fresh single-core NF."""
+
+    def __init__(self, chain: Chain, registry: dict[str, type] | None = None):
+        self.chain = chain
+        self.runners: dict[str, SequentialRunner] = {
+            alias: SequentialRunner(nf)
+            for alias, nf in instantiate_hops(chain, registry).items()
+        }
+
+    def process(self, chain_port: int, pkt: Packet) -> ChainResult:
+        def run_hop(alias: str, port: int, cur: Packet):
+            return None, self.runners[alias].process(port, cur)
+
+        return _walk(self.chain, chain_port, pkt, run_hop)
+
+    def process_trace(
+        self, trace: list[tuple[int, Packet]]
+    ) -> list[ChainResult]:
+        return [self.process(port, pkt) for port, pkt in trace]
+
+
+@dataclass
+class ParallelChain:
+    """A parallel chain deployment: per-hop generated NFs + steering mode."""
+
+    chain: Chain
+    hops: dict[str, ParallelNF]
+    #: "joint" (one chain-ingress steering) or "fallback" (per-hop RSS)
+    mode: str
+    #: chain-ingress RSS configuration; required in joint mode
+    joint_rss: RssConfiguration | None = None
+    handoffs: int = 0
+    hop_transitions: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("joint", "fallback"):
+            raise SimulationError(f"unknown chain mode {self.mode!r}")
+        if self.mode == "joint" and self.joint_rss is None:
+            raise SimulationError("joint mode needs a joint RSS configuration")
+        cores = {parallel.n_cores for parallel in self.hops.values()}
+        if len(cores) > 1:
+            raise SimulationError(
+                f"hops disagree on core count: {sorted(cores)}"
+            )
+
+    @property
+    def n_cores(self) -> int:
+        return next(iter(self.hops.values())).n_cores
+
+    def process(self, chain_port: int, pkt: Packet) -> ChainResult:
+        if self.mode == "joint":
+            core = self.joint_rss.core_for(chain_port, pkt)
+
+            def run_hop(alias: str, port: int, cur: Packet):
+                return core, self.hops[alias].cores[core].run(port, cur)
+
+            return _walk(self.chain, chain_port, pkt, run_hop)
+
+        last_core: int | None = None
+        handoffs = 0
+        transitions = 0
+
+        def run_hop(alias: str, port: int, cur: Packet):
+            nonlocal last_core, handoffs, transitions
+            core, result = self.hops[alias].process(port, cur)
+            if last_core is not None:
+                transitions += 1
+                if core != last_core:
+                    handoffs += 1
+            last_core = core
+            return core, result
+
+        result = _walk(self.chain, chain_port, pkt, run_hop)
+        result.handoffs = handoffs
+        self.handoffs += handoffs
+        self.hop_transitions += transitions
+        return result
+
+    def process_trace(
+        self, trace: list[tuple[int, Packet]]
+    ) -> list[ChainResult]:
+        return [self.process(port, pkt) for port, pkt in trace]
+
+    def handoff_fraction(self) -> float:
+        """Observed fraction of hop boundaries that changed core."""
+        if not self.hop_transitions:
+            return 0.0
+        return self.handoffs / self.hop_transitions
+
+    def reset_stats(self) -> None:
+        self.handoffs = self.hop_transitions = 0
+        for parallel in self.hops.values():
+            parallel.reset_stats()
+
+
+def benchmark_chain_trace(
+    chain: Chain,
+    n_flows: int = 128,
+    packets: int = 512,
+    *,
+    seed: int = 12345,
+    pkt_size: int = 64,
+    reply_fraction: float = 0.25,
+) -> list[tuple[int, Packet]]:
+    """A uniform chain workload over the chain's ingress ports.
+
+    Forward flows enter on the first declared chain ingress; when a
+    second ingress exists, a ``reply_fraction`` of packets for
+    already-seen flows arrives there with inverted headers (the
+    symmetric-reply pattern of the per-NF benchmark traces).
+    """
+    ports = [ing.chain_port for ing in chain.ingresses]
+    forward_port = ports[0]
+    reply_port = ports[1] if len(ports) > 1 else None
+    rng = np.random.default_rng(seed)
+    flows = [
+        Packet(
+            src_ip=int(rng.integers(1, 2**32)),
+            dst_ip=int(rng.integers(1, 2**32)),
+            src_port=int(rng.integers(1, 2**16)),
+            dst_port=int(rng.integers(1, 2**16)),
+            wire_size=pkt_size,
+        )
+        for _ in range(n_flows)
+    ]
+    trace: list[tuple[int, Packet]] = []
+    seen: set[int] = set()
+    for _ in range(packets):
+        pick = int(rng.integers(0, n_flows))
+        pkt = flows[pick]
+        if (
+            reply_port is not None
+            and pick in seen
+            and rng.random() < reply_fraction
+        ):
+            trace.append((reply_port, pkt.inverted()))
+        else:
+            seen.add(pick)
+            trace.append((forward_port, pkt))
+    return trace

@@ -51,5 +51,21 @@ class SimulationError(ReproError):
     """Raised on inconsistent simulator configuration."""
 
 
+class ChainError(ReproError):
+    """Raised on malformed chain descriptions or broken chain wiring.
+
+    Covers both parse-time problems in ``.chain`` files (unknown hop
+    aliases, duplicate wires) and run-time wiring violations (a packet
+    forwarded out of a port with no wire or egress attached).
+    """
+
+
+class WaiverError(ReproError):
+    """Raised when a ``# maestro: waive[...]`` comment names an unknown
+    diagnostic code — a typo'd waiver would otherwise silently fail to
+    suppress anything (or worse, suggest a finding was reviewed when it
+    never fired)."""
+
+
 class EquivalenceViolation(ReproError):
     """Raised when a parallel NF diverges from its sequential counterpart."""

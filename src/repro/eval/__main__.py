@@ -61,6 +61,12 @@ def main(argv: list[str] | None = None) -> int:
         help="run the race sanitizer over every bundled NF first and "
         "refuse to run experiments if any parallel plan races",
     )
+    parser.add_argument(
+        "--chain",
+        action="store_true",
+        help="analyze every bundled example chain first and refuse to "
+        "run experiments if any chain has error-severity diagnostics",
+    )
     args = parser.parse_args(argv)
     if args.lint:
         from repro.analysis import lint_nf, render_text
@@ -87,6 +93,29 @@ def main(argv: list[str] | None = None) -> int:
             print(render_text(racy), file=sys.stderr)
             print(
                 "error: race sanitizer failed; not running experiments",
+                file=sys.stderr,
+            )
+            return 1
+    if args.chain:
+        from pathlib import Path
+
+        from repro.analysis import analyze_chain, render_text
+        from repro.chain import load_chain
+
+        candidates = [
+            Path(__file__).resolve().parents[3] / "examples" / "chains",
+            Path.cwd() / "examples" / "chains",
+        ]
+        root = next((p for p in candidates if p.is_dir()), None)
+        chain_errors = []
+        for path in sorted(root.glob("*.chain")) if root else []:
+            report = analyze_chain(load_chain(path))
+            print(report.describe(), file=sys.stderr)
+            chain_errors.extend(d for d in report.diagnostics if d.is_error)
+        if chain_errors:
+            print(render_text(chain_errors), file=sys.stderr)
+            print(
+                "error: chain analysis failed; not running experiments",
                 file=sys.stderr,
             )
             return 1

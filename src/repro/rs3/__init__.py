@@ -18,6 +18,12 @@ from repro.rs3.fields import (
     RssField,
 )
 from repro.rs3.indirection import IndirectionTable
+from repro.rs3.joint import (
+    JointCompilation,
+    compile_joint,
+    solve_joint,
+    verify_joint_steering,
+)
 from repro.rs3.solver import CancelBits, CancelField, KeySearchStats, MapFields, RssKeySolver
 from repro.rs3.toeplitz import (
     MICROSOFT_TEST_KEY,
@@ -39,6 +45,10 @@ __all__ = [
     "NicModel",
     "RssField",
     "IndirectionTable",
+    "JointCompilation",
+    "compile_joint",
+    "solve_joint",
+    "verify_joint_steering",
     "CancelBits",
     "CancelField",
     "MapFields",

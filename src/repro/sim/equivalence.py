@@ -32,7 +32,12 @@ from repro.nf.api import NF, ActionKind
 from repro.nf.runtime import PacketResult, SequentialRunner
 from repro.traffic.generator import Trace
 
-__all__ = ["Mismatch", "EquivalenceReport", "check_equivalence"]
+__all__ = [
+    "Mismatch",
+    "EquivalenceReport",
+    "check_equivalence",
+    "check_chain_equivalence",
+]
 
 #: ``describe()`` lists at most this many mismatches before summarizing.
 MISMATCH_DISPLAY_CAP = 5
@@ -296,4 +301,142 @@ def check_equivalence(
         # Sanitizer-only findings surface after the replay; attach the
         # final ring so MAE1xx reports still carry packet context.
         report.flight_snapshot = flight.snapshot()
+    return report
+
+
+def _chain_observable(result, ignored: frozenset[str]) -> tuple:
+    mods = tuple(
+        sorted((k, v) for k, v in result.mods.items() if k not in ignored)
+    )
+    return (result.kind, result.port, mods)
+
+
+def _chain_capacity_culprit(dropping_steps) -> str:
+    """Blame the state object of the hop that refused the insert.
+
+    The chain-level drop originates in the *last* hop the dropping side
+    executed; scan its op record like the single-NF attribution does.
+    """
+    if not dropping_steps:
+        return "unknown"
+    ops = dropping_steps[-1].result.ops
+    for wanted in _CAPACITY_OPS:
+        for op in reversed(ops):
+            if op.op == wanted:
+                return op.obj
+    for op in reversed(ops):
+        if op.write:
+            return op.obj
+    return "unknown"
+
+
+def check_chain_equivalence(
+    chain,
+    parallel,
+    trace: Trace,
+    *,
+    registry: dict[str, type] | None = None,
+    ignore_mods: Iterable[str] = (),
+    allow_capacity_divergence: bool = True,
+    sanitize: bool = False,
+    trees: dict | None = None,
+) -> EquivalenceReport:
+    """Differentially validate a parallel chain against its sequential
+    reference.
+
+    Replays ``trace`` through a fresh
+    :class:`repro.chain.runtime.SequentialChainRunner` (every hop a
+    single-core NF with full-capacity state) and through ``parallel``
+    (a :class:`repro.chain.runtime.ParallelChain` in joint or fallback
+    mode), comparing each packet's chain-level observable: terminal
+    action, chain egress port, and accumulated header rewrites.
+
+    Capacity divergences are excused per flow exactly like the
+    single-NF checker: a drop-vs-forward disagreement whose dropping
+    side's last hop refused an insert (or whose flow was already
+    tainted) is counted, attributed to the refusing state object, and
+    not reported as a violation.
+
+    ``sanitize=True`` installs a race monitor on *every* hop's
+    generated ParallelNF for the duration of the replay; pass ``trees``
+    (hop alias -> execution tree) to enable the MAE104 footprint
+    cross-validation per hop.  All hops' findings are concatenated into
+    ``report.race_diagnostics``.
+    """
+    from repro.chain.runtime import SequentialChainRunner
+
+    ignored = frozenset(ignore_mods)
+    sequential = SequentialChainRunner(chain, registry)
+    report = EquivalenceReport(n_packets=len(trace))
+    monitors = {}
+    if sanitize:
+        from repro.analysis.race import RaceMonitor
+
+        monitors = {
+            alias: RaceMonitor(hop_parallel).install()
+            for alias, hop_parallel in parallel.hops.items()
+        }
+    tainted: set[tuple] = set()
+    try:
+        for index, (port, pkt) in enumerate(trace):
+            seq_result = sequential.process(port, pkt)
+            par_result = parallel.process(port, pkt)
+            seq_obs = _chain_observable(seq_result, ignored)
+            par_obs = _chain_observable(par_result, ignored)
+            if seq_obs == par_obs:
+                continue
+            capacity = False
+            culprit = "unknown"
+            relevant: list[tuple] = []
+            drop_mismatch = (
+                seq_result.kind != par_result.kind
+                and ActionKind.DROP in (seq_result.kind, par_result.kind)
+            )
+            if drop_mismatch:
+                dropping = (
+                    par_result
+                    if par_result.kind is ActionKind.DROP
+                    else seq_result
+                )
+                culprit = _chain_capacity_culprit(dropping.steps)
+                relevant = [
+                    tagged
+                    for tagged in _default_flow_keys(port, pkt)
+                    if _matches_culprit(tagged[0], culprit)
+                ]
+                new_flow = any(
+                    step.result.new_flow
+                    for result in (seq_result, par_result)
+                    for step in result.steps
+                )
+                capacity = new_flow or any(
+                    tagged in tainted for tagged in relevant
+                )
+            if capacity and allow_capacity_divergence:
+                tainted.update(relevant)
+                report.capacity_divergences += 1
+                report.capacity_by_object[culprit] = (
+                    report.capacity_by_object.get(culprit, 0) + 1
+                )
+                continue
+            report.mismatches.append(
+                Mismatch(
+                    index=index,
+                    port=port,
+                    sequential=seq_obs,
+                    parallel=par_obs,
+                    capacity_related=capacity,
+                )
+            )
+    finally:
+        for monitor in monitors.values():
+            monitor.remove()
+    if monitors:
+        from repro.analysis.race import analyze_monitor
+
+        trees = trees or {}
+        for alias, monitor in monitors.items():
+            report.race_diagnostics.extend(
+                analyze_monitor(monitor, tree=trees.get(alias)).diagnostics
+            )
     return report

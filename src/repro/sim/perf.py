@@ -38,7 +38,14 @@ from repro.hw.tm import TmModel
 from repro.hw.vpp import VppModel
 from repro.traffic.churn import write_fraction as churn_write_fraction
 
-__all__ = ["Workload", "ThroughputResult", "PerformanceModel"]
+__all__ = [
+    "Workload",
+    "ThroughputResult",
+    "PerformanceModel",
+    "CHAIN_HANDOFF_CYCLES",
+    "chain_handoff_cost",
+    "chain_handoff_slowdown",
+]
 
 
 @dataclass(frozen=True)
@@ -314,3 +321,44 @@ class PerformanceModel:
             cores=parallel.n_cores,
         )
         return drift
+
+
+# ------------------------------------------------------------------ #
+# Chain handoff cost (per-hop fallback steering)
+# ------------------------------------------------------------------ #
+#: Cycles charged per cross-core handoff at a hop boundary when a chain
+#: falls back to per-hop RSS steering: the packet's descriptor and the
+#: hot cache lines (header + per-flow state touched by the previous hop)
+#: migrate between private caches through the LLC, plus one
+#: queue-transfer atomic pair.  Two LLC-latency line transfers + the
+#: uncontended rwlock-read-class atomic cost keeps the number anchored
+#: to the same calibration constants as the rest of the model.
+CHAIN_HANDOFF_CYCLES: float = 2 * params.LLC_CYCLES + params.RWLOCK_READ_CYCLES
+
+
+def chain_handoff_cost(handoffs_per_packet: float) -> float:
+    """Extra per-packet cycles a fallback-steered chain pays.
+
+    ``handoffs_per_packet`` is the measured average number of hop
+    boundaries where the packet changed core (see
+    :meth:`repro.chain.runtime.ParallelChain.handoff_fraction`).
+    """
+    if handoffs_per_packet < 0:
+        raise ValueError("handoffs_per_packet must be non-negative")
+    return handoffs_per_packet * CHAIN_HANDOFF_CYCLES
+
+
+def chain_handoff_slowdown(
+    handoffs_per_packet: float, packet_cycles: float
+) -> float:
+    """Throughput multiplier (<= 1.0) the handoff cost imposes.
+
+    With a base per-packet cost of ``packet_cycles``, the CPU-bound rate
+    scales by ``packet_cycles / (packet_cycles + handoff_cycles)`` —
+    the factor the chain analyzer reports when it falls back to per-hop
+    steering instead of a joint key.
+    """
+    if packet_cycles <= 0:
+        raise ValueError("packet_cycles must be positive")
+    extra = chain_handoff_cost(handoffs_per_packet)
+    return packet_cycles / (packet_cycles + extra)

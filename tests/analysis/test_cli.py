@@ -9,10 +9,13 @@ import pytest
 from repro.analysis.__main__ import main
 from repro.analysis.diagnostics import (
     DIAGNOSTIC_CODES,
+    SCHEMA_VERSION,
     Diagnostic,
     Severity,
+    diagnostics_from_json,
     render_json,
     render_text,
+    sort_diagnostics,
 )
 
 
@@ -41,7 +44,9 @@ def test_no_selection_is_a_usage_error(capsys) -> None:
 def test_json_rendering_round_trips(capsys) -> None:
     assert main(["lint", "--json", "policer", "dhcp_guard"]) == 0
     payload = json.loads(capsys.readouterr().out)
-    assert payload == []
+    assert payload["schema"] == SCHEMA_VERSION
+    assert payload["diagnostics"] == []
+    assert diagnostics_from_json(payload) == []
 
 
 def test_no_pipeline_skips_model_phase(capsys) -> None:
@@ -89,11 +94,46 @@ def test_design_doc_lists_every_code() -> None:
 
 def test_render_json_shape() -> None:
     err = Diagnostic.of("MAE013", "diverged", nf="x", path_id="port0:[1]")
-    (payload,) = json.loads(render_json([err]))
+    document = json.loads(render_json([err]))
+    assert document["schema"] == SCHEMA_VERSION
+    (payload,) = document["diagnostics"]
     assert payload["code"] == "MAE013"
     assert payload["severity"] == "error"
     assert payload["path_id"] == "port0:[1]"
     assert err.location() == "path port0:[1]"
+
+
+def test_json_schema_round_trip_rebuilds_diagnostics() -> None:
+    """Satellite: the versioned payload rebuilds the exact objects, and
+    payloads from another schema generation are rejected."""
+    diags = [
+        Diagnostic.of("MAE005", "warn", nf="b"),
+        Diagnostic.of("MAE001", "err", nf="a", file="f.py", line=3),
+    ]
+    rebuilt = diagnostics_from_json(render_json(diags))
+    assert rebuilt == sort_diagnostics(diags)
+    with pytest.raises(ValueError, match="unsupported analysis schema"):
+        diagnostics_from_json({"schema": "repro.analysis/0", "diagnostics": []})
+
+
+def test_diagnostic_ordering_is_deterministic_and_total() -> None:
+    """Satellite: sort by severity, nf, file, line, code — and every
+    remaining field participates, so equal-prefix findings still order."""
+    d1 = Diagnostic.of("MAE001", "z-message", nf="a", file="f.py", line=3)
+    d2 = Diagnostic.of("MAE001", "a-message", nf="a", file="f.py", line=3)
+    d3 = Diagnostic.of("MAE003", "m", nf="a", file="f.py", line=1)
+    d4 = Diagnostic.of("MAE005", "m", nf="a", file="a.py", line=9)
+    ordered = sort_diagnostics([d1, d4, d2, d3])
+    assert ordered == [d3, d2, d1, d4]
+
+
+def test_lint_output_is_byte_for_byte_reproducible(capsys) -> None:
+    """Satellite: two identical lint runs render identical reports."""
+    assert main(["lint", "--json", "fw", "policer", "dual_counter"]) == 0
+    first = capsys.readouterr().out
+    assert main(["lint", "--json", "fw", "policer", "dual_counter"]) == 0
+    second = capsys.readouterr().out
+    assert first == second
 
 
 # ------------------------------------------------------------------ #
@@ -119,7 +159,8 @@ def test_race_json_and_out_artifact(tmp_path, capsys) -> None:
         == 0
     )
     payload = json.loads(capsys.readouterr().out)
-    (entry,) = payload
+    assert payload["schema"] == SCHEMA_VERSION
+    (entry,) = payload["reports"]
     assert entry["nf"] == "global_counter"
     assert entry["strategy"] == "locks"
     assert entry["clean"] is True
@@ -211,3 +252,56 @@ def test_design_doc_section_11_documents_telemetry() -> None:
     assert "## Telemetry" in readme
     assert "python -m repro.obs top" in readme
     assert "--telemetry" in readme
+
+
+# ------------------------------------------------------------------ #
+# The chain subcommand
+# ------------------------------------------------------------------ #
+def test_chain_cli_analyzes_bundled_chains(tmp_path, capsys) -> None:
+    artifact = tmp_path / "chain-report.json"
+    assert (
+        main(
+            [
+                "chain", "--all", "--no-validate", "--json",
+                "--out", str(artifact),
+            ]
+        )
+        == 0
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema"] == SCHEMA_VERSION
+    by_name = {entry["chain"]: entry for entry in payload["chains"]}
+    assert by_name["fw_cl"]["mode"] == "joint"
+    assert by_name["fw_cl"]["joint_keys"] is not None
+    assert by_name["tap_scan"]["mode"] == "joint"
+    fallback = by_name["scan_police_lb"]
+    assert fallback["mode"] == "fallback"
+    codes = {d["code"] for d in fallback["diagnostics"]}
+    assert codes == {"MAE201", "MAE203"}
+    assert fallback["clean"] is True  # warnings don't gate
+    assert json.loads(artifact.read_text()) == payload
+
+
+def test_chain_cli_usage_errors(capsys) -> None:
+    assert main(["chain"]) == 2
+    assert main(["chain", "definitely_not_a_file.chain"]) == 2
+
+
+def test_design_doc_section_12_documents_chain_analysis() -> None:
+    """Satellite: the MAE2xx table must live in DESIGN §12 and the README
+    must carry the "Analyzing a chain" quick-start."""
+    from pathlib import Path
+
+    root = Path(__file__).resolve().parents[2]
+    design = (root / "DESIGN.md").read_text()
+    chain_codes = [code for code in DIAGNOSTIC_CODES if code.startswith("MAE2")]
+    assert chain_codes, "MAE2xx codes must be registered"
+    section = design[design.index("## 12.") :]
+    for code in chain_codes:
+        assert f"`{code}`" in section, f"{code} missing from DESIGN.md §12"
+    for topic in ("joint", "fallback", "orientation", "handoff"):
+        assert topic in section, f"{topic} missing from DESIGN.md §12"
+    readme = (root / "README.md").read_text()
+    assert "## Analyzing a chain" in readme
+    assert "repro.analysis chain" in readme
+    assert ".chain" in readme

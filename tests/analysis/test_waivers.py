@@ -1,0 +1,81 @@
+"""Waiver ergonomics: multi-code comments, unknown-code rejection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import collect_waivers, lint_nf
+from repro.analysis.source import gather_sources
+from repro.errors import WaiverError
+from repro.nf.api import NF, StateDecl, StateKind
+
+
+def test_one_comment_waives_multiple_codes() -> None:
+    waivers = collect_waivers(
+        "x = 1\ny = 2  # maestro: waive[MAE001,MAE203]\n", "f.py"
+    )
+    assert waivers == {("f.py", 2): frozenset({"MAE001", "MAE203"})}
+
+
+def test_whitespace_and_bracketless_forms_accepted() -> None:
+    waivers = collect_waivers(
+        "a  # maestro: waive[ MAE001 , MAE002 ]\n"
+        "b  # maestro: waive MAE005\n",
+        "f.py",
+    )
+    assert waivers[("f.py", 1)] == frozenset({"MAE001", "MAE002"})
+    assert waivers[("f.py", 2)] == frozenset({"MAE005"})
+
+
+def test_first_line_offsets_are_absolute() -> None:
+    waivers = collect_waivers("z  # maestro: waive[MAE010]\n", "f.py", first_line=40)
+    assert waivers == {("f.py", 40): frozenset({"MAE010"})}
+
+
+def test_unknown_code_raises_with_location_and_code() -> None:
+    with pytest.raises(WaiverError) as err:
+        collect_waivers("bad  # maestro: waive[MAE777]\n", "nf.py", first_line=9)
+    message = str(err.value)
+    assert "nf.py:9" in message
+    assert "MAE777" in message
+    assert "known codes" in message
+
+
+def test_unknown_code_in_multi_code_comment_names_only_the_bad_ones() -> None:
+    with pytest.raises(WaiverError, match="MAE777") as err:
+        collect_waivers("x  # maestro: waive[MAE001,MAE777]\n", "f.py")
+    assert "MAE001," not in str(err.value).split("known codes")[0]
+
+
+class _TypoWaiverNF(NF):
+    name = "typo_waiver"
+    ports = {"lan": 0, "wan": 1}
+
+    def state(self) -> list[StateDecl]:
+        return [StateDecl("tw_map", StateKind.MAP, 16)]
+
+    def process(self, ctx, port, pkt) -> None:
+        found, _ = ctx.map_get("tw_map", (pkt.src_ip,))  # maestro: waive[MAE404]
+        ctx.forward(self.other_port(port))
+
+
+def test_gather_sources_propagates_waiver_errors() -> None:
+    with pytest.raises(WaiverError, match="MAE404"):
+        gather_sources(_TypoWaiverNF())
+
+
+def test_lint_surfaces_waiver_typo_as_analysis_failure() -> None:
+    diagnostics = lint_nf(_TypoWaiverNF(), pipeline=False)
+    (diag,) = [d for d in diagnostics if d.code == "MAE020"]
+    assert "MAE404" in diag.message
+
+
+def test_micro_nf_waivers_still_suppress_mae006() -> None:
+    from repro.nf.nfs.micro import DualCounter
+
+    source = gather_sources(DualCounter())
+    assert any(
+        "MAE006" in codes for codes in source.waivers.values()
+    ), "DualCounter's bundled waivers must parse"
+    diagnostics = lint_nf(DualCounter(), pipeline=False)
+    assert not [d for d in diagnostics if d.code == "MAE006"]

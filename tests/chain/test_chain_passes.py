@@ -1,0 +1,259 @@
+"""Whole-chain analysis: composition, MAE2xx diagnostics, modes."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.chain_passes import analyze_chain
+from repro.analysis.diagnostics import SCHEMA_VERSION
+from repro.chain import load_chain, parse_chain
+
+CHAINS = Path(__file__).resolve().parents[2] / "examples" / "chains"
+
+
+def _codes(report) -> set[str]:
+    return {d.code for d in report.diagnostics}
+
+
+# ------------------------------------------------------------------ #
+# The bundled example chains (the issue's acceptance gates)
+# ------------------------------------------------------------------ #
+def test_fw_cl_gets_one_joint_key_and_validates() -> None:
+    report = analyze_chain(load_chain(CHAINS / "fw_cl.chain"))
+    assert report.mode == "joint"
+    assert report.clean and not report.diagnostics
+    assert report.joint_fields == {
+        0: ("src_ip", "dst_ip"),
+        1: ("src_ip", "dst_ip"),
+    }
+    assert set(report.joint_keys) == {0, 1}
+    assert report.lifted_pairs  # the src<->dst swap across chain ports
+    assert report.equivalence is not None and report.equivalence.equivalent
+    assert not report.equivalence.race_diagnostics
+    assert "joint" in report.describe()
+
+
+def test_tap_scan_composes_around_the_stateless_hop() -> None:
+    report = analyze_chain(load_chain(CHAINS / "tap_scan.chain"))
+    assert report.mode == "joint"
+    assert report.clean and not report.diagnostics
+    # nop imposes nothing; psd@0 pins src_ip; chain port 1 is free
+    assert report.joint_fields == {0: ("src_ip",)}
+    assert set(report.joint_keys) == {0, 1}
+    assert report.equivalence is not None and report.equivalence.equivalent
+
+
+def test_scan_police_lb_falls_back_with_warnings_only() -> None:
+    report = analyze_chain(load_chain(CHAINS / "scan_police_lb.chain"))
+    assert report.mode == "fallback"
+    assert _codes(report) == {"MAE201", "MAE203"}
+    assert report.clean  # warnings don't gate: the chain still deploys
+    assert report.handoff_fraction is not None
+    assert 0.0 < report.handoff_fraction <= 1.0
+    assert report.handoff_cycles is not None and report.handoff_cycles > 0
+    assert report.handoff_slowdown is not None
+    assert 0.0 < report.handoff_slowdown < 1.0
+    assert report.equivalence is not None and report.equivalence.equivalent
+    assert not report.equivalence.race_diagnostics
+
+
+def test_report_json_is_schema_tagged() -> None:
+    report = analyze_chain(
+        load_chain(CHAINS / "scan_police_lb.chain"), validate=False
+    )
+    payload = report.to_json()
+    assert payload["schema"] == SCHEMA_VERSION
+    assert payload["chain"] == "scan_police_lb"
+    assert payload["mode"] == "fallback"
+    assert payload["joint_keys"] is None
+    assert {d["code"] for d in payload["diagnostics"]} == {"MAE201", "MAE203"}
+
+
+# ------------------------------------------------------------------ #
+# MAE202: opposite lock orders on different routes
+# ------------------------------------------------------------------ #
+LOCK_TANGLE = """\
+chain lock_tangle
+hop g: global_counter
+hop d: dual_counter
+ingress 0 -> g.0
+wire g.1 -> d.0
+egress d.1 -> 1
+ingress 1 -> d.1
+wire d.0 -> g.1
+egress g.0 -> 0
+"""
+
+
+def test_opposite_lock_orders_are_an_error() -> None:
+    report = analyze_chain(parse_chain(LOCK_TANGLE), validate=False)
+    assert report.mode == "invalid"
+    assert "MAE202" in _codes(report)
+    assert "MAE203" in _codes(report)  # both LOCKS hops also warn
+    assert not report.clean
+    (mae202,) = [d for d in report.diagnostics if d.code == "MAE202"]
+    assert "'g'" in mae202.message and "'d'" in mae202.message
+
+
+def test_one_directional_lock_pair_is_not_a_lock_tangle() -> None:
+    # Same two LOCKS hops, but only one route: g always precedes d.
+    report = analyze_chain(
+        parse_chain(
+            "chain one_way\n"
+            "hop g: global_counter\n"
+            "hop d: dual_counter\n"
+            "ingress 0 -> g.0\n"
+            "wire g.1 -> d.0\n"
+            "egress d.1 -> 1\n"
+            "egress d.0 -> 0\n"
+            "egress g.0 -> 0\n"
+        ),
+        validate=False,
+    )
+    assert "MAE202" not in _codes(report)
+    assert report.mode == "fallback"
+
+
+# ------------------------------------------------------------------ #
+# MAE204: dead hops, dead wires, dangling forward ports
+# ------------------------------------------------------------------ #
+def test_unreachable_hop_is_mae204() -> None:
+    report = analyze_chain(
+        parse_chain(
+            "chain dead_hop\n"
+            "hop tap: nop\n"
+            "hop ghost: nop\n"
+            "ingress 0 -> tap.0\n"
+            "egress tap.1 -> 1\n"
+            "egress tap.0 -> 0\n"
+            "wire ghost.1 -> tap.1\n"
+            "egress ghost.0 -> 0\n"
+        ),
+        validate=False,
+    )
+    assert report.mode == "invalid"
+    (diag,) = [d for d in report.diagnostics if "unreachable" in d.message]
+    assert diag.code == "MAE204"
+    assert "'ghost'" in diag.message
+
+
+def test_dead_wire_is_mae204() -> None:
+    # nop only ever forwards out of ports 0 and 1; port 5 is dead.
+    report = analyze_chain(
+        parse_chain(
+            "chain dead_wire\n"
+            "hop a: nop\n"
+            "hop b: nop\n"
+            "ingress 0 -> a.0\n"
+            "egress a.1 -> 1\n"
+            "wire a.5 -> b.0\n"
+            "egress b.1 -> 1\n"
+            "egress a.0 -> 0\n"
+            "egress b.0 -> 0\n"
+        ),
+        validate=False,
+    )
+    assert report.mode == "invalid"
+    dead = [d for d in report.diagnostics if "dead wire" in d.message]
+    assert dead and all(d.code == "MAE204" for d in dead)
+
+
+def test_dangling_forward_port_is_mae204() -> None:
+    # nop at port 0 always forwards to port 1, which has no route.
+    report = analyze_chain(
+        parse_chain(
+            "chain dangling\n"
+            "hop tap: nop\n"
+            "ingress 0 -> tap.0\n"
+            "egress tap.0 -> 0\n"
+        ),
+        validate=False,
+    )
+    assert report.mode == "invalid"
+    (diag,) = report.diagnostics
+    assert diag.code == "MAE204"
+    assert "no wire or egress" in diag.message
+
+
+def test_unknown_nf_name_is_mae200() -> None:
+    report = analyze_chain(
+        parse_chain(
+            "chain unknown\nhop a: no_such_nf\n"
+            "ingress 0 -> a.0\negress a.1 -> 1\n"
+        ),
+        validate=False,
+    )
+    assert report.mode == "invalid"
+    (diag,) = report.diagnostics
+    assert diag.code == "MAE200"
+    assert "no_such_nf" in diag.message
+
+
+# ------------------------------------------------------------------ #
+# Orientation search and rewrite exclusion
+# ------------------------------------------------------------------ #
+def test_fw_against_itself_reversed_uses_swap_orientation() -> None:
+    # Second firewall mounted backwards: its LAN faces the chain's WAN.
+    # Identity orientation still works here (fw shards on the full
+    # 4-tuple at both ports), so the analyzer must stay joint.
+    report = analyze_chain(
+        parse_chain(
+            "chain fw_fw\n"
+            "hop a: fw\n"
+            "hop b: fw\n"
+            "ingress 0 -> a.0\n"
+            "wire a.1 -> b.1\n"
+            "egress b.0 -> 1\n"
+            "ingress 1 -> b.0\n"
+            "wire b.1 -> a.1\n"
+            "egress a.0 -> 0\n"
+        ),
+        validate=False,
+    )
+    assert report.mode == "joint"
+    assert report.clean
+
+
+def test_upstream_rewrite_excludes_fields_from_the_joint_key() -> None:
+    # lb rewrites dst_ip before cl sees the packet; cl shards on the IP
+    # pair, so dst_ip must drop out — and with src_ip still available the
+    # (coarser) joint key survives.  The lb hop itself is LOCKS, which
+    # forces fallback; the point here is that composition must not pick
+    # a rewritten field, so we check the MAE201 absence.
+    report = analyze_chain(
+        parse_chain(
+            "chain rewrite\n"
+            "hop lb: lb\n"
+            "hop cl: cl\n"
+            "ingress 0 -> lb.0\n"
+            "wire lb.1 -> cl.0\n"
+            "egress cl.1 -> 1\n"
+            "ingress 1 -> cl.1\n"
+            "wire cl.0 -> lb.1\n"
+            "egress lb.0 -> 0\n"
+        ),
+        validate=False,
+    )
+    assert "MAE201" not in _codes(report)
+    assert "MAE203" in _codes(report)  # lb still forces fallback
+    assert report.mode == "fallback"
+
+
+# ------------------------------------------------------------------ #
+# Waivers
+# ------------------------------------------------------------------ #
+def test_chain_waivers_move_diagnostics_aside() -> None:
+    text = (CHAINS / "scan_police_lb.chain").read_text()
+    waived = text.replace(
+        "hop lb: lb",
+        "hop lb: lb  # maestro: waive[MAE203]",
+    ).replace(
+        "ingress 0 -> scan.0",
+        "ingress 0 -> scan.0  # maestro: waive[MAE201]",
+    )
+    report = analyze_chain(parse_chain(waived, file="waived.chain"), validate=False)
+    assert not report.diagnostics
+    assert {d.code for d in report.waived} == {"MAE201", "MAE203"}
+    assert report.clean

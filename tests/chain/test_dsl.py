@@ -1,0 +1,97 @@
+"""The chain DSL: parsing, structural validation, waiver collection."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.chain import load_chain, parse_chain
+from repro.chain.dsl import Egress, Wire
+from repro.errors import ChainError, WaiverError
+
+GOOD = """\
+# a comment
+chain demo
+hop a: fw
+hop b: cl
+ingress 0 -> a.0
+wire a.1 -> b.0
+egress b.1 -> 1
+ingress 1 -> b.1
+wire b.0 -> a.1
+egress a.0 -> 0
+"""
+
+
+def test_parse_good_chain() -> None:
+    chain = parse_chain(GOOD, file="demo.chain")
+    assert chain.name == "demo"
+    assert chain.hop_order() == ["a", "b"]
+    assert chain.hops["a"].nf_name == "fw"
+    assert chain.ingress_ports() == [0, 1]
+    assert chain.ingress_for(0).hop == "a"
+    nxt = chain.next_of("a", 1)
+    assert isinstance(nxt, Wire) and nxt.dst == "b" and nxt.dst_port == 0
+    out = chain.next_of("b", 1)
+    assert isinstance(out, Egress) and out.chain_port == 1
+    assert chain.next_of("b", 7) is None
+    assert "demo" in chain.describe()
+
+
+def test_load_chain_reads_bundled_examples() -> None:
+    root = Path(__file__).resolve().parents[2] / "examples" / "chains"
+    files = sorted(root.glob("*.chain"))
+    assert len(files) >= 3
+    for path in files:
+        chain = load_chain(path)
+        assert chain.file == str(path)
+        assert chain.hops and chain.ingresses and chain.egresses
+
+
+@pytest.mark.parametrize(
+    "text, fragment",
+    [
+        ("hop a: fw", "first declaration"),
+        ("chain a\nchain b", "duplicate 'chain'"),
+        ("chain d\nhop a: fw\nhop a: cl", "duplicate hop alias"),
+        ("chain d\nhop a: fw\ningress 0 -> z.0", "unknown"),
+        ("chain d\nhop a: fw\ningress 0 -> a.0\nwire a.0 -> z.1", "unknown"),
+        (
+            "chain d\nhop a: fw\ningress 0 -> a.0\ningress 0 -> a.1",
+            "duplicate ingress",
+        ),
+        (
+            "chain d\nhop a: fw\nhop b: cl\ningress 0 -> a.0\n"
+            "wire a.1 -> b.0\negress a.1 -> 0",
+            "duplicate route",
+        ),
+        ("chain d\nhop a: fw\ningress x -> a.0", "integer"),
+        ("chain d\nhop a: fw\nwire a.b -> a.0", "malformed endpoint"),
+        ("chain d\nhop a: fw\nwire a.0 b.1", "->"),
+        ("chain two words", "one name"),
+        ("chain d\nhop nameonly", "hop <alias>"),
+    ],
+)
+def test_malformed_chains_are_rejected(text: str, fragment: str) -> None:
+    with pytest.raises(ChainError, match=fragment):
+        parse_chain(text)
+
+
+def test_waiver_comments_are_line_scoped_and_validated() -> None:
+    chain = parse_chain(
+        "chain d\n"
+        "hop a: fw  # maestro: waive[MAE201,MAE203]\n"
+        "ingress 0 -> a.0\n"
+        "egress a.1 -> 1\n"
+    )
+    assert chain.waived("MAE201", 2)
+    assert chain.waived("MAE203", 2)
+    assert not chain.waived("MAE201", 3)
+    assert not chain.waived("MAE202", 2)
+    assert not chain.waived("MAE201", None)
+
+
+def test_unknown_waiver_code_fails_parse() -> None:
+    with pytest.raises(WaiverError, match="MAE999"):
+        parse_chain("chain d\nhop a: fw  # maestro: waive[MAE999]\n")

@@ -1,0 +1,92 @@
+"""Joint RSS key search: compilation, solving, batch-hash verification."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.sharding import PairMap
+from repro.errors import RssUnsatisfiableError
+from repro.rs3 import (
+    E810,
+    IPV4_TCP,
+    CancelField,
+    KeySearchStats,
+    MapFields,
+    RssConfiguration,
+    RssField,
+    compile_joint,
+    solve_joint,
+    verify_joint_steering,
+)
+
+SWAP_PAIR = PairMap(
+    port_a=0,
+    port_b=1,
+    field_map=(("src_ip", "dst_ip"), ("dst_ip", "src_ip")),
+)
+
+
+def test_compile_joint_cancels_non_active_fields_and_frees_ports() -> None:
+    compilation = compile_joint(
+        [0, 1, 2],
+        {0: ("src_ip", "dst_ip"), 1: ("src_ip", "dst_ip")},
+        [SWAP_PAIR],
+        E810,
+    )
+    assert compilation.free_ports == [2]
+    assert set(compilation.port_options) == {0, 1, 2}
+    cancels = [r for r in compilation.requirements if isinstance(r, CancelField)]
+    cancelled = {(r.port, r.field) for r in cancels}
+    # src/dst ports must hash to zero on both constrained ports
+    for port in (0, 1):
+        assert (port, RssField.SRC_PORT) in cancelled
+        assert (port, RssField.DST_PORT) in cancelled
+    maps = [r for r in compilation.requirements if isinstance(r, MapFields)]
+    assert len(maps) == 2  # the swap, deduplicated
+
+
+def test_compile_joint_deduplicates_repeated_lifted_pairs() -> None:
+    compilation = compile_joint(
+        [0, 1],
+        {0: ("src_ip",), 1: ("dst_ip",)},
+        [
+            PairMap(port_a=0, port_b=1, field_map=(("src_ip", "dst_ip"),)),
+            PairMap(port_a=0, port_b=1, field_map=(("src_ip", "dst_ip"),)),
+        ],
+        E810,
+    )
+    maps = [r for r in compilation.requirements if isinstance(r, MapFields)]
+    assert len(maps) == 1
+
+
+def test_compile_joint_rejects_non_rss_fields() -> None:
+    with pytest.raises(RssUnsatisfiableError, match="not RSS-hashable"):
+        compile_joint([0], {0: ("ttl",)}, [], E810)
+
+
+def test_solve_joint_satisfies_the_composed_system() -> None:
+    compilation = compile_joint(
+        [0, 1],
+        {0: ("src_ip", "dst_ip"), 1: ("src_ip", "dst_ip")},
+        [SWAP_PAIR],
+        E810,
+    )
+    stats = KeySearchStats()
+    keys = solve_joint(
+        compilation, E810, n_queues=4,
+        rng=np.random.default_rng(11), stats=stats,
+    )
+    assert set(keys) == {0, 1}
+    assert stats.attempts >= 1
+    rss = RssConfiguration.build(keys, compilation.port_options, 4)
+    verify_joint_steering(rss, [SWAP_PAIR], samples=128)
+
+
+def test_verify_joint_steering_catches_uncoordinated_keys() -> None:
+    # Two independent random keys cannot satisfy the swap pair map.
+    rng = np.random.default_rng(3)
+    keys = {port: bytes(rng.integers(0, 256, size=52, dtype=np.uint8)) for port in (0, 1)}
+    rss = RssConfiguration.build(keys, {0: IPV4_TCP, 1: IPV4_TCP}, 4)
+    with pytest.raises(RssUnsatisfiableError, match="joint steering"):
+        verify_joint_steering(rss, [SWAP_PAIR], samples=64)

@@ -1,0 +1,102 @@
+"""Replay determinism and footprint composition across chain hops.
+
+The chain analyzer composes per-hop symbex footprints along the wire
+map; that is only sound if (a) every hop's paths replay
+deterministically on the ports the chain actually feeds them, and
+(b) the per-hop forwarding/rewrite summaries the analyzer derives from
+the trees are faithful for empty (stateless) and port-dead hops.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.chain_passes import analyze_chain
+from repro.chain import load_chain, parse_chain
+from repro.chain.runtime import instantiate_hops
+from repro.symbex import explore_nf
+from repro.symbex.engine import replay_path
+
+CHAINS = Path(__file__).resolve().parents[2] / "examples" / "chains"
+
+
+def test_replay_is_deterministic_on_chain_fed_ports() -> None:
+    """Replay every path of every hop twice, restricted to the hop ports
+    the chain wiring actually feeds (ingresses plus wire destinations)."""
+    chain = load_chain(CHAINS / "fw_cl.chain")
+    nfs = instantiate_hops(chain)
+    fed: dict[str, set[int]] = {alias: set() for alias in nfs}
+    for ing in chain.ingresses:
+        fed[ing.hop].add(ing.port)
+    for wire in chain.wires:
+        fed[wire.dst].add(wire.dst_port)
+    assert all(fed.values()), "chain wiring feeds every hop"
+    for alias, nf in nfs.items():
+        tree = explore_nf(nf)
+        for port in sorted(fed[alias]):
+            paths = tree.paths(port)
+            assert paths, f"{alias} has no paths on chain-fed port {port}"
+            for path in paths:
+                first = replay_path(nf, port, path.decisions)
+                second = replay_path(nf, port, path.decisions)
+                assert first == second
+                assert first[0] == path.decisions
+
+
+def test_downstream_hop_replays_on_upstream_output_ports() -> None:
+    """Hop 2's replay ports must come from hop 1's concrete forward
+    targets — the exact composition step the chain analyzer performs."""
+    chain = load_chain(CHAINS / "fw_cl.chain")
+    nfs = instantiate_hops(chain)
+    fw_tree = explore_nf(nfs["fw"])
+    # fw's concrete forward ports out of the chain ingress port
+    out_ports = {
+        path.action.port
+        for path in fw_tree.paths(chain.ingress_for(0).port)
+        if isinstance(path.action.port, int)
+    }
+    assert out_ports == {1}
+    cl_ports = set()
+    for out in out_ports:
+        nxt = chain.next_of("fw", out)
+        assert nxt is not None and hasattr(nxt, "dst")
+        cl_ports.add(nxt.dst_port)
+    cl = nfs["cl"]
+    cl_tree = explore_nf(cl)
+    for port in cl_ports:
+        for path in cl_tree.paths(port):
+            assert replay_path(cl, port, path.decisions) == replay_path(
+                cl, port, path.decisions
+            )
+
+
+def test_footprint_composition_skips_empty_hops() -> None:
+    """A stateless hop (nop) contributes an empty footprint: no sharding
+    constraint, no rewrites — the composed joint fields come entirely
+    from the stateful hop."""
+    report = analyze_chain(load_chain(CHAINS / "tap_scan.chain"), validate=False)
+    tap = report.hops["tap"]
+    assert not tap.result.solution.per_port  # no constraints at all
+    assert all(not mods for mods in tap.mods_by_port.values())
+    assert report.joint_fields == {0: ("src_ip",)}
+
+
+def test_footprint_composition_ignores_port_dead_paths() -> None:
+    """A hop port the chain never feeds contributes nothing: psd's
+    monitored port has constraints, but when only the reply port is
+    wired the composition sees no constraint from it."""
+    chain = parse_chain(
+        "chain reply_only\n"
+        "hop scan: psd\n"
+        "ingress 0 -> scan.1\n"   # feed only the reply port
+        "egress scan.0 -> 1\n"
+        "egress scan.1 -> 0\n"
+    )
+    report = analyze_chain(chain, validate=False)
+    scan = report.hops["scan"]
+    # the NF itself still shards on src_ip at its monitored port 0 ...
+    assert scan.result.solution.per_port.get(0)
+    # ... but the chain never reaches it, so the joint key is free
+    assert report.joint_fields.get(0) is None
+    assert report.mode == "joint"
+    assert report.clean
