@@ -1,15 +1,23 @@
 """Fast-path performance gates (vectorized RSS + batched simulation).
 
-Two speedup floors, measured on the firewall (the flagship stateful NF):
+Three speedup floors, measured on the firewall (the flagship stateful
+NF):
 
 * batched Toeplitz hashing must be >= 20x the scalar reference on a
   full trace's hash inputs (the byte-table gather path is ~2 orders of
   magnitude faster in practice);
-* end-to-end ``run_functional`` (steering cache + grouped execution)
-  must be >= 5x the seed packet-at-a-time path.
+* end-to-end ``run_functional`` with the interpreter fast path
+  (steering cache + grouped execution, ``kernels=False``) must beat the
+  seed packet-at-a-time path from a cold start;
+* the compiled dataplane (``kernels=True``, the default) must beat the
+  reference by a much larger factor in *steady state* — a warmed
+  ``FlowSteeringCache`` plus hot kernel memos, the regime a long-lived
+  dataplane actually runs in — and its kernel coverage is gated too,
+  so a path-classification regression fails even if wall-clock noise
+  hides it.
 
-Both are gated on *best-of-rounds* minima — the standard noise-robust
-estimator for wall-clock micro-benchmarks — and both assert the fast
+All gates use *best-of-rounds* minima — the standard noise-robust
+estimator for wall-clock micro-benchmarks — and all assert the fast
 results are bit-identical to the scalar oracle before timing means
 anything.
 
@@ -34,7 +42,7 @@ from repro.rs3.toeplitz import (
     toeplitz_hash,
     toeplitz_hash_batch,
 )
-from repro.sim.functional import run_functional
+from repro.sim.functional import FlowSteeringCache, run_functional
 from repro.traffic import TrafficGenerator
 
 QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
@@ -47,7 +55,11 @@ SCALAR_SAMPLE = 5_000
 ROUNDS = 3 if QUICK else 4
 
 HASH_SPEEDUP_FLOOR = 20.0
-E2E_SPEEDUP_FLOOR = 3.0 if QUICK else 5.0
+E2E_SPEEDUP_FLOOR = 4.0 if QUICK else 5.0
+#: Steady-state compiled dataplane vs the packet-at-a-time reference.
+COMPILED_SPEEDUP_FLOOR = 12.0
+#: Fraction of packets a warm run must execute through kernels.
+COMPILED_COVERAGE_FLOOR = 0.95
 
 _RESULTS: dict[str, object] = {"quick": QUICK, "n_packets": N_PACKETS}
 
@@ -133,7 +145,7 @@ def test_run_functional_speedup_and_exactness(parallel_factory, trace):
     par_ref = parallel_factory()
     par_fast = parallel_factory()
     run_ref = run_functional(par_ref, trace, fastpath=False)
-    run_fast = run_functional(par_fast, trace)
+    run_fast = run_functional(par_fast, trace, kernels=False)
     assert list(run_ref.results) == list(run_fast.results)
     assert np.array_equal(run_ref.core_ids, run_fast.core_ids)
     assert run_ref.action_counts() == run_fast.action_counts()
@@ -161,7 +173,7 @@ def test_run_functional_speedup_and_exactness(parallel_factory, trace):
         t_ref = min(t_ref, time.perf_counter() - start)
         parallel = parallel_factory()
         start = time.perf_counter()
-        run_functional(parallel, trace)
+        run_functional(parallel, trace, kernels=False)
         t_fast = min(t_fast, time.perf_counter() - start)
 
     speedup = t_ref / t_fast
@@ -176,4 +188,63 @@ def test_run_functional_speedup_and_exactness(parallel_factory, trace):
         f"(ref {t_ref * 1e6 / len(trace):.1f}us/pkt, "
         f"fast {t_fast * 1e6 / len(trace):.1f}us/pkt; "
         f"floor {E2E_SPEEDUP_FLOOR:.0f}x)"
+    )
+
+
+def test_compiled_steady_state_speedup(parallel_factory, trace):
+    """Compiled kernels vs the reference, in steady state.
+
+    A long-lived dataplane runs warm: the steering cache knows every
+    flow, every flow's state is established, and the kernel memo has
+    classified every (flow, path) pair.  Each leg keeps one ParallelNF
+    (and, for the compiled leg, one FlowSteeringCache) across rounds —
+    one untimed warm-up round, then timed rounds, best-of-rounds.  Both
+    legs replay the same trace every round, so their per-round state
+    evolutions stay in lockstep and the last round is compared
+    bit-for-bit.
+    """
+    par_ref = parallel_factory()
+    par_comp = parallel_factory()
+    cache = FlowSteeringCache(par_comp.rss)
+    run_functional(par_ref, trace, fastpath=False)  # warm-up, untimed
+    run_functional(par_comp, trace, flow_cache=cache)
+
+    t_ref = float("inf")
+    t_comp = float("inf")
+    run_ref = run_comp = None
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        run_ref = run_functional(par_ref, trace, fastpath=False)
+        t_ref = min(t_ref, time.perf_counter() - start)
+        start = time.perf_counter()
+        run_comp = run_functional(par_comp, trace, flow_cache=cache)
+        t_comp = min(t_comp, time.perf_counter() - start)
+
+    assert list(run_ref.results) == list(run_comp.results)
+    assert np.array_equal(run_ref.core_ids, run_comp.core_ids)
+    assert run_ref.action_counts() == run_comp.action_counts()
+
+    coverage = run_comp.compiled["coverage"]
+    fallback_rate = run_comp.compiled["fallback_rate"]
+    speedup = t_ref / t_comp
+    _RESULTS["compiled"] = {
+        "reference_us_per_pkt": t_ref * 1e6 / len(trace),
+        "compiled_us_per_pkt": t_comp * 1e6 / len(trace),
+        "speedup": speedup,
+        "floor": COMPILED_SPEEDUP_FLOOR,
+        "coverage": coverage,
+        "coverage_floor": COMPILED_COVERAGE_FLOOR,
+        "fallback_rate": fallback_rate,
+        "fallback_ceiling": round(1.0 - COMPILED_COVERAGE_FLOOR, 6),
+    }
+    assert coverage >= COMPILED_COVERAGE_FLOOR, (
+        f"kernel coverage only {coverage:.3f} in steady state "
+        f"(fallback rate {fallback_rate:.3f}; "
+        f"floor {COMPILED_COVERAGE_FLOOR})"
+    )
+    assert speedup >= COMPILED_SPEEDUP_FLOOR, (
+        f"compiled dataplane only {speedup:.2f}x the seed path "
+        f"(ref {t_ref * 1e6 / len(trace):.2f}us/pkt, "
+        f"compiled {t_comp * 1e6 / len(trace):.2f}us/pkt; "
+        f"floor {COMPILED_SPEEDUP_FLOOR:.0f}x)"
     )

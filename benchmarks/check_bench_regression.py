@@ -31,19 +31,28 @@ from pathlib import Path
 GATED = (
     ("hash", "batch_us_per_pkt"),
     ("e2e", "fastpath_us_per_pkt"),
+    ("compiled", "compiled_us_per_pkt"),
 )
 
 #: Reported for context only.
 CONTEXT = (
     ("hash", "scalar_us_per_pkt"),
     ("e2e", "reference_us_per_pkt"),
+    ("compiled", "reference_us_per_pkt"),
 )
 
 #: Absolute gates: fresh ``section.metric`` must stay under the ceiling
 #: recorded in the baseline's ``section.ceiling_key`` (these are
 #: fractions, not per-packet times — the relative-throughput math above
-#: does not apply, and the value may legitimately be <= 0).
-ABSOLUTE = (("telemetry", "overhead_frac", "ceiling_frac"),)
+#: does not apply, and the value may legitimately be <= 0).  The
+#: compiled fallback-rate gate is what makes *path-coverage* regressions
+#: fail CI even when wall-clock noise hides them: a lowering bug that
+#: demotes kernel paths to the interpreter raises the fallback rate
+#: above the committed ceiling.
+ABSOLUTE = (
+    ("telemetry", "overhead_frac", "ceiling_frac"),
+    ("compiled", "fallback_rate", "fallback_ceiling"),
+)
 
 
 def _load(path: str) -> dict:

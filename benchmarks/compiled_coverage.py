@@ -1,0 +1,111 @@
+"""Compiled-dataplane coverage report: kernel vs fallback, per corpus NF.
+
+CI's bench-smoke job runs this after the benchmark suite::
+
+    python benchmarks/compiled_coverage.py --quick --out compiled-coverage.json
+
+For every bundled NF it runs one cold pass and one warm pass (same
+trace, shared ``FlowSteeringCache``, established flow state) through
+``run_functional`` with kernels enabled, and records how many packets
+executed in compiled kernels vs the interpreter fallback.  The JSON
+artifact is the per-NF coverage ledger; the gate **fails (exit 1) when
+any NF hits 100% interpreter fallback in both passes** — that means the
+compiler lost every path of that NF (a lowering or classification
+regression), which wall-clock benchmarks on the flagship firewall would
+never notice.
+
+Cold coverage is allowed to be low (allocation paths are interpreter-
+only by design), so only total blackout fails.  Exit codes: 0 ok,
+1 coverage blackout, 2 usage/internal errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.core.pipeline import Maestro
+from repro.nf.nfs import ALL_NFS
+from repro.sim.functional import FlowSteeringCache, run_functional
+from repro.traffic import TrafficGenerator
+
+
+def measure_nf(name: str, n_packets: int, n_flows: int, n_cores: int) -> dict:
+    parallel = Maestro(seed=7).parallelize(ALL_NFS[name](), n_cores=n_cores)
+    generator = TrafficGenerator(seed=3)
+    flows = generator.make_flows(n_flows)
+    trace = generator.trace(
+        n_packets, flows, reply_port=1, reply_fraction=0.3
+    )
+    cache = FlowSteeringCache(parallel.rss)
+    cold = run_functional(parallel, trace, flow_cache=cache)
+    warm = run_functional(parallel, trace, flow_cache=cache)
+    if not hasattr(cold, "compiled"):
+        # compile_parallel refused the NF outright: no kernels at all.
+        return {
+            "strategy": parallel.strategy.value,
+            "compiled": False,
+            "cold_coverage": 0.0,
+            "warm_coverage": 0.0,
+        }
+    return {
+        "strategy": parallel.strategy.value,
+        "compiled": True,
+        "paths": cold.compiled["paths"],
+        "supported_paths": cold.compiled["supported_paths"],
+        "cold_coverage": cold.compiled["coverage"],
+        "cold_fallback_rate": cold.compiled["fallback_rate"],
+        "warm_coverage": warm.compiled["coverage"],
+        "warm_fallback_rate": warm.compiled["fallback_rate"],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", help="write the JSON report here")
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller traces (CI smoke)"
+    )
+    parser.add_argument("--cores", type=int, default=8)
+    args = parser.parse_args(argv)
+    n_packets = 4_000 if args.quick else 20_000
+    n_flows = 300 if args.quick else 600
+
+    report: dict[str, object] = {
+        "n_packets": n_packets,
+        "n_flows": n_flows,
+        "n_cores": args.cores,
+        "nfs": {},
+    }
+    blackouts: list[str] = []
+    for name in sorted(ALL_NFS):
+        entry = measure_nf(name, n_packets, n_flows, args.cores)
+        report["nfs"][name] = entry  # type: ignore[index]
+        dark = entry["cold_coverage"] == 0.0 and entry["warm_coverage"] == 0.0
+        if dark:
+            blackouts.append(name)
+        print(
+            f"{name:10s} strategy={entry['strategy']:<14s} "
+            f"cold={entry['cold_coverage']:.3f} "
+            f"warm={entry['warm_coverage']:.3f} "
+            f"{'BLACKOUT' if dark else 'ok'}"
+        )
+    report["blackouts"] = blackouts
+
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+    if blackouts:
+        print(
+            f"compiled coverage gate: 100% interpreter fallback on "
+            f"{', '.join(blackouts)}",
+            file=sys.stderr,
+        )
+        return 1
+    print("compiled coverage gate: every NF runs kernels")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

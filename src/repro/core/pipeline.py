@@ -189,4 +189,7 @@ class Maestro:
                 parallel = ParallelNF.generate(
                     nf, result.solution, rss, n_cores, strategy=strategy
                 )
+        # The analysis already explored the NF exhaustively; hand the
+        # tree to the compiled dataplane so it never re-explores.
+        parallel.symbex_tree = result.tree
         return parallel

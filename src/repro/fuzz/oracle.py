@@ -11,11 +11,13 @@ applicable strategy and per trace:
 * **static vs. dynamic cross-check** — a sharding verdict the race
   sanitizer refutes (any active MAE10x finding on an untampered build)
   is a pipeline bug, not a test failure, and is reported as such;
-* **warm vs. cold fast path** — the same trace through the reference
-  path, a cold :class:`~repro.sim.functional.FlowSteeringCache`, and a
-  pre-warmed cache must yield identical per-packet (core, action)
-  sequences; cache hit/miss/invalidation accounting is attached to the
-  report.
+* **warm vs. cold fast path vs. compiled** — the same trace through
+  the reference path, a cold
+  :class:`~repro.sim.functional.FlowSteeringCache`, a pre-warmed
+  cache (both with kernels pinned off), and the compiled batch
+  dataplane (kernels on) must yield identical per-packet
+  (core, action) sequences; cache hit/miss/invalidation accounting
+  and compiled kernel-coverage stats are attached to the report.
 
 Fault injection (``fault=``) seeds known pipeline bugs so the oracle
 and shrinker can be validated end to end:
@@ -27,7 +29,10 @@ and shrinker can be validated end to end:
   forged ``Verdict.SHARED_NOTHING`` solution when the analysis said
   LOCKS (the equivalence check or MAE103 must trip);
 * ``stale-cache`` — corrupt one warm steering-cache entry (the
-  warm/cold comparison must diverge).
+  warm/cold comparison must diverge);
+* ``skew-kernel`` — corrupt one compiled-kernel scatter mask so a
+  single kernel lane emits a flipped action (the compiled leg must
+  diverge from the reference).
 """
 
 from __future__ import annotations
@@ -43,12 +48,21 @@ from repro.fuzz.generator import NfSpec, build_nf
 from repro.fuzz.workloads import WorkloadSpec, materialize_workload
 from repro.obs.flight import FlightRecorder
 from repro.sim.equivalence import check_equivalence
-from repro.sim.functional import FlowSteeringCache, run_functional
+from repro.sim.functional import (
+    FlowSteeringCache,
+    _get_dispatcher,
+    run_functional,
+)
 
 __all__ = ["FAULTS", "FuzzFailure", "OracleReport", "run_oracle"]
 
 #: Known fault-injection modes (see module docstring).
-FAULTS: tuple[str, ...] = ("drop-lock", "forge-shared-nothing", "stale-cache")
+FAULTS: tuple[str, ...] = (
+    "drop-lock",
+    "forge-shared-nothing",
+    "stale-cache",
+    "skew-kernel",
+)
 
 
 @dataclass(frozen=True)
@@ -102,6 +116,7 @@ class OracleReport:
     capacity_divergences: int = 0
     failures: list[FuzzFailure] = field(default_factory=list)
     cache_stats: dict | None = None
+    compiled_stats: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -117,6 +132,7 @@ class OracleReport:
             "capacity_divergences": self.capacity_divergences,
             "failures": [f.to_dict() for f in self.failures],
             "cache_stats": self.cache_stats,
+            "compiled_stats": self.compiled_stats,
         }
 
 
@@ -285,11 +301,13 @@ def run_oracle(
                 trace, result.tree, fault,
             )
             if check_fastpath and (
-                failed or index == 0 or fault == "stale-cache"
+                failed
+                or index == 0
+                or fault in ("stale-cache", "skew-kernel")
             ):
                 _check_fastpath(
                     report, make_nf, make_parallel, strategy, workload,
-                    trace, n_cores, fault,
+                    trace, result.tree, n_cores, fault,
                 )
     return report
 
@@ -359,15 +377,22 @@ def _check_one(
 
 
 def _check_fastpath(
-    report, make_nf, make_parallel, strategy, workload, trace, n_cores, fault
+    report, make_nf, make_parallel, strategy, workload, trace, tree,
+    n_cores, fault
 ) -> None:
-    """Reference vs. cold-cache vs. warm-cache runs must agree."""
+    """Reference vs. cold/warm fast path vs. compiled kernels.
+
+    The interpreter legs are pinned ``kernels=False`` so each leg
+    isolates one mechanism: steering-cache dispatch (cold and warm) and
+    the compiled batch dataplane (kernels on).
+    """
     try:
         reference = run_functional(make_parallel(strategy), trace, fastpath=False)
         cold_parallel = make_parallel(strategy)
         cold_cache = FlowSteeringCache(cold_parallel.rss)
         cold = run_functional(
-            cold_parallel, trace, fastpath=True, flow_cache=cold_cache
+            cold_parallel, trace, fastpath=True, flow_cache=cold_cache,
+            kernels=False,
         )
         warm_parallel = make_parallel(strategy)
         warm_cache = FlowSteeringCache(warm_parallel.rss)
@@ -375,8 +400,24 @@ def _check_fastpath(
         if fault == "stale-cache" and warm_cache._cores:
             key = sorted(warm_cache._cores)[0]
             warm_cache._cores[key] = (warm_cache._cores[key] + 1) % n_cores
+            # The whole-trace memo would otherwise replay the pre-fault
+            # decisions verbatim; drop it so the corrupted entry steers.
+            warm_cache._trace_memo = None
         warm = run_functional(
-            warm_parallel, trace, fastpath=True, flow_cache=warm_cache
+            warm_parallel, trace, fastpath=True, flow_cache=warm_cache,
+            kernels=False,
+        )
+        comp_parallel = make_parallel(strategy)
+        # The analysis already explored this NF; reuse its tree so the
+        # compiled leg lowers the exact paths the oracle verified.
+        comp_parallel.symbex_tree = tree
+        if fault == "skew-kernel":
+            dispatcher = _get_dispatcher(comp_parallel)
+            if dispatcher is not None:
+                dispatcher.fault = "skew-kernel"
+        compiled = run_functional(
+            comp_parallel, trace, fastpath=True,
+            flow_cache=FlowSteeringCache(comp_parallel.rss), kernels=True,
         )
     except Exception as exc:  # noqa: BLE001
         report.failures.append(
@@ -394,7 +435,8 @@ def _check_fastpath(
         "cold": cold_cache.stats(),
         "warm": warm_cache.stats(),
     }
-    for label, run in (("cold", cold), ("warm", warm)):
+    report.compiled_stats = getattr(compiled, "compiled", None)
+    for label, run in (("cold", cold), ("warm", warm), ("compiled", compiled)):
         for i, ((ref_core, ref_res), (run_core, run_res)) in enumerate(
             zip(reference.results, run.results)
         ):
@@ -407,7 +449,7 @@ def _check_fastpath(
                             f"packet #{i}: "
                             f"{_observable(ref_core, ref_res)} != "
                             f"{_observable(run_core, run_res)} "
-                            f"(cache {report.cache_stats[label]})"
+                            f"(cache {report.cache_stats.get(label, report.compiled_stats)})"
                         ),
                         strategy=strategy.value,
                         workload=workload.to_dict() if workload else None,

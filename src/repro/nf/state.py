@@ -43,6 +43,9 @@ class Map:
             raise StateModelError(f"map capacity must be positive: {capacity}")
         self.capacity = capacity
         self._data: dict[Hashable, int] = {}
+        #: bumped on every successful mutation; the compiled dataplane's
+        #: classification memo keys its validity on this.
+        self.version = 0
 
     def __len__(self) -> int:
         return len(self._data)
@@ -58,11 +61,15 @@ class Map:
         if key not in self._data and len(self._data) >= self.capacity:
             return False
         self._data[key] = int(value)
+        self.version += 1
         return True
 
     def erase(self, key: Hashable) -> bool:
         """Remove ``key``; returns whether it was present."""
-        return self._data.pop(key, None) is not None
+        present = self._data.pop(key, None) is not None
+        if present:
+            self.version += 1
+        return present
 
     def keys(self) -> Iterator[Hashable]:
         return iter(list(self._data.keys()))
@@ -82,6 +89,8 @@ class Vector:
         self.capacity = capacity
         template = dict(initial or {})
         self._slots: list[dict[str, int]] = [dict(template) for _ in range(capacity)]
+        #: bumped on every slot overwrite (compiled-memo validity guard).
+        self.version = 0
 
     def __len__(self) -> int:
         return self.capacity
@@ -101,6 +110,7 @@ class Vector:
     def put(self, index: int, record: dict[str, int]) -> None:
         """Overwrite the record at ``index``."""
         self._slots[self._check(index)] = dict(record)
+        self.version += 1
 
 
 @dataclass
@@ -125,6 +135,9 @@ class DChain:
         self.capacity = capacity
         self._entries = [_ChainEntry() for _ in range(capacity)]
         self._free: list[int] = list(range(capacity - 1, -1, -1))
+        #: bumped when the allocated set changes (not on rejuvenation);
+        #: the compiled-memo validity guard for flag/frozen-alloc reads.
+        self.alloc_version = 0
 
     def allocated_count(self) -> int:
         return self.capacity - len(self._free)
@@ -137,6 +150,7 @@ class DChain:
         entry = self._entries[index]
         entry.allocated = True
         entry.last_touched = now
+        self.alloc_version += 1
         return True, index
 
     def is_allocated(self, index: int) -> bool:
@@ -159,6 +173,7 @@ class DChain:
             return False
         self._entries[index].allocated = False
         self._free.append(index)
+        self.alloc_version += 1
         return True
 
     def expire(self, threshold: float) -> list[int]:

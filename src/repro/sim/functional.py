@@ -33,6 +33,7 @@ from repro.core.codegen import ParallelNF, Strategy
 from repro.nf.api import ActionKind
 from repro.nf.runtime import PacketResult
 from repro.rs3.toeplitz import hash_input_matrix
+from repro.sim.compiled import compile_parallel
 from repro.traffic.generator import Trace
 
 __all__ = [
@@ -79,6 +80,10 @@ class FlowSteeringCache:
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
+        # Whole-trace memo: steering is a pure function of (generation,
+        # packet bytes), so replaying the *same* trace object against an
+        # unchanged generation can skip hashing entirely.
+        self._trace_memo: tuple | None = None
 
     def __len__(self) -> int:
         return len(self._cores)
@@ -86,6 +91,7 @@ class FlowSteeringCache:
     def invalidate(self) -> None:
         """Drop every cached dispatch decision."""
         self._cores.clear()
+        self._trace_memo = None
         self._generation = self.rss.steering_generation
         self.invalidations += 1
 
@@ -124,6 +130,20 @@ class FlowSteeringCache:
         the cache per packet.
         """
         self._check_generation()
+        memo = self._trace_memo
+        if memo is not None and memo[0] is trace:
+            # Every flow of this exact trace is already cached; replay
+            # the decisions and the counters a warm re-steer would emit.
+            _, memo_cores, port_counts = memo
+            n = len(trace)
+            self.hits += n
+            if obs.enabled():
+                for port, count in port_counts:
+                    obs.counter("fastpath.misses", 0, port=port)
+                    obs.counter("fastpath.hits", count, port=port)
+            if with_misses:
+                return memo_cores.copy(), np.zeros(n, dtype=bool)
+            return memo_cores.copy()
         cores = np.zeros(len(trace), dtype=np.int64)
         miss = np.zeros(len(trace), dtype=bool) if with_misses else None
         by_port: dict[int, list[int]] = {}
@@ -136,6 +156,11 @@ class FlowSteeringCache:
             cores[indices] = port_cores
             if miss is not None and port_miss is not None:
                 miss[indices] = port_miss
+        self._trace_memo = (
+            trace,
+            cores.copy(),
+            [(port, len(indices)) for port, indices in by_port.items()],
+        )
         if with_misses:
             return cores, miss
         return cores
@@ -597,6 +622,118 @@ def _run_fastpath(
     return run
 
 
+#: Cached-compile sentinel: ``compile_parallel`` returned None once, so
+#: don't retry it on every run of the same ParallelNF.
+_COMPILE_FAILED = object()
+
+
+def _get_dispatcher(parallel: ParallelNF):
+    """Compile (once) and cache the kernel dispatcher on the ParallelNF."""
+    cached = getattr(parallel, "_compiled_dispatcher", None)
+    if cached is _COMPILE_FAILED:
+        return None
+    if cached is not None:
+        return cached
+    dispatcher = compile_parallel(parallel)
+    parallel._compiled_dispatcher = (
+        dispatcher if dispatcher is not None else _COMPILE_FAILED
+    )
+    return dispatcher
+
+
+def _run_compiled(
+    parallel: ParallelNF,
+    trace: Trace,
+    run: FunctionalRun,
+    flow_cache: FlowSteeringCache | None,
+    dispatcher,
+) -> FunctionalRun:
+    """Fast path with compiled kernels: chunked classify/apply execution.
+
+    Mirrors :func:`_run_fastpath` exactly (steering, telemetry windows,
+    stat reconciliation) but hands each chunk to the
+    :class:`repro.sim.compiled.CompiledDispatcher`, which runs kernel
+    lanes vectorized and falls back to the interpreter per lane.  Chunk
+    edges include every telemetry window boundary, so recorded windows
+    stay bit-identical to the interpreter fast path.
+    """
+    cache = flow_cache if flow_cache is not None else FlowSteeringCache(parallel.rss)
+    sink = obs.active_telemetry()
+    if sink is None:
+        core_ids = cache.steer(trace)
+        miss_mask = None
+        wp = 0
+    else:
+        core_ids, miss_mask = cache.steer(trace, with_misses=True)
+        wp = sink.window_packets
+    n = len(trace)
+    results: list[PacketResult | None] = [None] * n
+    stats_before = [_ctx_stat_snapshot(core.ctx) for core in parallel.cores]
+    k0 = dispatcher.kernel_packets
+    f0 = dispatcher.fallback_packets
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
+    try:
+        edges = dispatcher.start_run(trace, core_ids, wp)
+        if sink is None:
+            for i in range(len(edges) - 1):
+                dispatcher.run_chunk(edges[i], edges[i + 1], results)
+        elif n:
+            locked = parallel.lock_plan.locked
+            n_cores = parallel.n_cores
+            w_edges = np.append(np.arange(0, n, wp), n)
+            n_windows = len(w_edges) - 1
+            flat = (np.arange(n) // wp) * n_cores + core_ids
+            pkt_counts = np.bincount(
+                flat, minlength=n_windows * n_cores
+            ).reshape(n_windows, n_cores)
+            miss_counts = np.bincount(
+                flat[miss_mask], minlength=n_windows * n_cores
+            ).reshape(n_windows, n_cores)
+            k = 0
+            before = [
+                core.ctx.stat_snapshot(locked) for core in parallel.cores
+            ]
+            for i in range(len(edges) - 1):
+                dispatcher.run_chunk(edges[i], edges[i + 1], results)
+                if k < n_windows and edges[i + 1] == int(w_edges[k + 1]):
+                    misses = miss_counts[k]
+                    sink.record_window(
+                        _window_rows(
+                            parallel, before, pkt_counts[k], locked,
+                            hits=pkt_counts[k] - misses, misses=misses,
+                        )
+                    )
+                    k += 1
+                    if k < n_windows:
+                        before = [
+                            core.ctx.stat_snapshot(locked)
+                            for core in parallel.cores
+                        ]
+    finally:
+        dispatcher.end_run()
+        if gc_was_enabled:
+            gc.enable()
+    _reconcile_core_stats(parallel, core_ids, stats_before)
+    run._bulk_install(core_ids, results)
+    run.compiled = dispatcher.run_stats(k0, f0)
+    run.compiled_path_ids = dispatcher.path_ids
+    if obs.enabled():
+        obs.counter(
+            "compiled.paths", dispatcher.supported_paths, nf=parallel.nf.name
+        )
+        obs.counter(
+            "compiled.hits", run.compiled["kernel_packets"],
+            nf=parallel.nf.name,
+        )
+        obs.counter(
+            "compiled.fallbacks", run.compiled["fallback_packets"],
+            nf=parallel.nf.name,
+        )
+    return run
+
+
 def _ctx_stat_snapshot(ctx) -> tuple[int, int, int]:
     """``(reads, writes, new_flow_packets)`` lifetime totals of one ctx."""
     reads, writes, new_flows, _ = ctx.stat_snapshot()
@@ -634,6 +771,7 @@ def run_functional(
     fastpath: bool = True,
     flow_cache: FlowSteeringCache | None = None,
     sanitize: bool = False,
+    kernels: bool = True,
 ) -> FunctionalRun:
     """Execute ``trace`` on the parallel NF.
 
@@ -646,12 +784,21 @@ def run_functional(
     warm cache keeps paying off (it self-invalidates if the indirection
     tables are rebalanced in between).
 
+    ``kernels=True`` (the default) additionally compiles the NF's
+    execution tree into vectorized batch kernels
+    (:mod:`repro.sim.compiled`) and runs whole chunks through them,
+    falling back to the interpreter per lane; results stay bit-identical.
+    Attached collectors see the same counter totals either way (kernel
+    lanes emit ``nf.state_op`` in bulk); kernels are skipped under
+    ``sanitize``.
+
     ``sanitize=True`` forces the reference path regardless of
-    ``fastpath``/``flow_cache``: the race sanitizer's event log
-    (:mod:`repro.analysis.race`) needs every packet processed one at a
-    time in global trace order, so the steering memo and the per-core
-    grouped execution are bypassed.  Results stay bit-identical — only
-    the interleaving of the per-core batches changes.
+    ``fastpath``/``flow_cache``/``kernels``: the race sanitizer's event
+    log (:mod:`repro.analysis.race`) needs every packet processed one at
+    a time in global trace order, so the steering memo, the compiled
+    kernels, and the per-core grouped execution are bypassed.  Results
+    stay bit-identical — only the interleaving of the per-core batches
+    changes.
     """
     if balance_tables_with is not None:
         parallel.rss.balance_tables(balance_tables_with)
@@ -665,6 +812,12 @@ def run_functional(
     ):
         if sanitize or not fastpath or not trace:
             return _run_reference(parallel, trace, run)
+        if kernels:
+            dispatcher = _get_dispatcher(parallel)
+            if dispatcher is not None:
+                return _run_compiled(
+                    parallel, trace, run, flow_cache, dispatcher
+                )
         return _run_fastpath(parallel, trace, run, flow_cache)
 
 

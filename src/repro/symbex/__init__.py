@@ -7,6 +7,14 @@ forking, producing the execution tree of §3.3.
 
 from repro.symbex import expr
 from repro.symbex.engine import SymbolicEngine, explore_nf, replay_path
+from repro.symbex.lower import (
+    Column,
+    KernelBail,
+    LowerError,
+    as_bool,
+    check_expr,
+    eval_expr,
+)
 from repro.symbex.tree import (
     Action,
     ActionKind,
@@ -25,4 +33,10 @@ __all__ = [
     "ExecutionTree",
     "Path",
     "TraceEntry",
+    "Column",
+    "KernelBail",
+    "LowerError",
+    "as_bool",
+    "check_expr",
+    "eval_expr",
 ]

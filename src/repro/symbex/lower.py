@@ -1,0 +1,265 @@
+"""Lowering symbolic expressions to vectorized NumPy column programs.
+
+The compiled dataplane (:mod:`repro.sim.compiled`) evaluates branch
+predicates and state-update expressions over whole packet matrices at
+once.  This module is the expression half of that compiler: it checks at
+compile time whether an :class:`repro.symbex.expr.Expr` can be evaluated
+column-wise, and evaluates it at run time over NumPy arrays.
+
+The evaluator implements the **concrete** semantics of
+:class:`repro.nf.runtime.ConcreteContext` — plain unbounded Python
+arithmetic, signed comparisons, ``int()`` truncation in ``extract`` — not
+the modular bit-vector semantics of :func:`repro.symbex.expr.evaluate`.
+The two agree wherever the engine's zero-extension discipline holds, but
+the kernels must be bit-identical to the interpreter, so the interpreter's
+semantics win.  Where int64/float64 arithmetic could diverge from
+unbounded Python (overflow past 2**62, float rounding past 2**53) the
+evaluator raises :class:`KernelBail` and the caller falls back to the
+interpreter for the chunk instead of silently wrapping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.symbex import expr as E
+
+__all__ = [
+    "Column",
+    "LowerError",
+    "KernelBail",
+    "check_expr",
+    "eval_expr",
+    "as_bool",
+]
+
+#: Pre-operation magnitude ceiling for int64 arithmetic: if the result
+#: bound could reach this, int64 might wrap where Python would not.
+INT_SAFE = 1 << 62
+#: Magnitude ceiling for exact integer representation in float64.
+FLOAT_EXACT = float(1 << 53)
+
+
+class LowerError(Exception):
+    """Compile-time: the expression cannot be lowered to columns."""
+
+
+class KernelBail(Exception):
+    """Run-time: column evaluation would diverge from Python semantics."""
+
+
+class Column:
+    """A lane-wise value: an array, a magnitude bound, per-lane floatness.
+
+    ``arr`` is int64, float64, or bool.  ``bound`` is a scalar upper bound
+    on ``abs(arr)`` used for overflow/rounding pre-checks.  ``fmask`` is
+    only meaningful for float64 arrays holding a *mixture* of lanes that
+    were Python ints and Python floats (e.g. a vector column where some
+    slots still hold their integer initializer): True lanes are floats.
+    ``fmask is None`` means the array is homogeneous — all-float if the
+    dtype is float64, all-int otherwise.
+    """
+
+    __slots__ = ("arr", "bound", "fmask")
+
+    def __init__(self, arr, bound=None, fmask=None):
+        self.arr = arr
+        if bound is None:
+            bound = float(np.abs(arr).max()) if arr.size else 0.0
+        self.bound = float(bound)
+        self.fmask = fmask
+
+    @property
+    def is_float(self) -> bool:
+        return self.arr.dtype == np.float64
+
+
+def as_bool(col: Column) -> np.ndarray:
+    """Python truthiness (``bool(value)``) of every lane."""
+    arr = col.arr
+    if arr.dtype == np.bool_:
+        return arr
+    return arr != 0
+
+
+def check_expr(expr: E.Expr, known: set, used: set) -> None:
+    """Verify ``expr`` is lowerable given bindings ``known``.
+
+    Records every symbol name the expression consumes into ``used``.
+    Raises :class:`LowerError` otherwise.  Mirrors :func:`eval_expr`:
+    anything this accepts, the evaluator handles (up to run-time bails).
+    """
+    if isinstance(expr, E.Const):
+        if expr.value >= INT_SAFE:
+            raise LowerError(f"constant too large for int64 lanes: {expr!r}")
+        return
+    if isinstance(expr, E.Sym):
+        if expr.name not in known:
+            raise LowerError(f"unbound symbol {expr.name!r}")
+        used.add(expr.name)
+        return
+    if isinstance(expr, E.Concat):
+        # The engine only builds Concat for zero-extension; concretely the
+        # value is untouched, so lowering is a pass-through of the tail.
+        for part in expr.parts[:-1]:
+            if not (isinstance(part, E.Const) and part.value == 0):
+                raise LowerError(f"non-zext Concat: {expr!r}")
+        check_expr(expr.parts[-1], known, used)
+        return
+    if isinstance(expr, (E.Extract, E.Not)):
+        check_expr(expr.expr, known, used)
+        return
+    if isinstance(
+        expr,
+        (E.Eq, E.Ne, E.Ult, E.Ugt, E.And, E.Or, E.Add, E.Sub, E.Mul,
+         E.BitAnd, E.BitOr),
+    ):
+        check_expr(expr.lhs, known, used)
+        check_expr(expr.rhs, known, used)
+        return
+    raise LowerError(f"cannot lower {type(expr).__name__}: {expr!r}")
+
+
+def _lane_float(col: Column):
+    """Per-lane floatness as an array-or-scalar usable in ``|``."""
+    if col.fmask is not None:
+        return col.fmask
+    return col.is_float
+
+
+def _num(arr: np.ndarray) -> np.ndarray:
+    """Bool lanes participate in arithmetic as Python ints would."""
+    if arr.dtype == np.bool_:
+        return arr.astype(np.int64)
+    return arr
+
+
+def _to_int(col: Column) -> np.ndarray:
+    """``int(value)`` per lane: truncation toward zero, exactness-checked."""
+    arr = col.arr
+    if arr.dtype == np.bool_:
+        return arr.astype(np.int64)
+    if arr.dtype == np.float64:
+        if col.bound >= FLOAT_EXACT:
+            raise KernelBail("float column too large for exact truncation")
+        return arr.astype(np.int64)
+    return arr
+
+
+def eval_expr(expr: E.Expr, env: dict, cache: dict) -> Column:
+    """Evaluate ``expr`` column-wise under concrete (Python) semantics.
+
+    ``env`` maps symbol names to :class:`Column`; ``cache`` memoizes by
+    expression value (frozen dataclasses hash structurally), which is what
+    de-duplicates the shared constraint prefixes of sibling paths.
+    """
+    col = cache.get(expr)
+    if col is None:
+        col = _eval(expr, env, cache)
+        cache[expr] = col
+    return col
+
+
+def _eval(expr: E.Expr, env: dict, cache: dict) -> Column:
+    if isinstance(expr, E.Const):
+        return Column(np.int64(expr.value), float(expr.value))
+    if isinstance(expr, E.Sym):
+        try:
+            return env[expr.name]
+        except KeyError:
+            raise KernelBail(f"no binding for {expr.name!r}") from None
+    if isinstance(expr, E.Concat):
+        # check_expr guaranteed a zero-extension; concrete value unchanged.
+        return eval_expr(expr.parts[-1], env, cache)
+    if isinstance(expr, E.Extract):
+        return _eval_extract(expr, env, cache)
+    if isinstance(expr, E.Not):
+        inner = as_bool(eval_expr(expr.expr, env, cache))
+        return Column(~inner, 1.0)
+    if isinstance(expr, (E.And, E.Or)):
+        lhs = as_bool(eval_expr(expr.lhs, env, cache))
+        rhs = as_bool(eval_expr(expr.rhs, env, cache))
+        out = (lhs & rhs) if isinstance(expr, E.And) else (lhs | rhs)
+        return Column(out, 1.0)
+    if isinstance(expr, (E.Eq, E.Ne, E.Ult, E.Ugt)):
+        return _eval_compare(expr, env, cache)
+    if isinstance(expr, (E.Add, E.Sub, E.Mul)):
+        return _eval_arith(expr, env, cache)
+    if isinstance(expr, (E.BitAnd, E.BitOr)):
+        lhs = eval_expr(expr.lhs, env, cache)
+        rhs = eval_expr(expr.rhs, env, cache)
+        if lhs.is_float or rhs.is_float:
+            raise KernelBail("bitwise op on float lanes")
+        a, b = _num(lhs.arr), _num(rhs.arr)
+        out = (a & b) if isinstance(expr, E.BitAnd) else (a | b)
+        # Any int64 & / | int64 stays in int64; bound conservatively.
+        return Column(out, max(lhs.bound, rhs.bound, 1.0))
+    raise KernelBail(f"cannot evaluate {type(expr).__name__}")
+
+
+def _eval_extract(expr: E.Extract, env: dict, cache: dict) -> Column:
+    inner = eval_expr(expr.expr, env, cache)
+    arr = _to_int(inner)  # int(value), truncation toward zero
+    width = expr.hi - expr.lo + 1
+    if width <= 62:
+        mask = (1 << width) - 1
+        # np's arithmetic >> and two's-complement & match Python here.
+        return Column((arr >> expr.lo) & mask, float(mask))
+    if expr.lo == 0 and width == 63:
+        mask = (1 << 63) - 1  # == int64 max: representable, & is exact
+        return Column(arr & mask, float(mask))
+    if expr.lo == 0 and width >= 64:
+        # Full-width pass-through; Python's mask of a negative value
+        # would produce a huge positive int64 can't hold.
+        if np.any(arr < 0):
+            raise KernelBail("wide extract of negative lanes")
+        return Column(arr, inner.bound)
+    raise KernelBail(f"extract width {width} at lo={expr.lo}")
+
+
+def _eval_compare(expr, env: dict, cache: dict) -> Column:
+    lhs = eval_expr(expr.lhs, env, cache)
+    rhs = eval_expr(expr.rhs, env, cache)
+    a, b = _num(lhs.arr), _num(rhs.arr)
+    if lhs.is_float != rhs.is_float:
+        # Mixed int/float compare: Python compares exactly; numpy converts
+        # the int side to float64, which rounds past 2**53.
+        int_side = rhs if lhs.is_float else lhs
+        if int_side.bound >= FLOAT_EXACT:
+            raise KernelBail("mixed compare with large int lanes")
+    if isinstance(expr, E.Eq):
+        out = a == b
+    elif isinstance(expr, E.Ne):
+        out = a != b
+    elif isinstance(expr, E.Ult):
+        # ConcreteContext.lt is plain Python ``<`` (signed), not unsigned.
+        out = a < b
+    else:
+        out = a > b
+    return Column(out if isinstance(out, np.ndarray) else np.bool_(out), 1.0)
+
+
+def _eval_arith(expr, env: dict, cache: dict) -> Column:
+    lhs = eval_expr(expr.lhs, env, cache)
+    rhs = eval_expr(expr.rhs, env, cache)
+    mul = isinstance(expr, E.Mul)
+    bound = lhs.bound * rhs.bound if mul else lhs.bound + rhs.bound
+    if lhs.is_float or rhs.is_float:
+        # Result lanes: float wherever either operand lane was float
+        # (Python: int+float=float).  Int lanes ride along in float64 and
+        # must stay exactly representable.
+        if max(bound, lhs.bound, rhs.bound) >= FLOAT_EXACT:
+            raise KernelBail("float arithmetic beyond exact range")
+        a = _num(lhs.arr).astype(np.float64, copy=False)
+        b = _num(rhs.arr).astype(np.float64, copy=False)
+        out = a * b if mul else (a + b if isinstance(expr, E.Add) else a - b)
+        lf = _lane_float(lhs) | _lane_float(rhs)
+        fmask = None
+        if isinstance(lf, np.ndarray) and not lf.all():
+            fmask = lf
+        return Column(out, bound, fmask)
+    if bound >= INT_SAFE:
+        raise KernelBail("integer arithmetic beyond int64 range")
+    a, b = _num(lhs.arr), _num(rhs.arr)
+    out = a * b if mul else (a + b if isinstance(expr, E.Add) else a - b)
+    return Column(out, bound)

@@ -254,6 +254,43 @@ def test_design_doc_section_11_documents_telemetry() -> None:
     assert "--telemetry" in readme
 
 
+def test_design_doc_section_13_documents_compiled_dataplane() -> None:
+    """Satellite: DESIGN §13 must document the compiled dataplane —
+    every lowered op, the fallback/hazard story, the memo-invalidation
+    signal, and the obs counters — and the README Performance section
+    must describe the kernels. Kept in sync with the code like §9-§11."""
+    from pathlib import Path
+
+    from repro.sim.compiled import LOWERED_OPS
+
+    root = Path(__file__).resolve().parents[2]
+    design = (root / "DESIGN.md").read_text()
+    # Normalize hard wraps so phrase checks don't depend on line breaks.
+    section = " ".join(design[design.index("## 13.") :].split())
+    for op in LOWERED_OPS:
+        assert f"`{op}`" in section, f"lowered op {op} missing from §13"
+    for topic in (
+        "the tree is the NF's spec",
+        "frozen",
+        "hazard",
+        "fixpoint",
+        "steering_generation",
+        "bit-identical",
+        "interpreter",
+    ):
+        assert topic in section, f"{topic} missing from DESIGN.md §13"
+    for counter in (
+        "`compiled.paths`",
+        "`compiled.hits`",
+        "`compiled.fallbacks`",
+    ):
+        assert counter in section, f"{counter} missing from DESIGN.md §13"
+    assert "compiled_coverage.py" in section
+    readme = (root / "README.md").read_text()
+    assert "compiled" in readme.lower()
+    assert "kernels=False" in readme
+
+
 # ------------------------------------------------------------------ #
 # The chain subcommand
 # ------------------------------------------------------------------ #

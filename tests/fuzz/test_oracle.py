@@ -81,6 +81,31 @@ def test_stale_cache_fault_diverges_warm_path() -> None:
     assert all("warm" in f.detail for f in warm)
 
 
+def test_clean_pipeline_reports_compiled_stats() -> None:
+    """The fourth oracle leg runs the compiled dataplane and attaches
+    its kernel-coverage accounting to the report."""
+    spec = random_spec(SN_SEED, shape="small")
+    report = run_oracle(spec, [UNIFORM], n_cores=4, maestro_seed=7)
+    assert report.ok, [f.to_dict() for f in report.failures]
+    assert report.compiled_stats is not None
+    assert 0.0 <= report.compiled_stats["coverage"] <= 1.0
+
+
+def test_skew_kernel_fault_diverges_compiled_leg() -> None:
+    """A corrupted scatter mask flips one kernel lane's action; the
+    compiled leg must catch it against the reference."""
+    spec = random_spec(SN_SEED, shape="small")
+    report = run_oracle(
+        spec, [UNIFORM], n_cores=4, maestro_seed=7, fault="skew-kernel"
+    )
+    hits = [
+        f for f in report.failures
+        if f.kind == "fastpath" and "fastpath-compiled" in f.codes
+    ]
+    assert hits, [f.to_dict() for f in report.failures]
+    assert all("compiled" in f.detail for f in hits)
+
+
 def test_unknown_fault_rejected() -> None:
     with pytest.raises(ValueError, match="unknown fault"):
         run_oracle(random_spec(0, shape="small"), [UNIFORM], fault="nope")

@@ -1,0 +1,279 @@
+"""Compiled dataplane properties: kernels == interpreter, per path.
+
+The packet-at-a-time interpreter is the oracle for the compiled batch
+kernels (:mod:`repro.sim.compiled`): every compiled run must be
+bit-identical to the reference — results, core ids, per-core lifetime
+counters — across the corpus NFs, both execution strategies,
+adversarial workloads (collide / boundary / exhaust), warm and cold
+caches, and steering-table churn.  ``sanitize=True`` must bypass the
+kernels entirely, exactly as it bypasses the steering cache.
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.codegen import Strategy
+from repro.core.pipeline import Maestro
+from repro.fuzz.workloads import WorkloadSpec, materialize_workload
+from repro.nf.nfs import ALL_NFS
+from repro.nf.nfs.firewall import Firewall
+from repro.obs.collect import MemoryCollector
+from repro.sim.functional import FlowSteeringCache, run_functional
+
+CORPUS = sorted(ALL_NFS)
+
+
+@pytest.fixture()
+def make_pair(analyses):
+    """Two independently generated ParallelNFs off one shared analysis,
+    so both sides steer with identical RSS keys."""
+
+    def build(name, n_cores=4, strategy=None):
+        def one():
+            return analyses.maestro.parallelize(
+                ALL_NFS[name](),
+                n_cores=n_cores,
+                result=analyses[name],
+                strategy=strategy,
+            )
+
+        return one(), one()
+
+    return build
+
+
+def assert_runs_identical(run_ref, run_comp, par_ref, par_comp):
+    assert list(run_ref.results) == list(run_comp.results)
+    assert np.array_equal(run_ref.core_ids, run_comp.core_ids)
+    assert np.array_equal(run_ref.action_codes, run_comp.action_codes)
+    assert run_ref.action_counts() == run_comp.action_counts()
+    for ref_core, comp_core in zip(par_ref.cores, par_comp.cores):
+        assert ref_core.packets == comp_core.packets
+        assert ref_core.reads == comp_core.reads
+        assert ref_core.writes == comp_core.writes
+        assert ref_core.new_flows == comp_core.new_flows
+
+
+class TestPerPathIdentity:
+    """Bit-identity holds for every compiled path individually, not just
+    in aggregate: group packets by the kernel path that executed them and
+    compare each group against the oracle."""
+
+    @pytest.mark.parametrize("name", CORPUS)
+    def test_corpus_nf_per_path(self, make_pair, generator, name):
+        trace, _ = generator.uniform_trace(
+            1200, 90, in_port=0, reply_port=1, reply_fraction=0.35
+        )
+        par_ref, par_comp = make_pair(name)
+        run_ref = run_functional(par_ref, trace, fastpath=False)
+        run_comp = run_functional(par_comp, trace)
+        assert_runs_identical(run_ref, run_comp, par_ref, par_comp)
+
+        pids = run_comp.compiled_path_ids
+        assert pids.shape == (len(trace),)
+        assert int((pids >= 0).sum()) == run_comp.compiled["kernel_packets"]
+        ref_results = list(run_ref.results)
+        comp_results = list(run_comp.results)
+        for pid in np.unique(pids):
+            idx = np.flatnonzero(pids == pid)
+            assert [comp_results[i] for i in idx] == [
+                ref_results[i] for i in idx
+            ], f"{name}: divergence within path {pid}"
+
+    def test_locks_strategy_per_path(self, make_pair, generator):
+        trace, _ = generator.uniform_trace(
+            800, 70, in_port=0, reply_port=1, reply_fraction=0.3
+        )
+        par_ref, par_comp = make_pair("fw", strategy=Strategy.LOCKS)
+        assert par_comp.strategy is Strategy.LOCKS
+        run_ref = run_functional(par_ref, trace, fastpath=False)
+        run_comp = run_functional(par_comp, trace)
+        assert_runs_identical(run_ref, run_comp, par_ref, par_comp)
+        pids = run_comp.compiled_path_ids
+        assert int((pids >= 0).sum()) == run_comp.compiled["kernel_packets"]
+
+    @pytest.mark.parametrize("name", CORPUS)
+    def test_no_corpus_nf_is_all_fallback(self, make_pair, generator, name):
+        """Every corpus NF must get at least one packet through a kernel;
+        100% interpreter fallback means the compiler regressed."""
+        trace, _ = generator.uniform_trace(
+            600, 40, in_port=0, reply_port=1, reply_fraction=0.3
+        )
+        _, par_comp = make_pair(name)
+        run = run_functional(par_comp, trace)
+        assert run.compiled["coverage"] > 0.0, (
+            f"{name}: compiled dataplane fell back for every packet"
+        )
+
+
+class TestAdversarialWorkloads:
+    def test_collide_workload(self, make_pair):
+        par_ref, par_comp = make_pair("fw")
+        spec = WorkloadSpec("collide", 17, n_packets=900, n_flows=64)
+        trace = materialize_workload(spec, rss=par_comp.rss)
+        # Cold pass: every flow's first packet allocates, so the hazard
+        # fixpoint demotes the whole (single-chunk) trace — identity must
+        # hold even at 100% fallback.
+        run_ref = run_functional(par_ref, trace, fastpath=False)
+        run_comp = run_functional(par_comp, trace)
+        assert_runs_identical(run_ref, run_comp, par_ref, par_comp)
+        # Warm pass: all flows exist, the rejuvenate path kernels, and
+        # every colliding lane lands on one core in large groups.
+        run_ref2 = run_functional(par_ref, trace, fastpath=False)
+        run_comp2 = run_functional(par_comp, trace)
+        assert_runs_identical(run_ref2, run_comp2, par_ref, par_comp)
+        assert run_comp2.compiled["kernel_packets"] > 0
+
+    def test_boundary_workload(self, make_pair):
+        par_ref, par_comp = make_pair("policer")
+        spec = WorkloadSpec("boundary", 23, n_packets=700, n_flows=48)
+        trace = materialize_workload(spec, guard_values=(0, 1, 65535))
+        run_ref = run_functional(par_ref, trace, fastpath=False)
+        run_comp = run_functional(par_comp, trace)
+        assert_runs_identical(run_ref, run_comp, par_ref, par_comp)
+
+    def test_exhaust_workload_tiny_capacity(self):
+        """Capacity exhaustion: allocation failures are interpreter-only
+        paths, so the run mixes kernels and fallbacks heavily — the seam
+        between the two is where scatter bugs hide."""
+
+        def build():
+            return Maestro(seed=7).parallelize(
+                Firewall(capacity=32), n_cores=4
+            )
+
+        par_ref, par_comp = build(), build()
+        spec = WorkloadSpec("exhaust", 29, n_packets=800, n_flows=32)
+        trace = materialize_workload(spec, min_capacity=32)
+        run_ref = run_functional(par_ref, trace, fastpath=False)
+        run_comp = run_functional(par_comp, trace)
+        assert_runs_identical(run_ref, run_comp, par_ref, par_comp)
+        assert run_comp.compiled["fallback_packets"] > 0
+
+
+class TestCacheTemperature:
+    def test_warm_cache_runs_identical(self, make_pair, generator):
+        """Three rounds over one trace with a shared steering cache: the
+        uid memo and the whole-trace steering memo are both hot from
+        round two on, and every round must still match a fresh oracle
+        round on the same state evolution."""
+        trace, _ = generator.uniform_trace(
+            700, 60, in_port=0, reply_port=1, reply_fraction=0.3
+        )
+        par_ref, par_comp = make_pair("fw")
+        cache = FlowSteeringCache(par_comp.rss)
+        for round_no in range(3):
+            run_ref = run_functional(par_ref, trace, fastpath=False)
+            run_comp = run_functional(par_comp, trace, flow_cache=cache)
+            assert_runs_identical(run_ref, run_comp, par_ref, par_comp)
+        # The memo did real work by round three.
+        disp = par_comp._compiled_dispatcher
+        assert disp.memo_hits > 0
+
+    def test_cold_vs_warm_same_results(self, make_pair, generator):
+        trace, _ = generator.uniform_trace(500, 40, in_port=0)
+        par_cold, par_warm = make_pair("nat")
+        cache = FlowSteeringCache(par_warm.rss)
+        cache.steer(trace)  # pre-warm steering without touching state
+        run_cold = run_functional(par_cold, trace)
+        run_warm = run_functional(par_warm, trace, flow_cache=cache)
+        assert_runs_identical(run_cold, run_warm, par_cold, par_warm)
+
+
+class TestSteeringGenerationInvalidation:
+    """Satellite: a steering_generation bump must invalidate memoized
+    path classifications, not just the flow->core cache."""
+
+    def test_rebalance_flushes_kernel_memo_and_stays_identical(
+        self, make_pair
+    ):
+        spec = WorkloadSpec("churn", 31, n_packets=1200, n_flows=80)
+        trace = materialize_workload(spec)
+        par_ref, par_comp = make_pair("fw")
+        cache = FlowSteeringCache(par_comp.rss)
+
+        run_functional(par_ref, trace, fastpath=False)
+        run_functional(par_comp, trace, flow_cache=cache)
+        disp = par_comp._compiled_dispatcher
+        assert disp is not None
+        inv_before = disp.memo_invalidations
+
+        # Re-key mid-run: rebalance both sides' tables from the same
+        # sample (balance_tables is deterministic given the sample), so
+        # the oracle sees the same steering the compiled side does.
+        par_ref.rss.balance_tables(trace)
+        par_comp.rss.balance_tables(trace)
+        assert par_ref.rss.steering_generation == (
+            par_comp.rss.steering_generation
+        )
+
+        run_ref = run_functional(par_ref, trace, fastpath=False)
+        run_comp = run_functional(par_comp, trace, flow_cache=cache)
+        # The generation bump reached the dispatcher: memoized path
+        # classifications were dropped, not replayed.
+        assert disp.memo_invalidations > inv_before
+        assert_runs_identical(run_ref, run_comp, par_ref, par_comp)
+
+
+class TestSanitizeBypass:
+    def test_sanitize_bypasses_kernels(self, make_pair, generator):
+        """sanitize=True must not build, consult, or warm the compiled
+        dispatcher — the checkers need the raw packet-at-a-time path."""
+        trace, _ = generator.uniform_trace(400, 30, in_port=0)
+        par_ref, par_san = make_pair("fw")
+        run_ref = run_functional(par_ref, trace, fastpath=False)
+        run_san = run_functional(
+            par_san, trace, fastpath=True, kernels=True, sanitize=True
+        )
+        assert_runs_identical(run_ref, run_san, par_ref, par_san)
+        # No kernel accounting on a sanitize run, and no dispatcher was
+        # ever instantiated for it.
+        assert not hasattr(run_san, "compiled")
+        assert getattr(par_san, "_compiled_dispatcher", None) is None
+
+    def test_sanitize_after_warm_kernels_leaves_counters_alone(
+        self, make_pair, generator
+    ):
+        trace, _ = generator.uniform_trace(300, 25, in_port=0)
+        _, par = make_pair("fw")
+        run_functional(par, trace)  # warm: dispatcher now exists
+        disp = par._compiled_dispatcher
+        kernel_before = disp.kernel_packets
+        fallback_before = disp.fallback_packets
+        run_san = run_functional(par, trace, sanitize=True)
+        assert not hasattr(run_san, "compiled")
+        assert disp.kernel_packets == kernel_before
+        assert disp.fallback_packets == fallback_before
+
+    def test_kernels_false_uses_plain_fastpath(self, make_pair, generator):
+        trace, _ = generator.uniform_trace(300, 25, in_port=0)
+        par_ref, par_fast = make_pair("fw")
+        run_ref = run_functional(par_ref, trace, fastpath=False)
+        run_fast = run_functional(par_fast, trace, kernels=False)
+        assert_runs_identical(run_ref, run_fast, par_ref, par_fast)
+        assert not hasattr(run_fast, "compiled")
+
+
+class TestObservability:
+    def test_compiled_counters_exported(self, make_pair, generator):
+        """A compiled run exports compiled.paths / hits / fallbacks to
+        any attached collector; hits + fallbacks account for every
+        packet in the trace."""
+        trace, _ = generator.uniform_trace(400, 30, in_port=0)
+        _, par = make_pair("fw")
+        mem = MemoryCollector()
+        with obs.attached(mem):
+            run = run_functional(par, trace)
+        assert hasattr(run, "compiled")
+        assert mem.counter_total("compiled.paths") == run.compiled[
+            "supported_paths"
+        ]
+        assert mem.counter_total("compiled.hits") == run.compiled[
+            "kernel_packets"
+        ]
+        assert (
+            mem.counter_total("compiled.hits")
+            + mem.counter_total("compiled.fallbacks")
+            == len(trace)
+        )

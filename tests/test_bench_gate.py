@@ -24,13 +24,27 @@ _spec.loader.exec_module(gate)
 
 
 def _payload(
-    *, fast=4.0, batch=0.04, overhead=-0.01, ceiling=0.05, quick=True
+    *,
+    fast=4.0,
+    batch=0.04,
+    overhead=-0.01,
+    ceiling=0.05,
+    compiled=0.9,
+    fallback=0.0,
+    fallback_ceiling=0.05,
+    quick=True,
 ) -> dict:
     return {
         "quick": quick,
         "hash": {"batch_us_per_pkt": batch, "scalar_us_per_pkt": 20.0},
         "e2e": {"fastpath_us_per_pkt": fast, "reference_us_per_pkt": 28.0},
         "telemetry": {"overhead_frac": overhead, "ceiling_frac": ceiling},
+        "compiled": {
+            "compiled_us_per_pkt": compiled,
+            "reference_us_per_pkt": 25.0,
+            "fallback_rate": fallback,
+            "fallback_ceiling": fallback_ceiling,
+        },
     }
 
 
@@ -68,6 +82,17 @@ def test_throughput_regression_fails(write, capsys):
 def test_telemetry_overhead_over_ceiling_fails(write, capsys):
     assert _run(write, _payload(), _payload(overhead=0.06)) == 1
     assert "telemetry.overhead_frac" in capsys.readouterr().out
+
+
+def test_compiled_fallback_over_ceiling_fails(write, capsys):
+    """A path-coverage regression (fallback rate over the committed
+    ceiling) must fail even when the wall-clock numbers look fine."""
+    assert _run(write, _payload(), _payload(fallback=0.5)) == 1
+    assert "compiled.fallback_rate" in capsys.readouterr().out
+
+
+def test_zero_fallback_rate_is_fine(write):
+    assert _run(write, _payload(), _payload(fallback=0.0)) == 0
 
 
 def test_negative_overhead_is_fine(write):
