@@ -17,6 +17,13 @@ parallel NF and checks the event log against the plan — lockset,
 lock-order, shard-ownership, and footprint cross-validation
 (``MAE101``–``MAE104``), via ``python -m repro.analysis race``.
 
+The compiled dataplane is certified statically: the **plan certifier**
+(:mod:`repro.analysis.plan_passes`) re-executes every lowered path
+program symbolically and proves it equivalent to its source symbex path
+(translation validation), then audits hazard demotion, memo guards, and
+plan/verdict consistency (``MAE300``–``MAE304``), via
+``python -m repro.analysis certify``.
+
 Chains compose: :mod:`repro.analysis.chain_passes` analyzes whole NF
 service chains (``.chain`` files) — composed symbex footprints,
 cross-NF shard compatibility, a joint RSS key search over the chain's
@@ -42,6 +49,12 @@ from repro.analysis.diagnostics import (
 )
 from repro.analysis.lint import default_passes, lint_nf
 from repro.analysis.passes import AnalysisPass, PassContext, PassManager
+from repro.analysis.plan_passes import (
+    CertifyReport,
+    PlanCertifyPass,
+    certify_nf,
+    prove_equiv,
+)
 from repro.analysis.race import (
     RaceMonitor,
     RaceReport,
@@ -67,6 +80,10 @@ __all__ = [
     "AnalysisPass",
     "PassContext",
     "PassManager",
+    "CertifyReport",
+    "PlanCertifyPass",
+    "certify_nf",
+    "prove_equiv",
     "NfSource",
     "collect_waivers",
     "gather_sources",

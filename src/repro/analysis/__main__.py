@@ -1,14 +1,27 @@
-"""CLI: ``python -m repro.analysis {lint,race,chain} <name ...|--all>``.
+"""CLI: ``python -m repro.analysis {lint,race,chain,certify} <name ...|--all>``.
 
 ``lint`` runs the static passes (source + model audit); ``race`` runs
 the dynamic sanitizer — full pipeline, generated parallel NF, benchmark
 trace replayed under the lockset/ownership checkers; ``chain`` runs the
 whole-chain analysis (composed footprints, joint RSS key search,
-MAE2xx diagnostics, differential validation) over ``.chain`` files.
+MAE2xx diagnostics, differential validation) over ``.chain`` files;
+``certify`` runs the plan certifier — translation validation of every
+lowered path program plus hazard/memo/plan audits (MAE3xx).
 
-Exit codes are CI-friendly: 0 when no error-severity diagnostics were
-found (warnings alone don't fail a build), 1 when at least one error
-fired, 2 on usage mistakes (unknown NF name, no NFs selected).
+Every subcommand accepts ``--json`` (machine-readable report on
+stdout), ``--out PATH`` (also write the JSON payload to a CI artifact),
+and ``--seed`` (deterministic reruns; ``lint`` accepts it for interface
+consistency even though the static passes are seed-free).
+
+Exit codes are shared across all four subcommands, CI-friendly:
+
+====  ======================================================
+code  meaning
+====  ======================================================
+0     no error-severity diagnostics (warnings don't fail)
+1     at least one error-severity diagnostic fired
+2     usage mistake (unknown NF name, no NFs selected, ...)
+====  ======================================================
 """
 
 from __future__ import annotations
@@ -86,7 +99,13 @@ def _registry(include_examples: bool) -> dict[str, type[NF]]:
     return registry
 
 
-def _add_selection_args(cmd: argparse.ArgumentParser, verb: str) -> None:
+def _add_selection_args(
+    cmd: argparse.ArgumentParser,
+    verb: str,
+    *,
+    seed_default: int = 0,
+    seed_help: str = "deterministic rerun seed",
+) -> None:
     cmd.add_argument(
         "names",
         nargs="*",
@@ -100,6 +119,14 @@ def _add_selection_args(cmd: argparse.ArgumentParser, verb: str) -> None:
     )
     cmd.add_argument(
         "--json", action="store_true", help="emit diagnostics as JSON"
+    )
+    cmd.add_argument(
+        "--out",
+        metavar="PATH",
+        help="also write the JSON report to PATH (CI artifact)",
+    )
+    cmd.add_argument(
+        "--seed", type=int, default=seed_default, help=seed_help
     )
 
 
@@ -134,11 +161,46 @@ def _run_lint(lint: argparse.ArgumentParser, args) -> int:
         nf = registry[name]()
         diagnostics.extend(lint_nf(nf, pipeline=not args.no_pipeline))
 
+    if args.out:
+        Path(args.out).write_text(render_json(diagnostics) + "\n")
     if args.json:
         print(render_json(diagnostics))
     else:
         print(render_text(diagnostics))
     return 1 if any(d.is_error for d in diagnostics) else 0
+
+
+def _run_certify(certify: argparse.ArgumentParser, args) -> int:
+    from repro.analysis.plan_passes import certify_nf
+
+    selected = _select(certify, args)
+    if isinstance(selected, int):
+        return selected
+    registry = _registry(include_examples=True)
+    strategy = Strategy(args.strategy) if args.strategy else None
+    reports = []
+    for name in selected:
+        nf = registry[name]()
+        reports.append(certify_nf(nf, strategy=strategy, seed=args.seed))
+
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "reports": [report.to_json() for report in reports],
+    }
+    if args.out:
+        Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        for report in reports:
+            print(report.describe())
+            for diag in report.diagnostics:
+                print(f"  {diag.render()}")
+            for diag in report.waived:
+                print(f"  [waived] {diag.render()}")
+        bad = sum(1 for report in reports if not report.clean)
+        print(f"{len(reports)} NF(s) certified, {bad} with findings")
+    return 1 if any(not report.clean for report in reports) else 0
 
 
 def _run_race(race: argparse.ArgumentParser, args) -> int:
@@ -265,11 +327,17 @@ def _run_chain(cmd: argparse.ArgumentParser, args) -> int:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="NF analysis: static lint + dynamic race sanitizer.",
+        description="NF analysis: static lint, dynamic race sanitizer, "
+        "chain analysis, and the compiled-dataplane plan certifier.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
     lint = sub.add_parser("lint", help="lint NFs and audit their models")
-    _add_selection_args(lint, "lint")
+    _add_selection_args(
+        lint,
+        "lint",
+        seed_help="accepted for cross-subcommand consistency; the static "
+        "passes are seed-free",
+    )
     lint.add_argument(
         "--no-pipeline",
         action="store_true",
@@ -280,7 +348,12 @@ def main(argv: list[str] | None = None) -> int:
         help="replay a trace through the generated parallel NF under the "
         "lockset/ownership race sanitizer",
     )
-    _add_selection_args(race, "sanitize")
+    _add_selection_args(
+        race,
+        "sanitize",
+        seed_default=12345,
+        seed_help="pipeline + trace seed (default 12345)",
+    )
     race.add_argument(
         "--cores", type=int, default=4, help="worker cores (default 4)"
     )
@@ -294,18 +367,26 @@ def main(argv: list[str] | None = None) -> int:
         "--flows", type=int, default=256, help="distinct flows (default 256)"
     )
     race.add_argument(
-        "--seed", type=int, default=12345, help="pipeline + trace seed"
-    )
-    race.add_argument(
         "--strategy",
         choices=[s.value for s in Strategy],
         default=None,
         help="force a coordination strategy (default: the verdict's)",
     )
-    race.add_argument(
-        "--out",
-        metavar="PATH",
-        help="also write the JSON report to PATH (CI artifact)",
+    certify = sub.add_parser(
+        "certify",
+        help="certify the compiled dataplane: translation validation of "
+        "lowered path programs + hazard/memo/plan audits (MAE3xx)",
+    )
+    _add_selection_args(
+        certify,
+        "certify",
+        seed_help="equivalence-solver seed (default 0)",
+    )
+    certify.add_argument(
+        "--strategy",
+        choices=[s.value for s in Strategy],
+        default=None,
+        help="force a coordination strategy (default: the verdict's)",
     )
     chain = sub.add_parser(
         "chain",
@@ -357,6 +438,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_race(race, args)
     if args.command == "chain":
         return _run_chain(chain, args)
+    if args.command == "certify":
+        return _run_certify(certify, args)
     return _run_lint(lint, args)
 
 

@@ -147,6 +147,35 @@ DIAGNOSTIC_CODES: dict[str, tuple[Severity, str]] = {
         "chain ingress, fed by a port the source hop never forwards to, "
         "or a reachable forward port has no wire/egress attached",
     ),
+    "MAE300": (
+        Severity.ERROR,
+        "plan certifier: a lowered path program is not equivalent to its "
+        "source symbex path (predicates, steps, writes, or action differ)",
+    ),
+    "MAE301": (
+        Severity.ERROR,
+        "plan certifier: fallback-set unsoundness — a path uses an op "
+        "outside LOWERED_OPS but was not demoted, or its unlowered "
+        "suffix's writes are missing from the dirt descriptors",
+    ),
+    "MAE302": (
+        Severity.ERROR,
+        "plan certifier: hazard-demotion incompleteness — a kernel-"
+        "visible RAW/WAW interference the frozen-prefix fixpoint's "
+        "demote mask would not catch",
+    ),
+    "MAE303": (
+        Severity.ERROR,
+        "plan certifier: memo-guard incompleteness — a mutable dependency "
+        "of a memoized classification is absent from its state-version / "
+        "steering_generation guard set",
+    ),
+    "MAE304": (
+        Severity.ERROR,
+        "plan certifier: plan/verdict inconsistency — kernel scatter "
+        "groups or LockPlan coverage contradict the sharding verdict's "
+        "per-path footprints",
+    ),
 }
 
 

@@ -23,6 +23,7 @@ from repro.analysis.ast_passes import (
 )
 from repro.analysis.diagnostics import Diagnostic
 from repro.analysis.passes import AnalysisPass, PassContext, PassManager
+from repro.analysis.plan_passes import PlanCertifyPass
 from repro.analysis.tree_passes import (
     DeterminismPass,
     LockCoveragePass,
@@ -54,6 +55,7 @@ def default_passes() -> list[AnalysisPass]:
         ShardingAuditPass(),
         LockCoveragePass(),
         LockOrderPass(),
+        PlanCertifyPass(),
     ]
 
 

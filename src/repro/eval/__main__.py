@@ -67,6 +67,13 @@ def main(argv: list[str] | None = None) -> int:
         help="analyze every bundled example chain first and refuse to "
         "run experiments if any chain has error-severity diagnostics",
     )
+    parser.add_argument(
+        "--certify",
+        action="store_true",
+        help="run the plan certifier (translation validation of lowered "
+        "kernels, MAE3xx) over every bundled NF first and refuse to run "
+        "experiments if any plan fails certification",
+    )
     args = parser.parse_args(argv)
     if args.lint:
         from repro.analysis import lint_nf, render_text
@@ -93,6 +100,23 @@ def main(argv: list[str] | None = None) -> int:
             print(render_text(racy), file=sys.stderr)
             print(
                 "error: race sanitizer failed; not running experiments",
+                file=sys.stderr,
+            )
+            return 1
+    if args.certify:
+        from repro.analysis import certify_nf, render_text
+        from repro.nf.nfs import ALL_NFS
+
+        uncertified = []
+        for nf_cls in ALL_NFS.values():
+            report = certify_nf(nf_cls())
+            print(report.describe(), file=sys.stderr)
+            if not report.clean:
+                uncertified.extend(report.diagnostics)
+        if uncertified:
+            print(render_text(uncertified), file=sys.stderr)
+            print(
+                "error: plan certification failed; not running experiments",
                 file=sys.stderr,
             )
             return 1

@@ -11,6 +11,16 @@ applicable strategy and per trace:
 * **static vs. dynamic cross-check** — a sharding verdict the race
   sanitizer refutes (any active MAE10x finding on an untampered build)
   is a pipeline bug, not a test failure, and is reported as such;
+* **certification vs. observed kernels** — the plan certifier
+  (:func:`repro.analysis.certify_nf`, MAE3xx) must pass on the
+  untampered NF, and the compiled leg is cross-checked against it:
+  every lane the dispatcher stamped as kernel-executed must carry a
+  path id the certifier proved fully lowered, and a certificate with
+  lowered paths (and no uncompiled port) must actually yield a
+  dispatcher.  The converse per-lane direction is deliberately *not* a
+  finding — a certified lane may still fall back dynamically (hazard
+  demotion, out-of-bounds keys), which is the runtime exercising
+  exactly the fallback set the certifier proved sound;
 * **warm vs. cold fast path vs. compiled** — the same trace through
   the reference path, a cold
   :class:`~repro.sim.functional.FlowSteeringCache`, a pre-warmed
@@ -69,7 +79,7 @@ FAULTS: tuple[str, ...] = (
 class FuzzFailure:
     """One oracle check that did not come back clean."""
 
-    kind: str  #: lint | equivalence | race | fastpath | crash
+    kind: str  #: lint | certify | equivalence | race | fastpath | crash
     detail: str
     strategy: str | None = None
     workload: dict | None = None
@@ -250,6 +260,32 @@ def run_oracle(
             )
         )
 
+    # Static certification of the untampered NF: a lowering the plan
+    # certifier cannot prove equivalent is a pipeline bug regardless of
+    # whether any dynamic check later trips.  The certificate is kept so
+    # the compiled leg can cross-check observed kernel lanes against it.
+    from repro.analysis.plan_passes import certify_nf
+
+    try:
+        certificate = certify_nf(
+            make_nf(), tree=result.tree, solution=result.solution
+        )
+    except Exception as exc:  # noqa: BLE001 — certifier crash is a finding
+        certificate = None
+        report.failures.append(
+            FuzzFailure(kind="crash", detail=_crash_detail(exc), fault=fault)
+        )
+    if certificate is not None and not certificate.clean:
+        cert_errors = [d for d in certificate.diagnostics if d.is_error]
+        report.failures.append(
+            FuzzFailure(
+                kind="certify",
+                detail="; ".join(str(d) for d in cert_errors[:3]),
+                codes=tuple(d.code for d in cert_errors),
+                fault=fault,
+            )
+        )
+
     strategies = (
         [Strategy.LOCKS, Strategy.TM]
         if verdict is Verdict.LOCKS
@@ -307,7 +343,7 @@ def run_oracle(
             ):
                 _check_fastpath(
                     report, make_nf, make_parallel, strategy, workload,
-                    trace, result.tree, n_cores, fault,
+                    trace, result.tree, n_cores, fault, certificate,
                 )
     return report
 
@@ -378,13 +414,17 @@ def _check_one(
 
 def _check_fastpath(
     report, make_nf, make_parallel, strategy, workload, trace, tree,
-    n_cores, fault
+    n_cores, fault, certificate=None,
 ) -> None:
     """Reference vs. cold/warm fast path vs. compiled kernels.
 
     The interpreter legs are pinned ``kernels=False`` so each leg
     isolates one mechanism: steering-cache dispatch (cold and warm) and
-    the compiled batch dataplane (kernels on).
+    the compiled batch dataplane (kernels on).  When a ``certificate``
+    (:class:`repro.analysis.CertifyReport`) is supplied, the compiled
+    leg is cross-checked against it: kernel-executed lanes must carry
+    certified path ids, and a certificate with lowered paths must
+    produce a dispatcher.
     """
     try:
         reference = run_functional(make_parallel(strategy), trace, fastpath=False)
@@ -436,6 +476,51 @@ def _check_fastpath(
         "warm": warm_cache.stats(),
     }
     report.compiled_stats = getattr(compiled, "compiled", None)
+    if certificate is not None:
+        certified = set(certificate.supported_pids)
+        path_ids = getattr(compiled, "compiled_path_ids", None)
+        observed = (
+            sorted({int(p) for p in path_ids.tolist() if p >= 0})
+            if path_ids is not None
+            else []
+        )
+        rogue = [p for p in observed if p not in certified]
+        if rogue:
+            # A kernel executed a path the certifier did not prove
+            # lowered — the dispatcher and the certificate disagree
+            # about which plans are trusted.  (The converse — a
+            # certified lane falling back — is legitimate demotion.)
+            report.failures.append(
+                FuzzFailure(
+                    kind="certify",
+                    detail=(
+                        f"kernel lanes executed path id(s) {rogue} that the "
+                        f"plan certifier did not certify as lowered "
+                        f"(certified: {sorted(certified)})"
+                    ),
+                    strategy=strategy.value,
+                    workload=workload.to_dict() if workload else None,
+                    fault=fault,
+                    codes=("certify-lanes",),
+                )
+            )
+        elif certified and not certificate.uncompiled and (
+            _get_dispatcher(comp_parallel) is None
+        ):
+            report.failures.append(
+                FuzzFailure(
+                    kind="certify",
+                    detail=(
+                        f"certifier proved {len(certified)} path(s) lowered "
+                        f"with no uncompiled port, but compile_parallel "
+                        f"built no dispatcher"
+                    ),
+                    strategy=strategy.value,
+                    workload=workload.to_dict() if workload else None,
+                    fault=fault,
+                    codes=("certify-compile",),
+                )
+            )
     for label, run in (("cold", cold), ("warm", warm), ("compiled", compiled)):
         for i, ((ref_core, ref_res), (run_core, run_res)) in enumerate(
             zip(reference.results, run.results)

@@ -203,7 +203,7 @@ class _PathProgram:
     __slots__ = (
         "pid", "port", "supported", "items", "steps", "dirt_descs",
         "kind", "port_const", "port_expr", "mods", "const_result",
-        "ops_list", "bump_ops", "used", "wild",
+        "ops_list", "bump_ops", "used", "wild", "source_path", "stop",
     )
 
     def __init__(self, pid, port):
@@ -222,6 +222,11 @@ class _PathProgram:
         self.bump_ops = []
         self.used = set()
         self.wild = []
+        # Provenance for the plan certifier (translation validation):
+        # the source symbex path and, for demoted programs, the index of
+        # the first non-expire entry the lowering gave up at.
+        self.source_path = None
+        self.stop = None
 
 
 def _collect_dirt(entries, known, descs, wild):
@@ -284,6 +289,7 @@ def _collect_dirt(entries, known, descs, wild):
 def _compile_path(path, pid):
     """Lower one path to a :class:`_PathProgram` (never raises)."""
     prog = _PathProgram(pid, path.port)
+    prog.source_path = path
     prog.kind = path.action.kind
     # Expiry sweeps never lower inline: they are hoisted to chunk
     # boundaries (or disabled outright when expiration_time is None).
@@ -358,6 +364,7 @@ def _compile_path(path, pid):
             supported = False
             stop = len(entries)
     prog.supported = supported
+    prog.stop = None if supported else stop
     if supported:
         if prog.port_expr is None and all(
             isinstance(expr, E.Const) for _, expr in prog.mods

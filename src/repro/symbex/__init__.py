@@ -15,6 +15,14 @@ from repro.symbex.lower import (
     check_expr,
     eval_expr,
 )
+from repro.symbex.symkernel import (
+    SymKernelError,
+    SymOutcome,
+    SymStep,
+    base_symbols,
+    interpret_program,
+    strip_zext,
+)
 from repro.symbex.tree import (
     Action,
     ActionKind,
@@ -39,4 +47,10 @@ __all__ = [
     "as_bool",
     "check_expr",
     "eval_expr",
+    "base_symbols",
+    "SymKernelError",
+    "SymOutcome",
+    "SymStep",
+    "interpret_program",
+    "strip_zext",
 ]

@@ -292,6 +292,100 @@ def test_design_doc_section_13_documents_compiled_dataplane() -> None:
 
 
 # ------------------------------------------------------------------ #
+# The certify subcommand
+# ------------------------------------------------------------------ #
+def test_certify_single_nf_text_output(capsys) -> None:
+    assert main(["certify", "fw"]) == 0
+    out = capsys.readouterr().out
+    assert "fw" in out and "certified" in out
+    assert "1 NF(s) certified, 0 with findings" in out
+
+
+def test_certify_all_bundled_nfs_is_green(capsys) -> None:
+    """Acceptance gate: every bundled NF's plan certifies clean."""
+    assert main(["certify", "--all"]) == 0
+    out = capsys.readouterr().out
+    assert "0 with findings" in out
+
+
+def test_certify_json_and_out_artifact(tmp_path, capsys) -> None:
+    artifact = tmp_path / "certify-report.json"
+    assert (
+        main(["certify", "fw", "--json", "--out", str(artifact)]) == 0
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema"] == SCHEMA_VERSION
+    (entry,) = payload["reports"]
+    assert entry["nf"] == "fw"
+    assert entry["clean"] is True
+    assert entry["proved"] == entry["supported"]
+    assert entry["supported_pids"]
+    assert entry["diagnostics"] == []
+    assert json.loads(artifact.read_text()) == payload
+
+
+def test_certify_usage_errors(capsys) -> None:
+    assert main(["certify"]) == 2
+    assert main(["certify", "definitely_not_an_nf"]) == 2
+
+
+def test_all_four_subcommands_share_flag_and_exit_contract(
+    tmp_path, capsys
+) -> None:
+    """Satellite: lint/race/chain/certify accept the same --json/--out/
+    --seed flags and the same exit-code table (0 clean, 2 usage)."""
+    fast = {
+        "lint": ["lint", "fw", "--no-pipeline"],
+        "race": ["race", "fw", "--packets", "64", "--flows", "16"],
+        "chain": ["chain", "--all", "--no-validate"],
+        "certify": ["certify", "fw"],
+    }
+    for name, argv in fast.items():
+        artifact = tmp_path / f"{name}.json"
+        code = main(argv + ["--json", "--out", str(artifact), "--seed", "3"])
+        assert code == 0, f"{name} must exit 0 on a clean run"
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == SCHEMA_VERSION, name
+        assert json.loads(artifact.read_text()) == payload, name
+    for name in fast:
+        selector = ["definitely_not_a_file.chain"] if name == "chain" else []
+        assert main([name] + selector) == 2, f"{name} must exit 2 on usage"
+        capsys.readouterr()
+
+
+def test_design_doc_section_14_documents_plan_certifier() -> None:
+    """Satellite: the MAE3xx table must live in DESIGN §14 and the README
+    must carry the "Certifying the compiled dataplane" section."""
+    from pathlib import Path
+
+    from repro.sim.compiled import LOWERED_OPS
+
+    root = Path(__file__).resolve().parents[2]
+    design = (root / "DESIGN.md").read_text()
+    cert_codes = [code for code in DIAGNOSTIC_CODES if code.startswith("MAE3")]
+    assert cert_codes, "MAE3xx codes must be registered"
+    section = " ".join(design[design.index("## 14.") :].split())
+    for code in cert_codes:
+        assert f"`{code}`" in section, f"{code} missing from DESIGN.md §14"
+    for op in LOWERED_OPS:
+        assert f"`{op}`" in section, f"lowered op {op} missing from §14"
+    for topic in (
+        "translation validation",
+        "zero-extension",
+        "counterexample",
+        "interference",
+        "memo",
+        "fuzz oracle",
+        "waive",
+    ):
+        assert topic in section, f"{topic} missing from DESIGN.md §14"
+    readme = (root / "README.md").read_text()
+    assert "## Certifying the compiled dataplane" in readme
+    assert "repro.analysis certify" in readme
+    assert "--certify" in readme
+
+
+# ------------------------------------------------------------------ #
 # The chain subcommand
 # ------------------------------------------------------------------ #
 def test_chain_cli_analyzes_bundled_chains(tmp_path, capsys) -> None:

@@ -1,0 +1,196 @@
+"""Lowering edge cases: empty programs, absent fields, duplicate ops.
+
+`check_expr`/`eval_expr` are the contract between the symbolic engine
+and the compiled dataplane; `interpret_program` re-executes lowered
+programs for the plan certifier.  These tests pin the corners: a
+program with no items, a predicate naming a field the packet columns
+never bind, and paths that repeat one op (whose shared subexpressions
+the evaluator must deduplicate, not recompute).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.symbex import expr as E
+from repro.symbex.lower import Column, LowerError, as_bool, check_expr, eval_expr
+from repro.symbex.symkernel import (
+    SymKernelError,
+    base_symbols,
+    interpret_program,
+    strip_zext,
+)
+from repro.symbex.tree import ActionKind
+
+
+def _col(values) -> Column:
+    return Column(np.asarray(values, dtype=np.int64))
+
+
+class _FakeProg:
+    """Minimal path-program shape `interpret_program` accepts."""
+
+    def __init__(self, items, *, supported=True, kind=ActionKind.FORWARD,
+                 port_const=1, port_expr=None, mods=()):
+        self.items = items
+        self.supported = supported
+        self.kind = kind
+        self.port_const = port_const
+        self.port_expr = port_expr
+        self.mods = mods
+
+
+# ------------------------------------------------------------------ #
+# check_expr
+# ------------------------------------------------------------------ #
+def test_check_expr_rejects_field_absent_from_columns() -> None:
+    """A predicate over a symbol the packet columns never bind must be
+    refused at compile time, not mis-evaluated at run time."""
+    ghost = E.Sym(32, "pkt.vlan_id")
+    pred = E.Eq(ghost, E.Const(32, 7))
+    with pytest.raises(LowerError, match="pkt.vlan_id"):
+        check_expr(pred, {"pkt.src_ip"}, set())
+
+
+def test_check_expr_records_consumed_symbols() -> None:
+    used: set = set()
+    pred = E.Eq(E.Sym(32, "pkt.src_ip"), E.Sym(32, "pkt.dst_ip"))
+    check_expr(pred, {"pkt.src_ip", "pkt.dst_ip"}, used)
+    assert used == {"pkt.src_ip", "pkt.dst_ip"}
+
+
+def test_check_expr_rejects_oversized_constant() -> None:
+    with pytest.raises(LowerError, match="constant too large"):
+        check_expr(E.Const(128, 1 << 63), set(), set())
+
+
+def test_check_expr_rejects_non_zext_concat() -> None:
+    packed = E.Concat(64, (E.Sym(32, "pkt.src_ip"), E.Sym(32, "pkt.dst_ip")))
+    with pytest.raises(LowerError, match="non-zext Concat"):
+        check_expr(packed, {"pkt.src_ip", "pkt.dst_ip"}, set())
+
+
+# ------------------------------------------------------------------ #
+# eval_expr
+# ------------------------------------------------------------------ #
+def test_eval_zext_concat_is_a_pass_through() -> None:
+    sym = E.Sym(16, "pkt.src_port")
+    widened = E.Concat(32, (E.Const(16, 0), sym))
+    env = {"pkt.src_port": _col([53, 80, 443])}
+    out = eval_expr(widened, env, {})
+    assert list(out.arr) == [53, 80, 443]
+
+
+def test_eval_duplicate_subexpressions_hit_the_cache() -> None:
+    """Duplicate-op paths share constraint prefixes; the evaluator must
+    compute each distinct expression once (cache keyed structurally)."""
+    sym = E.Sym(32, "pkt.src_ip")
+    pred = E.Eq(sym, E.Const(32, 9))
+    twin = E.Eq(E.Sym(32, "pkt.src_ip"), E.Const(32, 9))
+    env = {"pkt.src_ip": _col([9, 4])}
+    cache: dict = {}
+    first = eval_expr(pred, env, cache)
+    second = eval_expr(twin, env, cache)
+    assert second is first, "structurally equal exprs must share a column"
+    assert list(as_bool(first)) == [True, False]
+
+
+def test_eval_bool_ops_match_python_semantics() -> None:
+    a = E.Sym(32, "pkt.src_ip")
+    b = E.Sym(32, "pkt.dst_ip")
+    env = {"pkt.src_ip": _col([1, 5, 5]), "pkt.dst_ip": _col([5, 5, 1])}
+    lt = eval_expr(E.Ult(a, b), env, {})
+    eq = eval_expr(E.Eq(a, b), env, {})
+    assert list(as_bool(lt)) == [True, False, False]
+    assert list(as_bool(eq)) == [False, True, False]
+
+
+# ------------------------------------------------------------------ #
+# interpret_program edge cases
+# ------------------------------------------------------------------ #
+def test_empty_program_interprets_to_empty_outcome() -> None:
+    outcome = interpret_program(_FakeProg([], port_const=1))
+    assert outcome.constraints == ()
+    assert outcome.steps == ()
+    assert outcome.port == 1
+    assert outcome.mods == ()
+    assert outcome.bound == base_symbols()
+
+
+def test_empty_demoted_program_has_no_action() -> None:
+    outcome = interpret_program(_FakeProg([], supported=False))
+    assert outcome.port is None and outcome.mods == ()
+
+
+def test_predicate_on_unbound_field_is_malformed() -> None:
+    pred = E.Eq(E.Sym(32, "ghost_field"), E.Const(32, 1))
+    with pytest.raises(SymKernelError, match="ghost_field"):
+        interpret_program(_FakeProg([("c", pred)]))
+
+
+def test_duplicate_op_path_binds_each_result_separately() -> None:
+    class _Step:
+        def __init__(self, sig):
+            self.sig = sig
+
+    key = (E.Sym(32, "pkt.src_ip"),)
+    first = _Step(("map_get", "m", key, "found0", "value0"))
+    second = _Step(("map_get", "m", key, "found1", "value1"))
+    use = E.Eq(E.Sym(1, "found1"), E.Const(1, 1))
+    outcome = interpret_program(
+        _FakeProg([("op", first), ("op", second), ("c", use)])
+    )
+    assert [s.binds for s in outcome.steps] == [
+        ("found0", "value0"), ("found1", "value1"),
+    ]
+    assert {"found0", "value0", "found1", "value1"} <= outcome.bound
+
+
+def test_reordered_program_consuming_early_is_malformed() -> None:
+    """A predicate hoisted above the step that binds its symbol is a
+    truncated/reordered lowering, not a provable one."""
+
+    class _Step:
+        def __init__(self, sig):
+            self.sig = sig
+
+    probe = _Step(("map_get", "m", (E.Sym(32, "pkt.src_ip"),), "f", "v"))
+    early = E.Eq(E.Sym(1, "f"), E.Const(1, 1))
+    with pytest.raises(SymKernelError, match="not bound"):
+        interpret_program(_FakeProg([("c", early), ("op", probe)]))
+
+
+def test_unknown_op_is_rejected() -> None:
+    class _Step:
+        sig = ("sketch_touch", "s", ())
+
+    with pytest.raises(SymKernelError, match="unknown lowered op"):
+        interpret_program(_FakeProg([("op", _Step())]))
+
+
+# ------------------------------------------------------------------ #
+# strip_zext normalization
+# ------------------------------------------------------------------ #
+def test_strip_zext_unwraps_nested_extensions() -> None:
+    sym = E.Sym(16, "pkt.src_port")
+    once = E.Concat(32, (E.Const(16, 0), sym))
+    twice = E.Concat(64, (E.Const(32, 0), once))
+    assert strip_zext(twice) is sym
+
+
+def test_strip_zext_extract_identity_and_zero_slices() -> None:
+    sym = E.Sym(16, "pkt.src_port")
+    widened = E.Concat(64, (E.Const(48, 0), sym))
+    assert strip_zext(E.Extract(16, widened, 15, 0)) is sym
+    high = strip_zext(E.Extract(16, widened, 47, 32))
+    assert isinstance(high, E.Const) and high.value == 0
+
+
+def test_strip_zext_reextends_mixed_width_arithmetic() -> None:
+    narrow = E.Sym(16, "pkt.src_port")
+    wide = E.Sym(32, "pkt.src_ip")
+    mixed = E.Add(E.Concat(32, (E.Const(16, 0), narrow)), wide)
+    normalized = strip_zext(mixed)
+    assert normalized.lhs.width == normalized.rhs.width == 32
+    assert E.structurally_equal(strip_zext(mixed), normalized)
