@@ -52,6 +52,18 @@ CONTEXT = (
 ABSOLUTE = (
     ("telemetry", "overhead_frac", "ceiling_frac"),
     ("compiled", "fallback_rate", "fallback_ceiling"),
+    # Live-migration cost must stay proportional to moved state: a
+    # full-shard scan creeping into extraction blows the per-entry cost
+    # past the committed ceiling long before wall-clock gates notice.
+    ("rescale", "per_entry_us", "per_entry_ceiling_us"),
+)
+
+#: Absolute floors: fresh ``section.metric`` must stay *at or above*
+#: the baseline's ``section.floor_key``.  Used for ratios where bigger
+#: is better — a live rescale must not leave the dataplane slower than
+#: a statically provisioned build of the same width.
+FLOORS = (
+    ("rescale", "post_rescale_ratio", "ratio_floor"),
 )
 
 
@@ -143,6 +155,25 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"{section}.{name}: fresh {now:+.4f} "
             f"(ceiling {ceiling:.4f}) {status}"
+        )
+    for section, name, floor_key in FLOORS:
+        try:
+            now = float(fresh[section][name])
+            floor = float(baseline[section][floor_key])
+        except (KeyError, TypeError, ValueError):
+            print(
+                f"error: missing {section}.{name} (fresh) or "
+                f"{section}.{floor_key} (baseline)",
+                file=sys.stderr,
+            )
+            return 2
+        status = "ok"
+        if now < floor:
+            status = "REGRESSION"
+            failed = True
+        print(
+            f"{section}.{name}: fresh {now:.4f} "
+            f"(floor {floor:.4f}) {status}"
         )
     if failed:
         print(

@@ -119,6 +119,12 @@ DIAGNOSTIC_CODES: dict[str, tuple[Severity, str]] = {
         "any symbex path footprint for its port (static model unsound "
         "for this trace)",
     ),
+    "MAE105": (
+        Severity.ERROR,
+        "race sanitizer: a packet was processed during the unowned epoch "
+        "of a migrating bucket (between ownership prepare and commit, "
+        "neither donor nor receiver may serve it)",
+    ),
     "MAE200": (
         Severity.ERROR,
         "chain analysis failure: the chain could not be parsed or a hop "

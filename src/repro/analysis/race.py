@@ -24,7 +24,15 @@ detector"; the lockset discipline here is the plan-driven variant):
 * **footprint cross-validation** (MAE104) — every packet's dynamic
   access set must be a subset of some symbex path footprint for its
   ingress port, i.e. the static model that justified the plan actually
-  over-approximates this trace.
+  over-approximates this trace;
+* **migration epochs** (MAE105) — when a live rescale
+  (:mod:`repro.scale`) migrates a bucket, the migrator reports each move
+  through :meth:`RaceMonitor.note_migration` with its two-phase prepare
+  and commit positions.  No packet steered by that bucket may be
+  processed inside the unowned epoch (after prepare, before commit), and
+  the MAE103 ownership map transfers the moved entries to the receiving
+  core exactly at the commit position — a donor-side touch after commit
+  (or receiver-side touch before prepare) still flags.
 
 Violations carry stable MAE1xx codes, render as text or JSON, honor the
 line-scoped ``# maestro: waive[MAE1xx]`` syntax, and are counted through
@@ -51,6 +59,7 @@ from repro.symbex.tree import ExecutionTree
 
 __all__ = [
     "AccessEvent",
+    "MigrationRecord",
     "PacketAccessLog",
     "RaceMonitor",
     "RaceReport",
@@ -85,6 +94,29 @@ class PacketAccessLog:
     port: int
     core: int
     accesses: list[AccessEvent] = field(default_factory=list)
+    #: Indirection-table slot that steered this packet (elastic runs
+    #: only; -1 when bucket tagging is off).  The MAE105 checker uses it
+    #: to catch packets served during a bucket's unowned epoch.
+    bucket: int = -1
+
+
+class MigrationRecord(NamedTuple):
+    """One bucket's ownership handoff, as reported by the migrator.
+
+    ``prepare_position``/``position`` are packet-log positions (lengths
+    of :attr:`RaceMonitor.packets` at prepare/commit time): the unowned
+    epoch spans ``packets[prepare_position:position]``.  ``keyed`` lists
+    the ``(obj, key)`` map entries whose ownership transferred; indexed
+    state (vectors/dchains) moves too but is excused from per-entry
+    ownership just like in the static case.
+    """
+
+    position: int
+    bucket: int
+    src: int
+    dst: int
+    keyed: tuple[tuple[str, Any], ...]
+    prepare_position: int
 
 
 class _CoreProbe:
@@ -96,8 +128,8 @@ class _CoreProbe:
         self._monitor = monitor
         self.core = core
 
-    def begin(self, port: int) -> None:
-        self._monitor._begin_packet(self.core, port)
+    def begin(self, port: int, bucket: int = -1) -> None:
+        self._monitor._begin_packet(self.core, port, bucket)
 
     def access(self, obj: str, op: str, write: bool, key: Any) -> None:
         self._monitor._on_access(obj, op, write, key)
@@ -115,6 +147,7 @@ class RaceMonitor:
     def __init__(self, parallel: ParallelNF) -> None:
         self.parallel = parallel
         self.packets: list[PacketAccessLog] = []
+        self.migrations: list[MigrationRecord] = []
         self.n_events = 0
         self._current: PacketAccessLog | None = None
         self._installed = False
@@ -124,6 +157,40 @@ class RaceMonitor:
             core.ctx.access_probe = _CoreProbe(self, core.core_id)
         self._installed = True
         return self
+
+    def attach_core(self, core) -> None:
+        """Probe a core added after install (elastic grow mid-replay)."""
+        if self._installed:
+            core.ctx.access_probe = _CoreProbe(self, core.core_id)
+
+    def note_migration(
+        self,
+        bucket: int,
+        src: int,
+        dst: int,
+        keyed: tuple[tuple[str, Any], ...],
+        *,
+        prepare_position: int | None = None,
+    ) -> None:
+        """Record one bucket handoff at the current log position.
+
+        Called by the migrator at commit time; ``prepare_position`` is
+        the log position at which the donor stopped owning the bucket
+        (defaults to the commit position, i.e. an empty unowned epoch).
+        """
+        position = len(self.packets)
+        self.migrations.append(
+            MigrationRecord(
+                position=position,
+                bucket=bucket,
+                src=src,
+                dst=dst,
+                keyed=tuple(keyed),
+                prepare_position=(
+                    position if prepare_position is None else prepare_position
+                ),
+            )
+        )
 
     def remove(self) -> None:
         if self._installed:
@@ -138,8 +205,10 @@ class RaceMonitor:
         self.remove()
 
     # Probe callbacks ------------------------------------------------ #
-    def _begin_packet(self, core: int, port: int) -> None:
-        log = PacketAccessLog(index=len(self.packets), port=port, core=core)
+    def _begin_packet(self, core: int, port: int, bucket: int = -1) -> None:
+        log = PacketAccessLog(
+            index=len(self.packets), port=port, core=core, bucket=bucket
+        )
         self.packets.append(log)
         self._current = log
 
@@ -296,6 +365,7 @@ def _check_ownership(
     written: set[str],
     excused_objs: set[str],
     excused_counts: dict[str, int],
+    migrations: list[MigrationRecord] | None = None,
 ) -> list[Diagnostic]:
     """MAE103: under shared-nothing, one core owns each keyed entry.
 
@@ -305,11 +375,31 @@ def _check_ownership(
     under sharding each core draws indices from its own allocator, so
     equal indices on different cores are different entries (the
     writer-colocation/derived-key argument of the static audit).
+
+    Reported ``migrations`` legally re-home keyed entries: at each
+    record's commit position the moved entries' owner becomes the
+    receiving core — atomically, so a donor touch after commit (or a
+    receiver touch before it) is still a violation.  Ownership follows
+    the *bucket*, so the transfer covers every entry last steered
+    through the migrating bucket (tracked per access log), not only the
+    entries whose bytes moved — sketch rows stay behind by design
+    (over-count-only error) yet their logical ownership still re-homes.
     """
     out: list[Diagnostic] = []
     flagged: set[tuple[str, str]] = set()
     owners: dict[tuple[str, Any], int] = {}
+    entry_bucket: dict[tuple[str, Any], int] = {}
+    pending = sorted(migrations or (), key=lambda rec: rec.position)
+    mig_i = 0
     for log in packets:
+        while mig_i < len(pending) and pending[mig_i].position <= log.index:
+            rec = pending[mig_i]
+            for entry in rec.keyed:
+                owners[entry] = rec.dst
+            for entry, bucket in entry_bucket.items():
+                if bucket == rec.bucket and owners.get(entry) == rec.src:
+                    owners[entry] = rec.dst
+            mig_i += 1
         core = log.core
         for ev in log.accesses:
             obj = ev.obj
@@ -334,6 +424,8 @@ def _check_ownership(
                 )
                 continue
             entry = (obj, ev.key)
+            if log.bucket >= 0:
+                entry_bucket[entry] = log.bucket
             owner = owners.get(entry)
             if ev.write:
                 if owner is None:
@@ -363,6 +455,40 @@ def _check_ownership(
 def _short_key(key: Any, limit: int = 48) -> str:
     text = repr(key)
     return text if len(text) <= limit else text[: limit - 3] + "..."
+
+
+def _check_migrations(
+    packets: list[PacketAccessLog],
+    migrations: list[MigrationRecord],
+    nf_name: str,
+) -> list[Diagnostic]:
+    """MAE105: no packet may be served inside a bucket's unowned epoch.
+
+    The two-phase handoff quiesces a bucket between *prepare* (donor
+    stops accepting) and *commit* (receiver owns the entries and the
+    reprogrammed table steers to it).  A packet whose steering bucket
+    matches a migrating bucket inside that window was processed while
+    neither core legitimately owned the state — a torn handoff.
+    """
+    out: list[Diagnostic] = []
+    for rec in migrations:
+        if rec.prepare_position >= rec.position:
+            continue  # empty unowned epoch: the common, correct case
+        for log in packets[rec.prepare_position : rec.position]:
+            if log.bucket != rec.bucket:
+                continue
+            out.append(
+                Diagnostic.of(
+                    "MAE105",
+                    f"packet #{log.index} (core {log.core}, port "
+                    f"{log.port}) was processed during the unowned epoch "
+                    f"of migrating bucket {rec.bucket} (prepare at "
+                    f"position {rec.prepare_position}, commit at "
+                    f"{rec.position}, core {rec.src} -> {rec.dst})",
+                    nf=nf_name,
+                )
+            )
+    return out
 
 
 def _check_footprints(
@@ -602,9 +728,13 @@ def analyze_monitor(
             diagnostics.extend(
                 _check_ownership(
                     packets, decls, nf.name, written, excused_objs,
-                    excused_counts,
+                    excused_counts, monitor.migrations,
                 )
             )
+            if monitor.migrations:
+                diagnostics.extend(
+                    _check_migrations(packets, monitor.migrations, nf.name)
+                )
         if tree is not None:
             diagnostics.extend(_check_footprints(packets, tree, nf.name))
 

@@ -142,6 +142,21 @@ class ParallelNF:
             strategy=Strategy.SHARED_NOTHING, locked=frozenset(), order=()
         )
     )
+    #: Set by :func:`repro.scale.elastic.enable_elastic`.  Elastic mode
+    #: tags every packet with its indirection-table bucket (so live
+    #: migration knows which keys each bucket owns) and allows the active
+    #: core count to change at runtime.  ``cores`` then holds the
+    #: high-water set; only the first :attr:`active_cores` receive traffic.
+    elastic: bool = False
+
+    @property
+    def active_cores(self) -> int:
+        """Cores currently receiving traffic (= RSS queue count).
+
+        Equal to :attr:`n_cores` for static plans; under elastic scaling
+        it follows the indirection table as the controller grows/shrinks.
+        """
+        return self.rss.n_queues
 
     @classmethod
     def generate(
@@ -201,6 +216,17 @@ class ParallelNF:
 
     def process(self, port: int, pkt: Packet) -> tuple[int, PacketResult]:
         """Steer one packet through RSS and process it on its core."""
+        if self.elastic:
+            # Resolve the table slot explicitly (not just the queue) so
+            # the core's context can bucket-tag the state this packet
+            # creates — the bookkeeping live migration depends on.
+            config = self.rss.port_config(port)
+            table = config.table
+            slot = config.hash(pkt) & (table.size - 1)
+            core_id = int(table.entries[slot])
+            core = self.cores[core_id]
+            core.ctx.current_bucket = slot
+            return core_id, core.run(port, pkt)
         core_id = self.core_for(port, pkt)
         return core_id, self.cores[core_id].run(port, pkt)
 

@@ -16,6 +16,7 @@ from pathlib import Path
 from repro.fuzz.generator import SHAPES
 from repro.fuzz.oracle import FAULTS
 from repro.fuzz.runner import FuzzSession
+from repro.fuzz.workloads import WORKLOAD_KINDS
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -76,6 +77,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="inject a known pipeline bug into every case (oracle self-test)",
     )
     parser.add_argument(
+        "--workload",
+        choices=WORKLOAD_KINDS,
+        default=None,
+        metavar="KIND",
+        help=(
+            "force every generated workload to one kind (e.g. 'rescale' "
+            f"for the elastic-scaling sweep); choices: {', '.join(WORKLOAD_KINDS)}"
+        ),
+    )
+    parser.add_argument(
         "--n-cores", type=int, default=4, help="cores per parallel build"
     )
     parser.add_argument(
@@ -105,10 +116,29 @@ def main(argv: list[str] | None = None) -> int:
         corpus_dir=args.corpus,
         save=not args.no_save,
         fault=args.fault,
+        workload_kind=args.workload,
         shrink=not args.no_shrink,
         replay=not args.no_replay,
     )
     report = session.run()
+    if (
+        args.workload == "rescale"
+        and args.runs > 0
+        and not report.budget_exhausted
+        and report.rescale_checks == 0
+    ):
+        # The whole point of --workload rescale is exercising live
+        # migration; a campaign where the mutator never produced a
+        # rescale check (every case drew a LOCKS verdict, or the check
+        # was silently skipped) must not pass as green.
+        print(
+            "error: --workload rescale ran but zero rescale checks "
+            "executed — the mutator was silently skipped",
+            file=sys.stderr,
+        )
+        if args.json is None:
+            print(report.describe())
+        return 1
     if args.json is not None:
         payload = json.dumps(report.to_dict(), indent=2)
         if args.json == "-":

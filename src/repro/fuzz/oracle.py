@@ -79,7 +79,7 @@ FAULTS: tuple[str, ...] = (
 class FuzzFailure:
     """One oracle check that did not come back clean."""
 
-    kind: str  #: lint | certify | equivalence | race | fastpath | crash
+    kind: str  #: lint | certify | equivalence | race | rescale | fastpath | crash
     detail: str
     strategy: str | None = None
     workload: dict | None = None
@@ -123,6 +123,9 @@ class OracleReport:
     verdict: str = ""
     strategies: tuple[str, ...] = ()
     checks: int = 0
+    #: sanitized equivalence runs that applied a mid-trace grow+shrink
+    #: (``rescale`` workloads under a shared-nothing verdict).
+    rescale_checks: int = 0
     capacity_divergences: int = 0
     failures: list[FuzzFailure] = field(default_factory=list)
     cache_stats: dict | None = None
@@ -139,6 +142,7 @@ class OracleReport:
             "verdict": self.verdict,
             "strategies": list(self.strategies),
             "checks": self.checks,
+            "rescale_checks": self.rescale_checks,
             "capacity_divergences": self.capacity_divergences,
             "failures": [f.to_dict() for f in self.failures],
             "cache_stats": self.cache_stats,
@@ -336,6 +340,16 @@ def run_oracle(
                 report, spec, make_nf, make_parallel, strategy, workload,
                 trace, result.tree, fault,
             )
+            if (
+                strategy is Strategy.SHARED_NOTHING
+                and forged_solution is None
+                and workload is not None
+                and workload.kind == "rescale"
+            ):
+                _check_rescale(
+                    report, spec, make_nf, make_parallel, workload,
+                    trace, result.tree, n_cores, fault,
+                )
             if check_fastpath and (
                 failed
                 or index == 0
@@ -405,6 +419,67 @@ def _check_one(
                 workload=workload.to_dict() if workload else None,
                 fault=fault,
                 codes=codes,
+                flight=tuple(eq.flight_snapshot),
+            )
+        )
+        return True
+    return False
+
+
+def _check_rescale(
+    report, spec, make_nf, make_parallel, workload, trace, tree, n_cores,
+    fault,
+) -> bool:
+    """Sanitized equivalence with a mid-trace grow *and* shrink.
+
+    Exercises live re-sharding (``repro.scale``) under adversarial
+    generated NFs: the table is re-programmed bucket-by-bucket twice
+    while state churns, and the run must stay equivalent to the
+    sequential reference with no MAE10x finding — MAE103 proves every
+    ownership handoff committed atomically, MAE105 that no packet was
+    served inside a migration's unowned epoch.  Migration refusals
+    (receiver shard full) are the capacity story and taint like it.
+    """
+    from repro.scale.elastic import enable_elastic
+
+    n = len(trace)
+    events = [(n // 3, n_cores * 2), (2 * n // 3, max(1, n_cores - 1))]
+    try:
+        parallel = enable_elastic(make_parallel(Strategy.SHARED_NOTHING))
+        eq = check_equivalence(
+            make_nf,
+            parallel,
+            trace,
+            sanitize=True,
+            tree=tree,
+            flow_keys=_spec_flow_keys(spec),
+            rescale_events=events,
+        )
+    except Exception as exc:  # noqa: BLE001
+        report.failures.append(
+            FuzzFailure(
+                kind="crash",
+                detail=_crash_detail(exc),
+                strategy=Strategy.SHARED_NOTHING.value,
+                workload=workload.to_dict() if workload else None,
+                fault=fault,
+            )
+        )
+        return True
+    report.checks += 1
+    report.rescale_checks += 1
+    report.capacity_divergences += eq.capacity_divergences
+    codes = tuple(d.code for d in eq.race_diagnostics)
+    if eq.mismatches or codes:
+        report.failures.append(
+            FuzzFailure(
+                kind="rescale",
+                detail=eq.describe(),
+                strategy=Strategy.SHARED_NOTHING.value,
+                workload=workload.to_dict() if workload else None,
+                fault=fault,
+                codes=codes,
+                mismatches=len(eq.mismatches),
                 flight=tuple(eq.flight_snapshot),
             )
         )

@@ -47,8 +47,10 @@ class FuzzReport:
     shape: str
     runs_requested: int
     fault: str | None = None
+    workload_kind: str | None = None
     cases_run: int = 0
     checks: int = 0
+    rescale_checks: int = 0
     capacity_divergences: int = 0
     replay: list[ReplayOutcome] = field(default_factory=list)
     failures: list[dict] = field(default_factory=list)
@@ -75,8 +77,10 @@ class FuzzReport:
             "shape": self.shape,
             "runs_requested": self.runs_requested,
             "fault": self.fault,
+            "workload_kind": self.workload_kind,
             "cases_run": self.cases_run,
             "checks": self.checks,
+            "rescale_checks": self.rescale_checks,
             "capacity_divergences": self.capacity_divergences,
             "replay": [outcome.to_dict() for outcome in self.replay],
             "failures": self.failures,
@@ -91,6 +95,7 @@ class FuzzReport:
             f"fuzz: seed={self.seed} shape={self.shape} "
             f"cases={self.cases_run}/{self.runs_requested} "
             f"checks={self.checks} "
+            f"rescale_checks={self.rescale_checks} "
             f"capacity_divergences={self.capacity_divergences} "
             f"elapsed={self.elapsed_s:.1f}s"
             + (" (budget exhausted)" if self.budget_exhausted else "")
@@ -124,6 +129,9 @@ class FuzzSession:
     corpus_dir: str | Path | None = "tests/fuzz_corpus"
     save: bool = True  #: write shrunk reproducers into ``corpus_dir``
     fault: str | None = None  #: inject a known bug into every case
+    #: force every workload to one kind (e.g. ``"rescale"`` in the
+    #: nightly elastic-scaling sweep); None keeps the random mix.
+    workload_kind: str | None = None
     workloads_per_case: int = 2
     shrink: bool = True
     max_shrink_probes: int = 150
@@ -137,12 +145,23 @@ class FuzzSession:
         )
 
     def run(self) -> FuzzReport:
+        from repro.fuzz.workloads import WORKLOAD_KINDS
+
+        if (
+            self.workload_kind is not None
+            and self.workload_kind not in WORKLOAD_KINDS
+        ):
+            raise ValueError(
+                f"unknown workload kind {self.workload_kind!r} "
+                f"(known: {WORKLOAD_KINDS})"
+            )
         start = time.monotonic()
         report = FuzzReport(
             seed=self.seed,
             shape=self.shape,
             runs_requested=self.runs,
             fault=self.fault,
+            workload_kind=self.workload_kind,
         )
         with obs.span("fuzz.session", seed=self.seed, runs=self.runs):
             if self.replay and self.corpus_dir is not None:
@@ -168,6 +187,13 @@ class FuzzSession:
         workloads = [
             random_workload(wl_rng) for _ in range(self.workloads_per_case)
         ]
+        if self.workload_kind is not None:
+            from dataclasses import replace
+
+            workloads = [
+                replace(workload, kind=self.workload_kind)
+                for workload in workloads
+            ]
         maestro_seed = case_seed % 100_000
         oracle = run_oracle(
             spec,
@@ -178,6 +204,7 @@ class FuzzSession:
         )
         report.cases_run += 1
         report.checks += oracle.checks
+        report.rescale_checks += oracle.rescale_checks
         report.capacity_divergences += oracle.capacity_divergences
         if obs.enabled():
             obs.counter("fuzz.cases", 1, seed=case_seed)

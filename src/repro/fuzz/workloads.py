@@ -18,7 +18,14 @@ Models reuse the simulation substrate:
   attacker), so one core absorbs the whole trace;
 * ``boundary`` — handcrafted extreme header values (zero/max
   addresses and ports, guard-constant neighbors, odd protocols and
-  frame sizes) cycled over a small flow set.
+  frame sizes) cycled over a small flow set;
+* ``rescale`` — a churn trace layered with the elastic-scaling
+  stressor: the oracle replays it with a mid-trace grow *and* shrink
+  (``repro.scale``) whenever the verdict permits shared-nothing, so
+  live state migration is differentially checked against the same
+  sequential reference.  Materialization itself is churn traffic (the
+  rescale events are the oracle's job — reproducer files pin packets,
+  not controller actions).
 """
 
 from __future__ import annotations
@@ -41,6 +48,7 @@ WORKLOAD_KINDS: tuple[str, ...] = (
     "exhaust",
     "collide",
     "boundary",
+    "rescale",
 )
 
 #: Boundary values per 16-bit port field, mixed with guard constants.
@@ -176,7 +184,10 @@ def materialize_workload(
         return _uniform_like(spec, weights=None)
     if spec.kind == "zipf":
         return _uniform_like(spec, weights=paper_zipf_weights(spec.n_flows))
-    if spec.kind == "churn":
+    if spec.kind in ("churn", "rescale"):
+        # The rescale stressor is churn traffic by construction: state
+        # churns while the oracle grows and shrinks the core count, so
+        # migrations race flow creation/expiry.
         generator = TrafficGenerator(seed=spec.seed)
         return churn_trace(
             generator,

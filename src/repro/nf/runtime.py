@@ -187,6 +187,16 @@ class ConcreteContext(NfContext):
         #: with the concrete key/index (None for key-less ops).  The
         #: disabled case pays one attribute load and a None test per op.
         self.access_probe = None
+        #: Elastic-scaling plumbing (:mod:`repro.scale`).  When a core runs
+        #: under live re-sharding, ``bucket_index`` is a
+        #: :class:`repro.scale.migrate.BucketIndex` and ``current_bucket``
+        #: is set per packet to the indirection-table slot that steered it;
+        #: the stateful-op wrappers below then tag every created map key /
+        #: vector row / chain index with that bucket so migration can later
+        #: extract exactly the entries a moving bucket owns.  Both stay
+        #: inert (None / -1) outside elastic runs.
+        self.bucket_index = None
+        self.current_bucket = -1
         # One reusable terminator exception per context: the packet ops
         # below re-arm and re-raise it instead of constructing a fresh
         # PacketDone per packet (exception allocation is a measurable
@@ -306,12 +316,16 @@ class ConcreteContext(NfContext):
         ok = obj.put(key_t, int(value))
         if ok:
             self.store.note_put(name, key_t, int(value))
+            if self.bucket_index is not None:
+                self.bucket_index.note_key(name, key_t, self.current_bucket)
         return ok
 
     def map_erase(self, name: str, key: Sequence[Any]) -> None:
         key_t = tuple(key)
         self._record(name, "map_erase", True, key_t)
         self.store.note_erase(name, key_t)
+        if self.bucket_index is not None:
+            self.bucket_index.drop_key(name, key_t)
         obj = self._objects.get(name) or self.store[name]
         obj.erase(key_t)
 
@@ -326,6 +340,8 @@ class ConcreteContext(NfContext):
         self._record(name, "vector_put", True, idx)
         obj = self._objects.get(name) or self.store[name]
         obj.put(idx, dict(record))
+        if self.bucket_index is not None:
+            self.bucket_index.note_index(name, idx, self.current_bucket)
 
     def vector_fill(self, name: str, records: Sequence[Mapping[str, Any]]) -> None:
         self._record(name, "vector_fill", True)
@@ -337,9 +353,12 @@ class ConcreteContext(NfContext):
         self._record(name, "dchain_allocate", True)
         obj = self._objects.get(name) or self.store[name]
         ok, index = obj.allocate(self._now)
-        if ok and not self._new_flow:
-            self._new_flow = True
-            self.new_flow_total += 1
+        if ok:
+            if self.bucket_index is not None:
+                self.bucket_index.note_index(name, index, self.current_bucket)
+            if not self._new_flow:
+                self._new_flow = True
+                self.new_flow_total += 1
         return ok, index
 
     def dchain_is_allocated(self, name: str, index: Any) -> bool:
@@ -379,9 +398,13 @@ class ConcreteContext(NfContext):
         flow_map: Map = self.store[map_name]
         for index in chain.expire(self._now - horizon):
             key = self.store.key_for_value(map_name, index)
+            if self.bucket_index is not None:
+                self.bucket_index.drop_index(chain_name, index)
             if key is not None:
                 flow_map.erase(key)
                 self.store.note_erase(map_name, key)
+                if self.bucket_index is not None:
+                    self.bucket_index.drop_key(map_name, key)
 
     # -------------------------------------------------------------- #
     # Packet operations
@@ -423,7 +446,12 @@ class ConcreteContext(NfContext):
         self._trace_on = self._tracer.enabled()
         probe = self.access_probe
         if probe is not None:
-            probe.begin(port)
+            # Only pass the steering bucket when elastic tagging is live:
+            # custom probes predating elastic scaling accept begin(port).
+            if self.bucket_index is not None:
+                probe.begin(port, self.current_bucket)
+            else:
+                probe.begin(port)
         try:
             self.nf.process(self, port, pkt)
         except PacketDone as done:

@@ -87,8 +87,12 @@ class Vector:
         if capacity <= 0:
             raise StateModelError(f"vector capacity must be positive: {capacity}")
         self.capacity = capacity
-        template = dict(initial or {})
-        self._slots: list[dict[str, int]] = [dict(template) for _ in range(capacity)]
+        #: Pristine record layout; :meth:`reset` restores a slot to it when
+        #: the elastic migrator vacates a row on the donor core.
+        self._template: dict[str, int] = dict(initial or {})
+        self._slots: list[dict[str, int]] = [
+            dict(self._template) for _ in range(capacity)
+        ]
         #: bumped on every slot overwrite (compiled-memo validity guard).
         self.version = 0
 
@@ -110,6 +114,16 @@ class Vector:
     def put(self, index: int, record: dict[str, int]) -> None:
         """Overwrite the record at ``index``."""
         self._slots[self._check(index)] = dict(record)
+        self.version += 1
+
+    def reset(self, index: int) -> None:
+        """Restore the record at ``index`` to the initial template.
+
+        Used by live state migration: after a row's contents move to the
+        receiving core's shard, the donor's slot goes back to its pristine
+        state so a later (re)allocation of that index starts clean.
+        """
+        self._slots[self._check(index)] = dict(self._template)
         self.version += 1
 
 

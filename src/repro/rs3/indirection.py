@@ -53,6 +53,42 @@ class IndirectionTable:
         """
         return self.entries[np.asarray(hashes, dtype=np.int64) & (self.size - 1)]
 
+    def reprogram(self, entries: np.ndarray) -> int:
+        """Install a full replacement entry array (elastic re-sharding).
+
+        The incremental RETA reprogramming primitive: the elastic-scaling
+        controller computes a target assignment off to the side, migrates
+        state bucket-by-bucket, then commits the new table in one shot.
+        The generation is bumped **iff** at least one entry actually
+        changed — a no-op reprogram must not invalidate steering caches
+        or compiled-kernel memos.  Returns the number of entries moved.
+        """
+        new = np.asarray(entries, dtype=np.int64)
+        if new.shape != self.entries.shape:
+            raise SimulationError(
+                f"reprogram needs {self.entries.shape[0]} entries, "
+                f"got {new.shape}"
+            )
+        if new.size and (new.min() < 0 or new.max() >= max(self.n_queues, new.max() + 1)):
+            raise SimulationError("reprogram entries must be non-negative")
+        moved = int((new != self.entries).sum())
+        if moved:
+            self.entries = new.copy()
+            self.generation += 1
+        return moved
+
+    def retarget(self, n_queues: int) -> None:
+        """Change the queue count without touching entries.
+
+        Used by the elastic rescale: the entry array is reprogrammed
+        separately (and owns the generation bump); this only records how
+        many queues are active so ``queue_loads`` and round-robin helpers
+        size their outputs correctly.
+        """
+        if n_queues <= 0:
+            raise SimulationError("need at least one queue")
+        self.n_queues = n_queues
+
     def queue_loads(self, entry_loads: np.ndarray) -> np.ndarray:
         """Per-queue load given per-entry load (e.g. packet counts)."""
         if entry_loads.shape != (self.size,):

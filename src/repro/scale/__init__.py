@@ -1,0 +1,64 @@
+"""Elastic scaling: live RSS re-sharding with loss-free state migration.
+
+The static pipeline (``repro.core``) fixes the core count at generation
+time.  This package makes that decision *revisable at runtime*: an
+:class:`ElasticController` watches the per-core telemetry windows the
+observability plane already collects, decides grow/shrink/hold, and
+:func:`rescale_parallel` carries the decision out — re-programming the
+512-entry indirection table bucket-by-bucket with a two-phase ownership
+handoff so every keyed shard entry (map rows, vector rows, dchain slots)
+migrates between cores without a packet being dropped, duplicated, or
+served by a core that does not own its state.
+
+Layers:
+
+* :mod:`repro.scale.migrate` — the mechanism: bucket-tagged state
+  (:class:`BucketIndex`), shard extraction/installation, the rescale
+  protocol itself (:func:`rescale_parallel`).
+* :mod:`repro.scale.elastic` — execution: :func:`enable_elastic` flips a
+  generated shared-nothing NF into elastic mode; :func:`run_elastic`
+  replays a trace with mid-trace :class:`RescaleEvent` boundaries
+  through the batch simulator (reference/fastpath/compiled all
+  bit-identical).
+* :mod:`repro.scale.controller` — policy: the deterministic
+  :class:`ElasticController` band + skew + cooldown loop.
+
+``python -m repro.scale verify`` replays seeded churn traces with a
+mid-trace grow *and* shrink through every shared-nothing NF and checks
+(1) bit-identical batch/reference parity, (2) sequential equivalence
+under the race sanitizer with zero MAE103/MAE105 findings.  CI's
+``rescale-gate`` job runs exactly that.
+"""
+
+from repro.scale.controller import ElasticController, ScaleDecision
+from repro.scale.elastic import (
+    ElasticRun,
+    RescaleEvent,
+    enable_elastic,
+    run_elastic,
+)
+from repro.scale.migrate import (
+    BucketIndex,
+    MigrationStats,
+    ShardDelta,
+    extract_bucket,
+    install_bucket,
+    plan_rescale,
+    rescale_parallel,
+)
+
+__all__ = [
+    "BucketIndex",
+    "ElasticController",
+    "ElasticRun",
+    "MigrationStats",
+    "RescaleEvent",
+    "ScaleDecision",
+    "ShardDelta",
+    "enable_elastic",
+    "extract_bucket",
+    "install_bucket",
+    "plan_rescale",
+    "rescale_parallel",
+    "run_elastic",
+]

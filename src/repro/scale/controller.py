@@ -1,0 +1,141 @@
+"""The elastic-scaling controller: telemetry windows in, decisions out.
+
+A deterministic control loop over the observability plane: it reads the
+most recent per-core window from a :class:`repro.obs.telemetry.TelemetrySink`
+(the same windowed series the drift detectors consume), runs the
+``detect_skew`` finder, and decides whether the core count should grow,
+shrink, or hold.  The decision is a pure function of the window data and
+the controller's configuration — no wall clock, no randomness — so every
+decision is replayable in tests and CI.
+
+The policy is the classic utilization band with a skew override:
+
+* **grow** when per-core utilization exceeds ``grow_util`` (the cores
+  are running hot) *or* the skew finder reports imbalance above its
+  threshold while utilization is not idle — RSS++-style rebalancing
+  handles skew first, but a hot *and* skewed fleet needs headroom;
+* **shrink** when utilization falls below ``shrink_util`` with no skew —
+  the diurnal-valley case the ROADMAP's north star calls out;
+* **hold** otherwise, and always during the post-rescale cooldown
+  (migration has a cost; flapping pays it twice for nothing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.obs.detect import detect_skew
+from repro.obs.telemetry import TelemetrySink
+
+__all__ = ["ScaleDecision", "ElasticController"]
+
+
+@dataclass(frozen=True)
+class ScaleDecision:
+    """One controller verdict over one telemetry window."""
+
+    action: str  # "grow" | "shrink" | "hold"
+    n_cores: int  # target core count (= current for "hold")
+    reason: str
+    utilization: float
+    imbalance: float
+
+    def to_json(self) -> dict:
+        return {
+            "action": self.action,
+            "n_cores": self.n_cores,
+            "reason": self.reason,
+            "utilization": round(self.utilization, 4),
+            "imbalance": round(self.imbalance, 4),
+        }
+
+
+@dataclass
+class ElasticController:
+    """Deterministic grow/shrink policy over telemetry windows."""
+
+    min_cores: int = 1
+    max_cores: int = 16
+    #: packets one core is provisioned to absorb per window; utilization
+    #: is measured against this budget.
+    core_budget_pps: int = 1024
+    grow_util: float = 0.8
+    shrink_util: float = 0.45
+    skew_threshold: float = 1.5
+    #: windows to hold after a rescale before deciding again.
+    cooldown_windows: int = 2
+
+    def __post_init__(self) -> None:
+        if self.min_cores <= 0 or self.max_cores < self.min_cores:
+            raise SimulationError(
+                f"bad core bounds [{self.min_cores}, {self.max_cores}]"
+            )
+        if not 0.0 < self.shrink_util < self.grow_util:
+            raise SimulationError(
+                "need 0 < shrink_util < grow_util "
+                f"(got {self.shrink_util}, {self.grow_util})"
+            )
+        self._cooldown = 0
+
+    def decide(self, sink: TelemetrySink, active_cores: int) -> ScaleDecision:
+        """One control step over the sink's most recent window."""
+        windows = sink.series("packets")
+        finding = detect_skew(
+            sink, metric="packets", threshold=self.skew_threshold
+        )
+        imbalance = finding.imbalance if windows else 0.0
+        if not windows:
+            return ScaleDecision(
+                "hold", active_cores, "no telemetry windows yet", 0.0, 0.0
+            )
+        last = windows[-1]
+        # Utilization over the *active* cores only: retired cores report
+        # zero packets and would dilute the average.
+        total = sum(last[:active_cores])
+        utilization = total / (active_cores * self.core_budget_pps)
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            return ScaleDecision(
+                "hold",
+                active_cores,
+                f"cooldown ({self._cooldown + 1} window(s) left)",
+                utilization,
+                imbalance,
+            )
+        hot = utilization >= self.grow_util
+        skewed = finding.detected and utilization > self.shrink_util
+        if (hot or skewed) and active_cores < self.max_cores:
+            target = min(self.max_cores, max(active_cores + 1, active_cores * 2))
+            self._cooldown = self.cooldown_windows
+            reason = (
+                f"utilization {utilization:.2f} >= {self.grow_util}"
+                if hot
+                else f"imbalance {imbalance:.2f} >= {self.skew_threshold} "
+                f"on core {finding.hot_core}"
+            )
+            return ScaleDecision("grow", target, reason, utilization, imbalance)
+        if (
+            utilization <= self.shrink_util
+            and not finding.detected
+            and active_cores > self.min_cores
+        ):
+            # Shrink to what the load needs (with grow_util headroom),
+            # one step of at most halving per decision.
+            needed = max(
+                self.min_cores,
+                -(-total // int(self.core_budget_pps * self.grow_util)),
+            )
+            target = max(needed, active_cores // 2, self.min_cores)
+            if target < active_cores:
+                self._cooldown = self.cooldown_windows
+                return ScaleDecision(
+                    "shrink",
+                    target,
+                    f"utilization {utilization:.2f} <= {self.shrink_util}",
+                    utilization,
+                    imbalance,
+                )
+        return ScaleDecision(
+            "hold", active_cores, "within band", utilization, imbalance
+        )

@@ -747,6 +747,7 @@ class CompiledDispatcher:
         self.path_ids = np.zeros(0, dtype=np.int32)
         self._sn = parallel.strategy is Strategy.SHARED_NOTHING
         self._ctxs = [core.ctx for core in parallel.cores]
+        self._bucket_ids = None
         self._trace = None
         self._trace_ref = None
         self._pkts = None
@@ -777,9 +778,14 @@ class CompiledDispatcher:
     # -------------------------------------------------------------- #
     # Run setup
     # -------------------------------------------------------------- #
-    def start_run(self, trace, core_ids, window_packets):
+    def start_run(self, trace, core_ids, window_packets, bucket_ids=None):
         n = len(trace)
         self._trace = trace
+        #: Per-packet indirection-table slots (elastic runs only): the
+        #: fallback path installs them as ``ctx.current_bucket`` so
+        #: establishment packets bucket-tag the state they create, and
+        #: kernel vector scatters re-tag the rows they overwrite.
+        self._bucket_ids = bucket_ids
         if trace is not self._trace_ref:
             # Packets are immutable, so the column/uid tables derived
             # from a trace stay valid for as long as the *same* trace
@@ -813,6 +819,7 @@ class CompiledDispatcher:
     def end_run(self):
         self._trace = None
         self._triggers = {}
+        self._bucket_ids = None
 
     def _field_col(self, name):
         col = self._fields.get(name)
@@ -941,17 +948,27 @@ class CompiledDispatcher:
             return
         trace = self._trace
         idx = f_lanes.tolist()
+        buckets = self._bucket_ids
         if cid is not None:
             ctx = self._ctxs[cid]
-            outs = starmap(ctx.run, [trace[i] for i in idx])
-            for i, result in zip(idx, outs):
-                results[i] = result
+            if buckets is None:
+                outs = starmap(ctx.run, [trace[i] for i in idx])
+                for i, result in zip(idx, outs):
+                    results[i] = result
+            else:
+                for i in idx:
+                    ctx.current_bucket = int(buckets[i])
+                    port, pkt = trace[i]
+                    results[i] = ctx.run(port, pkt)
         else:
             ctxs = self._ctxs
             core_ids = self._core_ids
             for i in idx:
                 port, pkt = trace[i]
-                results[i] = ctxs[core_ids[i]].run(port, pkt)
+                ctx = ctxs[core_ids[i]]
+                if buckets is not None:
+                    ctx.current_bucket = int(buckets[i])
+                results[i] = ctx.run(port, pkt)
 
     # -------------------------------------------------------------- #
     # Stage 1: classification (with memoized fast path)
@@ -1554,6 +1571,22 @@ class CompiledDispatcher:
                 elif isinstance(step, _VecPut):
                     vec = store[step.obj]
                     cells = art["cells"]
+                    # Elastic runs re-tag overwritten rows with the
+                    # writing packet's bucket (same bucket for every
+                    # packet of a flow, so re-tagging is idempotent).
+                    bindex = (
+                        self._ctxs[cid].bucket_index
+                        if cid is not None and self._bucket_ids is not None
+                        else None
+                    )
+                    if bindex is not None:
+                        bucket_ids = self._bucket_ids
+                        for p in kidx.tolist():
+                            bindex.note_index(
+                                step.obj,
+                                int(cells[p]),
+                                int(bucket_ids[g_lanes[p]]),
+                            )
                     rows = art.get("stored_rows")
                     if rows is not None:
                         for p in kidx.tolist():

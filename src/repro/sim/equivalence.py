@@ -179,6 +179,7 @@ def check_equivalence(
     tree=None,
     flow_keys=None,
     flight=None,
+    rescale_events: Iterable[tuple[int, int]] | None = None,
 ) -> EquivalenceReport:
     """Replay ``trace`` through a fresh sequential NF and ``parallel``.
 
@@ -207,6 +208,17 @@ def check_equivalence(
     ``report.flight_snapshot`` at the first genuine mismatch — the
     last-N-packets context a reproducer ships with — or at replay end
     when the sanitizer reported violations.
+
+    ``rescale_events`` makes the run *elastic-aware*: a sequence of
+    ``(packet_index, n_cores)`` pairs, each applied via
+    :func:`repro.scale.migrate.rescale_parallel` immediately **before**
+    the packet at that index is processed.  The parallel NF must have
+    elastic mode enabled (``repro.scale.enable_elastic``).  The
+    sequential reference is untouched — the whole point is proving that
+    a mid-trace grow/shrink is behaviour-preserving.  Under
+    ``sanitize=True`` the migrations are reported to the race monitor,
+    so MAE103 checks the ownership handoffs and MAE105 the quiesce
+    epochs.
     """
     if flow_keys is None:
         flow_keys = _default_flow_keys
@@ -218,9 +230,25 @@ def check_equivalence(
         from repro.analysis.race import RaceMonitor
 
         monitor = RaceMonitor(parallel).install()
+    rescales: dict[int, int] = {}
+    if rescale_events:
+        # Lazy import: repro.scale imports the codegen/runtime layers,
+        # so the equivalence module must not import it at module level.
+        from repro.scale.migrate import rescale_parallel
+
+        for at_packet, n_cores in rescale_events:
+            rescales[int(at_packet)] = int(n_cores)
     tainted: set[tuple] = set()
+    #: (obj, key) map entries a rescale refused to install — the flow's
+    #: state vanished exactly as a capacity refusal would make it, so
+    #: later drop-vs-forward disagreements on those keys are excused.
+    refused_state: set[tuple] = set()
     try:
         for index, (port, pkt) in enumerate(trace):
+            target = rescales.get(index)
+            if target is not None:
+                stats = rescale_parallel(parallel, target)
+                refused_state.update(stats.refused_keys)
             seq_result = sequential.process(port, pkt)
             core_id, par_result = parallel.process(port, pkt)
             if flight is not None:
@@ -264,6 +292,11 @@ def check_equivalence(
                     seq_result.new_flow
                     or par_result.new_flow
                     or any(tagged in tainted for tagged in relevant)
+                    or any(
+                        rkey == tagged[1] and _matches_culprit(tagged[0], robj)
+                        for (robj, rkey) in refused_state
+                        for tagged in relevant
+                    )
                 )
             if capacity and allow_capacity_divergence:
                 tainted.update(relevant)

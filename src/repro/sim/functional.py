@@ -76,6 +76,12 @@ class FlowSteeringCache:
     def __init__(self, rss) -> None:
         self.rss = rss
         self._cores: dict[tuple[int, bytes], int] = {}
+        # Indirection-table slot per cached flow, kept in a parallel dict
+        # (not folded into _cores values): elastic runs need the slot to
+        # bucket-tag state, while existing consumers — and the fuzzer's
+        # stale-cache fault injector — treat _cores values as plain core
+        # ints.
+        self._slots: dict[tuple[int, bytes], int] = {}
         self._generation = rss.steering_generation
         self.hits = 0
         self.misses = 0
@@ -91,6 +97,7 @@ class FlowSteeringCache:
     def invalidate(self) -> None:
         """Drop every cached dispatch decision."""
         self._cores.clear()
+        self._slots.clear()
         self._trace_memo = None
         self._generation = self.rss.steering_generation
         self.invalidations += 1
@@ -120,7 +127,8 @@ class FlowSteeringCache:
         trace: Sequence[tuple[int, "object"]],
         *,
         with_misses: bool = False,
-    ) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
+        with_slots: bool = False,
+    ) -> np.ndarray | tuple[np.ndarray, ...]:
         """Core ids for every packet of ``trace``, in trace order.
 
         ``with_misses=True`` additionally returns a per-packet boolean
@@ -128,53 +136,77 @@ class FlowSteeringCache:
         miss) — which is what lets the telemetry plane attribute
         ``steer_hits``/``steer_misses`` to windows without re-probing
         the cache per packet.
+
+        ``with_slots=True`` additionally returns the per-packet
+        indirection-table slot (the steering *bucket*), which elastic
+        runs use to bucket-tag the state each packet creates.  Return
+        order is ``cores[, miss][, slots]``.
         """
         self._check_generation()
         memo = self._trace_memo
-        if memo is not None and memo[0] is trace:
+        if memo is not None and memo[0] is trace and (
+            not with_slots or memo[3] is not None
+        ):
             # Every flow of this exact trace is already cached; replay
             # the decisions and the counters a warm re-steer would emit.
-            _, memo_cores, port_counts = memo
+            _, memo_cores, port_counts, memo_slots = memo
             n = len(trace)
             self.hits += n
             if obs.enabled():
                 for port, count in port_counts:
                     obs.counter("fastpath.misses", 0, port=port)
                     obs.counter("fastpath.hits", count, port=port)
+            out: list[np.ndarray] = [memo_cores.copy()]
             if with_misses:
-                return memo_cores.copy(), np.zeros(n, dtype=bool)
-            return memo_cores.copy()
+                out.append(np.zeros(n, dtype=bool))
+            if with_slots:
+                out.append(memo_slots.copy())
+            return out[0] if len(out) == 1 else tuple(out)
         cores = np.zeros(len(trace), dtype=np.int64)
         miss = np.zeros(len(trace), dtype=bool) if with_misses else None
+        slots = np.zeros(len(trace), dtype=np.int64) if with_slots else None
         by_port: dict[int, list[int]] = {}
         for i, (port, _) in enumerate(trace):
             by_port.setdefault(port, []).append(i)
         for port, indices in by_port.items():
-            port_cores, port_miss = self._steer_port(
-                port, [trace[i][1] for i in indices], with_misses
+            port_cores, port_miss, port_slots = self._steer_port(
+                port, [trace[i][1] for i in indices], with_misses, with_slots
             )
             cores[indices] = port_cores
             if miss is not None and port_miss is not None:
                 miss[indices] = port_miss
+            if slots is not None and port_slots is not None:
+                slots[indices] = port_slots
         self._trace_memo = (
             trace,
             cores.copy(),
             [(port, len(indices)) for port, indices in by_port.items()],
+            slots.copy() if slots is not None else None,
         )
+        out = [cores]
         if with_misses:
-            return cores, miss
-        return cores
+            out.append(miss)
+        if with_slots:
+            out.append(slots)
+        return out[0] if len(out) == 1 else tuple(out)
 
     def _steer_port(
-        self, port: int, packets: list, with_misses: bool = False
-    ) -> tuple[np.ndarray, np.ndarray | None]:
+        self,
+        port: int,
+        packets: list,
+        with_misses: bool = False,
+        with_slots: bool = False,
+    ) -> tuple[np.ndarray, np.ndarray | None, np.ndarray | None]:
         config = self.rss.port_config(port)
         matrix = hash_input_matrix(packets, config.option)
         if matrix.shape[1] == 0:
             # Degenerate empty field option: every packet hashes alike.
             core = config.table.lookup(0)
             mask = np.zeros(len(packets), dtype=bool) if with_misses else None
-            return np.full(len(packets), core, dtype=np.int64), mask
+            slots = (
+                np.zeros(len(packets), dtype=np.int64) if with_slots else None
+            )
+            return np.full(len(packets), core, dtype=np.int64), mask, slots
         # Collapse the trace to its unique flows: one void view per row
         # lets np.unique treat each hash input as an opaque scalar.
         rows = np.ascontiguousarray(matrix).view(
@@ -182,22 +214,36 @@ class FlowSteeringCache:
         ).ravel()
         unique_rows, inverse = np.unique(rows, return_inverse=True)
         unique_cores = np.zeros(len(unique_rows), dtype=np.int64)
+        unique_slots = (
+            np.zeros(len(unique_rows), dtype=np.int64) if with_slots else None
+        )
         missing: list[int] = []
         cache = self._cores
+        slot_cache = self._slots
         for u, row in enumerate(unique_rows):
             cached = cache.get((port, row.tobytes()))
             if cached is None:
                 missing.append(u)
             else:
                 unique_cores[u] = cached
+                if unique_slots is not None:
+                    unique_slots[u] = slot_cache.get((port, row.tobytes()), 0)
         if missing:
             missing_rows = unique_rows[missing].view(np.uint8).reshape(
                 len(missing), matrix.shape[1]
             )
-            steered = config.table.steer_batch(config.hash_rows(missing_rows))
-            for u, core in zip(missing, steered):
+            hashes = config.hash_rows(missing_rows)
+            steered = config.table.steer_batch(hashes)
+            hash_slots = np.asarray(hashes, dtype=np.int64) & (
+                config.table.size - 1
+            )
+            for u, core, slot in zip(missing, steered, hash_slots):
                 unique_cores[u] = core
-                cache[(port, unique_rows[u].tobytes())] = int(core)
+                row_bytes = unique_rows[u].tobytes()
+                cache[(port, row_bytes)] = int(core)
+                slot_cache[(port, row_bytes)] = int(slot)
+                if unique_slots is not None:
+                    unique_slots[u] = slot
         counts = np.bincount(inverse, minlength=len(unique_rows))
         miss_packets = int(counts[missing].sum()) if missing else 0
         self.misses += len(missing)
@@ -214,7 +260,10 @@ class FlowSteeringCache:
             if missing:
                 miss_unique[missing] = True
             mask = miss_unique[inverse]
-        return unique_cores[inverse], mask
+        slots_out = (
+            unique_slots[inverse] if unique_slots is not None else None
+        )
+        return unique_cores[inverse], mask, slots_out
 
 
 class _ResultsView(Sequence):
@@ -500,8 +549,14 @@ def _execute_slice(
     results: list,
     start: int,
     end: int,
+    buckets: np.ndarray | None = None,
 ) -> None:
-    """Run ``trace[start:end]`` on pre-steered cores, filling ``results``."""
+    """Run ``trace[start:end]`` on pre-steered cores, filling ``results``.
+
+    ``buckets`` (elastic runs) carries the per-packet indirection-table
+    slot; it is installed as ``ctx.current_bucket`` before each packet so
+    created state gets bucket-tagged for live migration.
+    """
     if parallel.strategy is Strategy.SHARED_NOTHING:
         # State shards are per-core and traces are timestamp-ordered,
         # so each core's packets can run as one tight batch: same
@@ -512,9 +567,16 @@ def _execute_slice(
             idx = (np.flatnonzero(chunk == core_id) + start).tolist()
             if not idx:
                 continue
-            outs = starmap(core.ctx.run, [trace[i] for i in idx])
-            for i, result in zip(idx, outs):
-                results[i] = result
+            if buckets is None:
+                outs = starmap(core.ctx.run, [trace[i] for i in idx])
+                for i, result in zip(idx, outs):
+                    results[i] = result
+            else:
+                ctx = core.ctx
+                for i in idx:
+                    ctx.current_bucket = int(buckets[i])
+                    port, pkt = trace[i]
+                    results[i] = ctx.run(port, pkt)
     else:
         # Shared state store: cross-core interleaving is observable,
         # keep strict trace order.
@@ -533,9 +595,18 @@ def _run_fastpath(
     """Batched steering + grouped execution, bit-identical to the oracle."""
     cache = flow_cache if flow_cache is not None else FlowSteeringCache(parallel.rss)
     sink = obs.active_telemetry()
+    elastic = parallel.elastic
+    buckets: np.ndarray | None = None
     if sink is None:
-        core_ids = cache.steer(trace)
+        if elastic:
+            core_ids, buckets = cache.steer(trace, with_slots=True)
+        else:
+            core_ids = cache.steer(trace)
         miss_mask = None
+    elif elastic:
+        core_ids, miss_mask, buckets = cache.steer(
+            trace, with_misses=True, with_slots=True
+        )
     else:
         core_ids, miss_mask = cache.steer(trace, with_misses=True)
     n = len(trace)
@@ -550,7 +621,7 @@ def _run_fastpath(
         gc.disable()
     try:
         if sink is None:
-            _execute_slice(parallel, trace, core_ids, results, 0, n)
+            _execute_slice(parallel, trace, core_ids, results, 0, n, buckets)
         elif n:
             # Telemetry attached: execute in window-sized chunks, with
             # one O(cores) snapshot delta per boundary.  Per-core order
@@ -595,17 +666,24 @@ def _run_fastpath(
                         lo, hi = int(bounds[k]), int(bounds[k + 1])
                         if lo == hi:
                             continue
-                        outs = starmap(
-                            core.ctx.run, pkts_by_core[core_id][lo:hi]
-                        )
-                        for i, result in zip(
-                            idx_by_core[core_id][lo:hi], outs
-                        ):
-                            results[i] = result
+                        if buckets is None:
+                            outs = starmap(
+                                core.ctx.run, pkts_by_core[core_id][lo:hi]
+                            )
+                            for i, result in zip(
+                                idx_by_core[core_id][lo:hi], outs
+                            ):
+                                results[i] = result
+                        else:
+                            ctx = core.ctx
+                            for i in idx_by_core[core_id][lo:hi]:
+                                ctx.current_bucket = int(buckets[i])
+                                port, pkt = trace[i]
+                                results[i] = ctx.run(port, pkt)
                 else:
                     _execute_slice(
                         parallel, trace, core_ids, results,
-                        int(edges[k]), int(edges[k + 1]),
+                        int(edges[k]), int(edges[k + 1]), buckets,
                     )
                 misses = miss_counts[k]
                 sink.record_window(
@@ -659,12 +737,22 @@ def _run_compiled(
     """
     cache = flow_cache if flow_cache is not None else FlowSteeringCache(parallel.rss)
     sink = obs.active_telemetry()
+    elastic = parallel.elastic
+    buckets: np.ndarray | None = None
     if sink is None:
-        core_ids = cache.steer(trace)
+        if elastic:
+            core_ids, buckets = cache.steer(trace, with_slots=True)
+        else:
+            core_ids = cache.steer(trace)
         miss_mask = None
         wp = 0
     else:
-        core_ids, miss_mask = cache.steer(trace, with_misses=True)
+        if elastic:
+            core_ids, miss_mask, buckets = cache.steer(
+                trace, with_misses=True, with_slots=True
+            )
+        else:
+            core_ids, miss_mask = cache.steer(trace, with_misses=True)
         wp = sink.window_packets
     n = len(trace)
     results: list[PacketResult | None] = [None] * n
@@ -675,7 +763,7 @@ def _run_compiled(
     if gc_was_enabled:
         gc.disable()
     try:
-        edges = dispatcher.start_run(trace, core_ids, wp)
+        edges = dispatcher.start_run(trace, core_ids, wp, bucket_ids=buckets)
         if sink is None:
             for i in range(len(edges) - 1):
                 dispatcher.run_chunk(edges[i], edges[i + 1], results)

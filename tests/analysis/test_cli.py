@@ -436,3 +436,49 @@ def test_design_doc_section_12_documents_chain_analysis() -> None:
     assert "## Analyzing a chain" in readme
     assert "repro.analysis chain" in readme
     assert ".chain" in readme
+
+
+def test_design_doc_section_15_documents_elastic_scaling() -> None:
+    """Satellite: DESIGN §15 must document the elastic-scaling subsystem —
+    the bucket index, the two-phase handoff, the controller, MAE105, and
+    the obs counters — and the README must carry the "Scaling at
+    runtime" section. Kept in sync with the code like §9-§14 above."""
+    from pathlib import Path
+
+    root = Path(__file__).resolve().parents[2]
+    design = (root / "DESIGN.md").read_text()
+    section = design[design.index("## 15.") :]
+    for api in (
+        "`enable_elastic(parallel)`",
+        "`rescale_parallel(parallel, n)`",
+        "`plan_rescale`",
+        "`BucketIndex`",
+        "`ShardDelta`",
+        "`ElasticController`",
+        "`run_elastic`",
+        "`RescaleEvent`",
+    ):
+        assert api in section, f"{api} missing from DESIGN.md §15"
+    for topic in (
+        "Two-phase handoff",
+        "prepare",
+        "extract",
+        "install",
+        "commit",
+        "`MAE105`",
+        "`steering_generation`",
+        "`rescale-gate`",
+        "rescale-report.json",
+    ):
+        assert topic in section, f"{topic} missing from DESIGN.md §15"
+    for counter in (
+        "`scale.events`",
+        "`scale.migrated_entries`",
+        "`scale.quiesce_us`",
+    ):
+        assert counter in section, f"counter {counter} missing from §15"
+    readme = (root / "README.md").read_text()
+    assert "## Scaling at runtime" in readme
+    assert "python -m repro.scale verify --all" in readme
+    assert "--workload rescale" in readme
+    assert "MAE105" in readme

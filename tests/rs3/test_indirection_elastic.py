@@ -1,0 +1,117 @@
+"""Elastic edge cases of the indirection table and the rescale planner.
+
+The reprogram/retarget primitives must behave at the extremes the
+elastic controller can reach: shrinking to a single core, growing past
+the bucket count, and committing a plan that changes nothing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.rs3.indirection import IndirectionTable
+from repro.scale import plan_rescale
+
+
+class TestReprogram:
+    def test_noop_reprogram_keeps_generation(self):
+        table = IndirectionTable(n_queues=4)
+        gen = table.generation
+        moved = table.reprogram(table.entries.copy())
+        assert moved == 0
+        assert table.generation == gen
+
+    def test_real_reprogram_bumps_generation_once(self):
+        table = IndirectionTable(n_queues=4)
+        gen = table.generation
+        entries = table.entries.copy()
+        entries[: table.size // 2] = 5
+        moved = table.reprogram(entries)
+        assert moved == table.size // 2
+        assert table.generation == gen + 1
+
+    def test_rejects_wrong_shape(self):
+        table = IndirectionTable(n_queues=4)
+        with pytest.raises(SimulationError, match="entries"):
+            table.reprogram(np.zeros(7, dtype=np.int64))
+
+    def test_rejects_negative_entries(self):
+        table = IndirectionTable(n_queues=4)
+        entries = table.entries.copy()
+        entries[0] = -1
+        with pytest.raises(SimulationError, match="non-negative"):
+            table.reprogram(entries)
+
+    def test_retarget_requires_positive_queues(self):
+        table = IndirectionTable(n_queues=4)
+        with pytest.raises(SimulationError):
+            table.retarget(0)
+        table.retarget(9)
+        assert table.n_queues == 9
+
+
+class TestShrinkToOne:
+    def test_plan_collapses_everything_onto_core_zero(self):
+        table = IndirectionTable(n_queues=8)
+        entries, moves = plan_rescale(table, 1)
+        assert set(entries.tolist()) == {0}
+        # Every slot not already on core 0 moves exactly once.
+        assert len(moves) == int((table.entries != 0).sum())
+        assert all(dst == 0 for _slot, _src, dst in moves)
+
+    def test_single_core_table_still_steers(self):
+        table = IndirectionTable(n_queues=8)
+        entries, _ = plan_rescale(table, 1)
+        table.reprogram(entries)
+        table.retarget(1)
+        hashes = np.arange(10_000, dtype=np.int64) * 2654435761
+        assert set(table.steer_batch(hashes).tolist()) == {0}
+
+
+class TestGrowPastBuckets:
+    def test_surplus_cores_own_zero_buckets(self):
+        table = IndirectionTable(n_queues=4, size=64)
+        entries, moves = plan_rescale(table, 100)
+        counts = np.bincount(entries, minlength=100)
+        assert counts.sum() == 64
+        # 64 buckets over 100 cores: the first 64 cores own one each,
+        # the rest legally own none.
+        assert counts.max() == 1
+        assert int((counts == 0).sum()) == 36
+        table.reprogram(entries)
+        table.retarget(100)
+        assert table.n_queues == 100
+
+    def test_plan_is_minimal_even_past_buckets(self):
+        table = IndirectionTable(n_queues=4, size=64)
+        _entries, moves = plan_rescale(table, 100)
+        # Survivors keep their fair share (0 remainder -> floor 0, +1 for
+        # the first 64): each of cores 0..3 keeps exactly one slot.
+        kept = {src for _slot, src, _dst in moves}
+        assert len(moves) == 60
+        assert kept <= {0, 1, 2, 3}
+
+
+class TestNoopPlanCommit:
+    def test_noop_plan_commit_is_invisible(self):
+        """plan + reprogram + retarget at the same width changes nothing."""
+        table = IndirectionTable(n_queues=6)
+        before = table.entries.copy()
+        gen = table.generation
+        entries, moves = plan_rescale(table, 6)
+        assert moves == []
+        assert table.reprogram(entries) == 0
+        table.retarget(6)
+        assert table.generation == gen
+        assert np.array_equal(table.entries, before)
+
+    def test_grow_then_shrink_back_restores_counts(self):
+        table = IndirectionTable(n_queues=4)
+        entries, _ = plan_rescale(table, 8)
+        table.reprogram(entries)
+        table.retarget(8)
+        entries, _ = plan_rescale(table, 4)
+        table.reprogram(entries)
+        table.retarget(4)
+        counts = np.bincount(table.entries, minlength=4)
+        assert counts.tolist() == [128] * 4

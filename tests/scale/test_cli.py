@@ -1,0 +1,98 @@
+"""``python -m repro.scale verify`` — the CI rescale gate."""
+
+import json
+
+import pytest
+
+from repro.analysis.diagnostics import SCHEMA_VERSION
+from repro.scale.__main__ import main, verify_nf
+
+
+class TestVerifyNF:
+    def test_shared_nothing_nf_is_clean(self, analyses):
+        verification = verify_nf(
+            "fw", packets=450, n_flows=48, result=analyses["fw"]
+        )
+        assert verification.status == "clean"
+        assert verification.parity_ok is True
+        assert verification.equivalent is True
+        assert verification.mae103 == 0
+        assert verification.mae105 == 0
+        assert len(verification.rescales) == 2
+        assert [r["action"] for r in verification.rescales] == [
+            "grow",
+            "shrink",
+        ]
+        assert "clean" in verification.describe()
+
+    def test_locks_nf_is_skipped(self, analyses):
+        verification = verify_nf("lb", result=analyses["lb"])
+        assert verification.status == "skipped"
+        assert verification.clean  # skips never fail the gate
+        assert "shared-nothing" in verification.detail
+
+    def test_policer_uses_wan_traffic(self, analyses):
+        verification = verify_nf(
+            "policer", packets=450, n_flows=48, result=analyses["policer"]
+        )
+        assert verification.status == "clean"
+
+
+class TestCLI:
+    def test_verify_single_nf_exit_zero(self, capsys):
+        code = main(["verify", "fw", "--packets", "450", "--flows", "48"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[fw] clean" in out
+        assert "1 NF(s) verified" in out
+
+    def test_unknown_nf_exit_two(self, capsys):
+        code = main(["verify", "nosuchnf"])
+        assert code == 2
+        assert "unknown NF" in capsys.readouterr().err
+
+    def test_no_selection_exit_two(self, capsys):
+        code = main(["verify"])
+        assert code == 2
+        assert "--all" in capsys.readouterr().err
+
+    def test_json_report_schema(self, capsys, tmp_path):
+        out_path = tmp_path / "rescale-report.json"
+        code = main(
+            [
+                "verify",
+                "fw",
+                "--packets",
+                "450",
+                "--flows",
+                "48",
+                "--json",
+                "--out",
+                str(out_path),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == json.loads(out_path.read_text())
+        assert payload["schema"] == SCHEMA_VERSION
+        (report,) = payload["reports"]
+        assert report["nf"] == "fw"
+        assert report["status"] == "clean"
+        assert report["parity_ok"] is True
+        assert report["mae103"] == 0 and report["mae105"] == 0
+        assert [r["action"] for r in report["rescales"]] == ["grow", "shrink"]
+        assert all(len(event) == 2 for event in report["events"])
+
+    def test_skipped_nf_does_not_fail_gate(self, capsys):
+        code = main(["verify", "lb"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[lb] skipped" in out
+        assert "0 NF(s) verified (1 skipped)" in out
+
+    def test_seed_changes_trace_but_stays_clean(self, capsys):
+        code = main(
+            ["verify", "fw", "--packets", "300", "--flows", "32",
+             "--seed", "777", "--grow-to", "6", "--shrink-to", "2"]
+        )
+        assert code == 0

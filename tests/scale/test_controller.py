@@ -1,0 +1,113 @@
+"""The elastic controller: utilization band + skew override + cooldown."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.obs.telemetry import TelemetrySink
+from repro.scale import ElasticController
+
+
+def sink_with(rows):
+    """A sink holding one window per entry of ``rows`` (packets only)."""
+    sink = TelemetrySink(window_packets=1024)
+    for per_core in rows:
+        sink.record_window([[p] for p in per_core])
+    return sink
+
+
+class TestValidation:
+    def test_rejects_bad_core_bounds(self):
+        with pytest.raises(SimulationError, match="core bounds"):
+            ElasticController(min_cores=0)
+        with pytest.raises(SimulationError, match="core bounds"):
+            ElasticController(min_cores=8, max_cores=4)
+
+    def test_rejects_inverted_band(self):
+        with pytest.raises(SimulationError, match="shrink_util"):
+            ElasticController(grow_util=0.4, shrink_util=0.6)
+
+
+class TestBandPolicy:
+    def test_no_windows_holds(self):
+        ctl = ElasticController()
+        decision = ctl.decide(TelemetrySink(), active_cores=4)
+        assert decision.action == "hold"
+        assert decision.n_cores == 4
+
+    def test_hot_fleet_grows(self):
+        # 4 cores, all at budget: utilization 1.0 >= 0.8.
+        ctl = ElasticController(core_budget_pps=1000)
+        decision = ctl.decide(sink_with([[1000] * 4]), active_cores=4)
+        assert decision.action == "grow"
+        assert decision.n_cores == 8
+        assert decision.utilization == pytest.approx(1.0)
+
+    def test_grow_respects_max_cores(self):
+        ctl = ElasticController(core_budget_pps=1000, max_cores=6)
+        decision = ctl.decide(sink_with([[1000] * 4]), active_cores=4)
+        assert decision.action == "grow"
+        assert decision.n_cores == 6
+
+    def test_at_max_cores_holds(self):
+        ctl = ElasticController(core_budget_pps=1000, max_cores=4)
+        decision = ctl.decide(sink_with([[1000] * 4]), active_cores=4)
+        assert decision.action == "hold"
+
+    def test_idle_fleet_shrinks(self):
+        # 8 cores at 10% utilization: shrink, at most halving.
+        ctl = ElasticController(core_budget_pps=1000)
+        decision = ctl.decide(sink_with([[100] * 8]), active_cores=8)
+        assert decision.action == "shrink"
+        assert decision.n_cores == 4
+
+    def test_shrink_respects_min_cores(self):
+        ctl = ElasticController(core_budget_pps=1000, min_cores=3)
+        decision = ctl.decide(sink_with([[10] * 4]), active_cores=4)
+        assert decision.action == "shrink"
+        assert decision.n_cores == 3
+
+    def test_within_band_holds(self):
+        ctl = ElasticController(core_budget_pps=1000)
+        decision = ctl.decide(sink_with([[600] * 4]), active_cores=4)
+        assert decision.action == "hold"
+        assert decision.reason == "within band"
+
+    def test_skew_override_grows_non_idle_fleet(self):
+        # One hot core, modest average utilization: skew forces a grow.
+        ctl = ElasticController(core_budget_pps=1000, skew_threshold=1.5)
+        rows = [[2000, 100, 100, 100]] * 3
+        decision = ctl.decide(sink_with(rows), active_cores=4)
+        assert decision.action == "grow"
+        assert decision.imbalance > 1.5
+        assert "imbalance" in decision.reason
+
+    def test_skew_blocks_shrink(self):
+        # Idle on average but skewed: shrinking would worsen the hot core.
+        ctl = ElasticController(core_budget_pps=1000, skew_threshold=1.2)
+        decision = ctl.decide(sink_with([[800, 10, 10, 10]]), active_cores=4)
+        assert decision.action != "shrink"
+
+
+class TestCooldown:
+    def test_cooldown_holds_after_rescale(self):
+        ctl = ElasticController(core_budget_pps=1000, cooldown_windows=2)
+        sink = sink_with([[1000] * 4])
+        first = ctl.decide(sink, active_cores=4)
+        assert first.action == "grow"
+        sink.record_window([[1000]] * 4)
+        second = ctl.decide(sink, active_cores=8)
+        assert second.action == "hold"
+        assert "cooldown" in second.reason
+        sink.record_window([[1000]] * 4)
+        third = ctl.decide(sink, active_cores=8)
+        assert third.action == "hold"
+        sink.record_window([[2000]] * 8)
+        fourth = ctl.decide(sink, active_cores=8)
+        assert fourth.action == "grow"
+
+    def test_decisions_are_deterministic(self):
+        rows = [[900, 700, 1100, 800], [1000, 950, 1050, 990]]
+        a = ElasticController(core_budget_pps=1000)
+        b = ElasticController(core_budget_pps=1000)
+        for _ in range(3):
+            assert a.decide(sink_with(rows), 4) == b.decide(sink_with(rows), 4)

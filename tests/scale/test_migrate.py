@@ -1,0 +1,255 @@
+"""Live state migration: the bucket index, the plan, the handoff."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.nf.nfs import ALL_NFS
+from repro.rs3.indirection import IndirectionTable
+from repro.scale import (
+    BucketIndex,
+    enable_elastic,
+    plan_rescale,
+    rescale_parallel,
+)
+from repro.scale.migrate import extract_bucket, install_bucket
+
+
+def elastic_parallel(analyses, name="fw", cores=4):
+    parallel = analyses.maestro.parallelize(
+        ALL_NFS[name](), n_cores=cores, result=analyses[name]
+    )
+    return enable_elastic(parallel)
+
+
+def drive(parallel, generator, n_packets=300, n_flows=48, in_port=0):
+    trace, _ = generator.uniform_trace(n_packets, n_flows, in_port=in_port)
+    for port, pkt in trace:
+        parallel.process(port, pkt)
+    return trace
+
+
+class TestBucketIndex:
+    def test_tagging_and_queries(self):
+        index = BucketIndex()
+        index.note_key("m", (1, 2), 7)
+        index.note_key("m", (3, 4), 7)
+        index.note_key("m", (5, 6), 9)
+        index.note_index("c", 0, 7)
+        assert index.keys_in("m", 7) == [(1, 2), (3, 4)]
+        assert index.indices_in("c", 7) == [0]
+        assert index.bucket_of_key("m", (5, 6)) == 9
+        assert index.entry_count() == 4
+        index.drop_key("m", (1, 2))
+        index.drop_index("c", 0)
+        assert index.keys_in("m", 7) == [(3, 4)]
+        assert index.entry_count() == 2
+
+    def test_retag_overwrites(self):
+        index = BucketIndex()
+        index.note_key("m", (1,), 3)
+        index.note_key("m", (1,), 5)
+        assert index.bucket_of_key("m", (1,)) == 5
+        assert index.keys_in("m", 3) == []
+
+    def test_runtime_tags_created_state(self, analyses, generator):
+        parallel = elastic_parallel(analyses, "fw")
+        drive(parallel, generator, n_packets=200)
+        total = sum(
+            core.ctx.bucket_index.entry_count() for core in parallel.cores
+        )
+        assert total > 0
+        # Every tagged bucket must belong to the core that owns it in
+        # the table — tagging follows steering.
+        table = parallel.rss.port_config(0).table
+        for core in parallel.cores:
+            bindex = core.ctx.bucket_index
+            for obj in list(bindex._keys):
+                for key, bucket in bindex._keys[obj].items():
+                    assert int(table.entries[bucket]) == core.core_id
+
+
+class TestPlanRescale:
+    def test_noop_plan_moves_nothing(self):
+        table = IndirectionTable(n_queues=4)
+        entries, moves = plan_rescale(table, 4)
+        assert moves == []
+        assert np.array_equal(entries, table.entries)
+
+    def test_grow_only_moves_surplus(self):
+        table = IndirectionTable(n_queues=4)
+        entries, moves = plan_rescale(table, 8)
+        # 512/8 = 64 per core; each old core donates half its slots.
+        counts = np.bincount(entries, minlength=8)
+        assert counts.tolist() == [64] * 8
+        assert len(moves) == 256
+        # Surviving cores never receive (minimal moves).
+        for slot, src, dst in moves:
+            assert src < 4 <= dst
+
+    def test_shrink_retires_high_cores(self):
+        table = IndirectionTable(n_queues=8)
+        entries, moves = plan_rescale(table, 3)
+        counts = np.bincount(entries, minlength=3)
+        assert counts.sum() == table.size
+        assert max(counts) - min(counts) <= 1
+        assert all(src >= 3 or src < 3 for slot, src, dst in moves)
+        assert all(dst < 3 for slot, src, dst in moves)
+
+    def test_deterministic(self):
+        a = plan_rescale(IndirectionTable(n_queues=4), 7)
+        b = plan_rescale(IndirectionTable(n_queues=4), 7)
+        assert np.array_equal(a[0], b[0])
+        assert a[1] == b[1]
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(SimulationError):
+            plan_rescale(IndirectionTable(n_queues=4), 0)
+
+
+class TestExtractInstall:
+    def test_roundtrip_preserves_entries(self, analyses, generator):
+        parallel = elastic_parallel(analyses, "fw")
+        drive(parallel, generator)
+        decls = parallel.nf.state()
+        donor = parallel.cores[0]
+        buckets = {
+            b
+            for obj in donor.ctx.bucket_index._keys.values()
+            for b in obj.values()
+        }
+        assert buckets, "driver created no tagged state on core 0"
+        bucket = sorted(buckets)[0]
+        before = donor.ctx.bucket_index.entry_count()
+        delta = extract_bucket(donor, bucket, decls)
+        assert delta.n_entries > 0
+        assert donor.ctx.bucket_index.entry_count() < before
+        # Donor no longer holds the moved keys.
+        for name, pairs in delta.maps.items():
+            for key, _value in pairs:
+                found, _ = donor.ctx.store[name].get(key)
+                assert not found
+        receiver = parallel.cores[1]
+        keyed, installed, refused, refused_keys = install_bucket(
+            receiver, delta, decls
+        )
+        assert refused == 0 and refused_keys == []
+        assert installed == delta.n_entries
+        # Receiver now resolves every moved map key.
+        for name, pairs in delta.maps.items():
+            for key, _value in pairs:
+                found, _ = receiver.ctx.store[name].get(key)
+                assert found
+        assert {k for k, _ in delta.maps.get(name, [])} <= {
+            key for obj, key in keyed if obj == name
+        }
+
+    def test_extract_without_index_raises(self, analyses):
+        parallel = analyses.maestro.parallelize(
+            ALL_NFS["fw"](), n_cores=4, result=analyses["fw"]
+        )
+        with pytest.raises(SimulationError):
+            extract_bucket(parallel.cores[0], 0, parallel.nf.state())
+
+
+class TestRescaleParallel:
+    def test_requires_elastic_mode(self, analyses):
+        parallel = analyses.maestro.parallelize(
+            ALL_NFS["fw"](), n_cores=4, result=analyses["fw"]
+        )
+        with pytest.raises(SimulationError, match="elastic"):
+            rescale_parallel(parallel, 8)
+
+    def test_requires_shared_nothing(self, analyses):
+        parallel = analyses.maestro.parallelize(
+            ALL_NFS["lb"](), n_cores=4, result=analyses["lb"]
+        )
+        with pytest.raises(SimulationError, match="shared-nothing"):
+            enable_elastic(parallel)
+
+    def test_grow_preserves_established_flows(self, analyses, generator):
+        parallel = elastic_parallel(analyses, "fw")
+        trace = drive(parallel, generator)
+        stats = rescale_parallel(parallel, 8)
+        assert stats.action == "grow"
+        assert stats.n_cores_after == 8
+        assert stats.entries_moved > 0
+        assert stats.refused == 0
+        assert len(parallel.cores) == 8
+        assert parallel.active_cores == 8
+        # Established LAN flows must still pass WAN-side after moving.
+        from repro.nf.api import ActionKind
+
+        for port, pkt in trace[:40]:
+            _core, result = parallel.process(1, pkt.inverted())
+            assert result.kind is ActionKind.FORWARD
+
+    def test_shrink_consolidates_state(self, analyses, generator):
+        parallel = elastic_parallel(analyses, "fw")
+        drive(parallel, generator)
+        rescale_parallel(parallel, 8)
+        stats = rescale_parallel(parallel, 2)
+        assert stats.action == "shrink"
+        assert parallel.active_cores == 2
+        # Retired cores hold no tagged state after full extraction.
+        for core in parallel.cores[2:]:
+            assert core.ctx.bucket_index.entry_count() == 0
+        # The table steers only to survivors.
+        table = parallel.rss.port_config(0).table
+        assert int(table.entries.max()) <= 1
+
+    def test_noop_rescale_is_free(self, analyses, generator):
+        parallel = elastic_parallel(analyses, "fw")
+        drive(parallel, generator)
+        gen_before = parallel.rss.steering_generation
+        stats = rescale_parallel(parallel, 4)
+        assert stats.action == "hold"
+        assert stats.buckets_moved == 0
+        assert stats.entries_moved == 0
+        assert parallel.rss.steering_generation == gen_before
+
+    def test_single_generation_bump_per_table(self, analyses, generator):
+        parallel = elastic_parallel(analyses, "fw")
+        drive(parallel, generator)
+        tables = [c.table for c in parallel.rss.ports.values()]
+        before = [t.generation for t in tables]
+        rescale_parallel(parallel, 8)
+        after = [t.generation for t in tables]
+        assert [a - b for a, b in zip(after, before)] == [1] * len(tables)
+
+    def test_quiesce_cost_model(self, analyses, generator):
+        from repro.scale.migrate import (
+            MIGRATE_US_PER_ENTRY,
+            QUIESCE_US_PER_BUCKET,
+        )
+
+        parallel = elastic_parallel(analyses, "fw")
+        drive(parallel, generator)
+        stats = rescale_parallel(parallel, 8)
+        assert stats.quiesce_us == pytest.approx(
+            stats.buckets_moved * QUIESCE_US_PER_BUCKET
+            + stats.entries_moved * MIGRATE_US_PER_ENTRY
+        )
+
+    def test_regrow_reuses_retired_cores(self, analyses, generator):
+        parallel = elastic_parallel(analyses, "fw")
+        drive(parallel, generator)
+        rescale_parallel(parallel, 8)
+        rescale_parallel(parallel, 3)
+        n_cores_listed = len(parallel.cores)
+        rescale_parallel(parallel, 6)
+        assert len(parallel.cores) == n_cores_listed  # high-water reuse
+        assert parallel.active_cores == 6
+
+    def test_emits_obs_counters(self, analyses, generator):
+        from repro import obs
+
+        parallel = elastic_parallel(analyses, "fw")
+        drive(parallel, generator)
+        mem = obs.MemoryCollector()
+        with obs.attached(mem):
+            rescale_parallel(parallel, 8)
+        counters = {name for name, _attrs, _total in mem.counters()}
+        assert "scale.events" in counters
+        assert "scale.migrated_entries" in counters
+        assert "scale.quiesce_us" in counters

@@ -32,6 +32,10 @@ def _payload(
     compiled=0.9,
     fallback=0.0,
     fallback_ceiling=0.05,
+    per_entry=60.0,
+    per_entry_ceiling=200.0,
+    rescale_ratio=1.0,
+    ratio_floor=0.9,
     quick=True,
 ) -> dict:
     return {
@@ -44,6 +48,12 @@ def _payload(
             "reference_us_per_pkt": 25.0,
             "fallback_rate": fallback,
             "fallback_ceiling": fallback_ceiling,
+        },
+        "rescale": {
+            "per_entry_us": per_entry,
+            "per_entry_ceiling_us": per_entry_ceiling,
+            "post_rescale_ratio": rescale_ratio,
+            "ratio_floor": ratio_floor,
         },
     }
 
@@ -100,6 +110,31 @@ def test_negative_overhead_is_fine(write):
     assert _run(write, _payload(), _payload(overhead=-0.04)) == 0
 
 
+def test_migration_cost_over_ceiling_fails(write, capsys):
+    """A full-shard-scan regression (per-entry migration cost over the
+    committed ceiling) must fail even when wall-clock numbers look fine."""
+    assert _run(write, _payload(), _payload(per_entry=250.0)) == 1
+    assert "rescale.per_entry_us" in capsys.readouterr().out
+
+
+def test_post_rescale_ratio_under_floor_fails(write, capsys):
+    """The floor gate is the only place bigger-is-better: a rescaled
+    dataplane slower than the static build must fail the build."""
+    assert _run(write, _payload(), _payload(rescale_ratio=0.7)) == 1
+    assert "rescale.post_rescale_ratio" in capsys.readouterr().out
+
+
+def test_post_rescale_ratio_at_floor_passes(write):
+    assert _run(write, _payload(), _payload(rescale_ratio=0.9)) == 0
+
+
+def test_missing_rescale_section_is_a_usage_error(write, capsys):
+    fresh = _payload()
+    del fresh["rescale"]
+    assert _run(write, _payload(), fresh) == 2
+    assert "rescale." in capsys.readouterr().err
+
+
 def test_missing_telemetry_section_is_a_usage_error(write, capsys):
     fresh = _payload()
     del fresh["telemetry"]
@@ -125,3 +160,6 @@ def test_committed_baseline_has_the_gated_shape():
         assert name in baseline[section], f"{section}.{name} missing"
     for section, _, ceiling_key in gate.ABSOLUTE:
         assert ceiling_key in baseline[section]
+    for section, name, floor_key in gate.FLOORS:
+        assert name in baseline[section]
+        assert floor_key in baseline[section]
